@@ -1,0 +1,17 @@
+"""Figure 5: predictive performance and number of correlations vs threshold."""
+
+from repro.experiments import fig5_structure
+
+
+def test_fig5_simulation_panel(run_once):
+    result = run_once(fig5_structure.run_simulation_panel, epochs=8)
+    print("\n[Figure 5, left] " + fig5_structure.format_table(result))
+    counts = result.correlation_counts
+    assert counts == sorted(counts), "lower thresholds must admit at least as many correlations"
+    assert max(counts) > 0
+
+
+def test_fig5_cdr_panel(run_once):
+    result = run_once(fig5_structure.run_task_panel, task_name="cdr", scale=0.1, epochs=8)
+    print("\n[Figure 5, middle] " + fig5_structure.format_table(result))
+    assert min(result.thresholds) <= result.elbow_threshold <= max(result.thresholds)

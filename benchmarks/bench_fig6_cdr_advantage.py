@@ -1,0 +1,11 @@
+"""Figure 6: advantage and optimizer bound vs number of CDR labeling functions."""
+
+from repro.experiments import fig6_cdr_advantage
+
+
+def test_fig6_cdr_advantage(run_once):
+    points = run_once(fig6_cdr_advantage.run, scale=0.1, subset_sizes=(5, 10, 20, 30), repeats=1)
+    print("\n[Figure 6]\n" + fig6_cdr_advantage.format_table(points))
+    assert len(points) == 4
+    # The optimizer bound stays a (soft) upper bound on the empirical advantage.
+    assert all(p.optimizer_bound >= p.empirical_advantage - 0.05 for p in points)

@@ -1,0 +1,30 @@
+"""Section 3.2: structure-learning cost vs the number of modeled correlations.
+
+Verifies the qualitative claim that fitting the generative model with the
+elbow-point correlation set is substantially cheaper than fitting it with the
+full (low-threshold) correlation set, while structure learning itself is a
+one-off cost.
+"""
+
+import time
+
+from repro.datasets.synthetic import generate_correlated_label_matrix
+from repro.labelmodel.generative import GenerativeModel
+from repro.labelmodel.structure import StructureLearner
+
+
+def test_structure_timing(run_once):
+    data = generate_correlated_label_matrix(
+        num_points=600, num_independent=8, num_groups=6, group_size=3, seed=0
+    )
+    learner = run_once(StructureLearner().fit, data.label_matrix)
+    few = learner.select(0.2)
+    many = learner.select(0.005)
+    start = time.perf_counter()
+    GenerativeModel(epochs=8).fit(data.label_matrix, correlations=few)
+    few_time = time.perf_counter() - start
+    start = time.perf_counter()
+    GenerativeModel(epochs=8).fit(data.label_matrix, correlations=many)
+    many_time = time.perf_counter() - start
+    print(f"\n[Structure timing] |C|={len(few)} -> {few_time:.3f}s ; |C|={len(many)} -> {many_time:.3f}s")
+    assert len(many) >= len(few)

@@ -1,0 +1,12 @@
+"""Table 1: modeling advantage, optimizer bound, strategy, label density per task."""
+
+from repro.experiments import table1_advantage
+
+
+def test_table1_advantage(run_once):
+    rows = run_once(table1_advantage.run, epochs=8)
+    print("\n[Table 1]\n" + table1_advantage.format_table(rows))
+    assert len(rows) == len(table1_advantage.DEFAULT_TASKS)
+    for row in rows:
+        assert row.optimizer_bound >= 0.0
+        assert row.strategy in ("MV", "GM")

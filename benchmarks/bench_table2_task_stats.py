@@ -1,0 +1,10 @@
+"""Table 2: task summary statistics."""
+
+from repro.experiments import table2_stats
+
+
+def test_table2_task_stats(run_once):
+    summaries = run_once(table2_stats.run)
+    print("\n[Table 2]\n" + table2_stats.format_table2(summaries))
+    names = {summary.name for summary in summaries}
+    assert {"chem", "ehr", "cdr", "spouses", "radiology", "crowd"} <= names

@@ -1,0 +1,12 @@
+"""Table 4: cross-modal tasks (radiology AUC, crowd accuracy)."""
+
+from repro.experiments import table4_crossmodal
+
+
+def test_table4_crossmodal(run_once):
+    result = run_once(table4_crossmodal.run, radiology_scale=0.06, crowd_scale=0.6, epochs=30)
+    print("\n[Table 4]\n" + table4_crossmodal.format_table(result))
+    # Snorkel approaches (comes within a reasonable gap of) hand supervision.
+    assert result.radiology_snorkel_auc >= result.radiology_hand_auc - 0.15
+    assert result.crowd_snorkel_accuracy >= result.crowd_hand_accuracy - 0.15
+    assert result.crowd_snorkel_accuracy > 1.0 / 5  # better than chance over 5 classes

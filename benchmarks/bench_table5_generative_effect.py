@@ -1,0 +1,15 @@
+"""Table 5: discriminative model on unweighted LF average vs Snorkel labels."""
+
+from repro.experiments import table5_generative_effect
+
+
+def test_table5_generative_effect(run_once):
+    rows = run_once(
+        table5_generative_effect.run,
+        tasks=(("cdr", 0.12), ("spouses", 0.08)),
+        discriminative_epochs=20,
+    )
+    print("\n[Table 5]\n" + table5_generative_effect.format_table(rows))
+    for row in rows:
+        assert 0.0 <= row.unweighted_f1 <= 1.0
+        assert 0.0 <= row.snorkel_f1 <= 1.0

@@ -1,0 +1,10 @@
+"""Table 6: labeling-function type ablation on CDR."""
+
+from repro.experiments import table6_lf_ablation
+
+
+def test_table6_lf_ablation(run_once):
+    rows = run_once(table6_lf_ablation.run, scale=0.12, discriminative_epochs=20)
+    print("\n[Table 6]\n" + table6_lf_ablation.format_table(rows))
+    assert len(rows) == 3
+    assert rows[0].num_lfs < rows[1].num_lfs < rows[2].num_lfs

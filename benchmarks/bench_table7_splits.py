@@ -1,0 +1,11 @@
+"""Table 7: candidate counts per split."""
+
+from repro.experiments import table2_stats
+
+
+def test_table7_split_sizes(run_once):
+    summaries = run_once(table2_stats.run)
+    print("\n[Table 7]\n" + table2_stats.format_table7(summaries))
+    for summary in summaries:
+        assert summary.split_sizes.get("train", 0) > summary.split_sizes.get("dev", 0)
+        assert summary.split_sizes.get("test", 0) > 0

@@ -1,0 +1,19 @@
+"""Figures 7-8: simulated user study vs equal-time hand labeling."""
+
+from repro.datasets import load_task
+from repro.userstudy import simulate_user_study
+from repro.userstudy.simulate import scores_by_factor
+
+
+def test_user_study(run_once):
+    task = load_task("spouses", scale=0.08, seed=0)
+    result = run_once(simulate_user_study, task, num_participants=6, hand_label_budget=2500, seed=0)
+    print(
+        f"\n[User study] mean Snorkel F1={result.mean_snorkel_f1:.3f} "
+        f"mean hand-label F1={result.mean_hand_label_f1:.3f} "
+        f"fraction matching/beating={result.fraction_matching_or_beating:.2f}"
+    )
+    by_python = scores_by_factor(result, "python_experience")
+    print("F1 by Python experience:", {k: round(sum(v) / len(v), 3) for k, v in by_python.items()})
+    assert len(result.participants) == 6
+    assert 0.0 <= result.fraction_matching_or_beating <= 1.0

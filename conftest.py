@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the in-tree ``src`` layout importable without install.
+
+Offline environments cannot always complete ``pip install -e .`` (the PEP 660
+editable path needs the ``wheel`` package); prepending ``src/`` here keeps
+``pytest tests/`` and ``pytest benchmarks/`` working either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,16 @@
+"""Setuptools entry point (kept alongside pyproject.toml for offline editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of Snorkel: Rapid Training Data Creation with Weak Supervision "
+        "(Ratner et al., VLDB 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

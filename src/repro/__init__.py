@@ -1,0 +1,39 @@
+"""repro: a reproduction of "Snorkel: Rapid Training Data Creation with Weak Supervision".
+
+The public API re-exports the pieces a typical user touches: labeling
+functions and their applier, the label matrix, majority vote and the
+generative label model, the modeling-strategy optimizer, noise-aware end
+models, and the end-to-end :class:`repro.pipeline.snorkel.SnorkelPipeline`.
+"""
+
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE, Label
+from repro.labeling import (
+    LFAnalysis,
+    LFApplier,
+    LabelMatrix,
+    LabelingFunction,
+    labeling_function,
+)
+from repro.labelmodel import (
+    GenerativeModel,
+    MajorityVoter,
+    ModelingStrategyOptimizer,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ABSTAIN",
+    "NEGATIVE",
+    "POSITIVE",
+    "Label",
+    "LabelingFunction",
+    "labeling_function",
+    "LFApplier",
+    "LabelMatrix",
+    "LFAnalysis",
+    "MajorityVoter",
+    "GenerativeModel",
+    "ModelingStrategyOptimizer",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Baselines the paper compares against: distant supervision, hand supervision,
+and training the end model on unweighted LF averages."""
+
+from repro.baselines.distant_supervision import distant_supervision_baseline
+from repro.baselines.hand_supervision import hand_supervision_baseline
+from repro.baselines.unweighted import unweighted_lf_baseline
+
+__all__ = [
+    "distant_supervision_baseline",
+    "hand_supervision_baseline",
+    "unweighted_lf_baseline",
+]

@@ -1,0 +1,45 @@
+"""Unweighted-LF baseline (Table 5).
+
+Skips the generative modeling stage entirely: the discriminative model is
+trained on the unweighted average of the labeling functions' outputs.  The
+gap between this and the full pipeline quantifies how much modeling LF
+accuracies and correlations actually contributes to end predictive
+performance (the paper reports an average 5.81% relative gain).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import TaskDataset
+from repro.discriminative.featurizers import RelationFeaturizer
+from repro.discriminative.logistic import NoiseAwareLogisticRegression
+from repro.evaluation.scorer import BinaryScorer, ScoreReport
+from repro.labeling.applier import LFApplier
+from repro.labelmodel.majority import MajorityVoter
+
+
+def unweighted_lf_baseline(
+    task: TaskDataset,
+    featurizer: Optional[RelationFeaturizer] = None,
+    epochs: int = 40,
+    seed: int = 0,
+) -> ScoreReport:
+    """Train the end model on the unweighted LF average and score the test split."""
+    featurizer = featurizer or RelationFeaturizer(num_features=1024)
+    train_candidates = task.split_candidates("train")
+    test_candidates = task.split_candidates("test")
+
+    applier = LFApplier(task.lfs)
+    label_matrix = applier.apply(train_candidates)
+    soft_labels = MajorityVoter().predict_proba(label_matrix)
+
+    covered = np.flatnonzero(~np.isclose(soft_labels, 0.5))
+    if covered.size == 0:
+        covered = np.arange(len(train_candidates))
+    model = NoiseAwareLogisticRegression(epochs=epochs, seed=seed)
+    model.fit(featurizer.transform(train_candidates)[covered], soft_labels[covered])
+    probs = model.predict_proba(featurizer.transform(test_candidates))
+    return BinaryScorer().score_probabilities(task.split_gold("test"), probs)

@@ -1,0 +1,119 @@
+"""Context types: Document, Sentence, Span, and EntityMention records.
+
+Each context type is a :class:`repro.db.orm.MappedRecord` subclass so the
+whole hierarchy persists through the relational store, mirroring Snorkel's
+SQLAlchemy-backed context hierarchy.  Convenience accessors (``words``,
+``get_word_range``, text slices) reproduce the object-oriented traversal that
+labeling functions rely on (paper Example 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.orm import MappedRecord
+from repro.exceptions import ContextError
+
+
+class Document(MappedRecord):
+    """A source document: the root of the context hierarchy.
+
+    Fields
+    ------
+    name:
+        Stable external identifier (e.g. a synthetic PubMed id).
+    text:
+        Raw document text.
+    split:
+        Which evaluation split the document belongs to: ``"train"``,
+        ``"dev"``, or ``"test"``.
+    metadata:
+        Free-form dict of extra attributes (e.g. MeSH-like codes for the
+        radiology reports).
+    """
+
+    __tablename__ = "documents"
+    __fields__ = ("name", "text", "split", "metadata")
+
+
+class Sentence(MappedRecord):
+    """A sentence within a document, carrying its tokenization.
+
+    Fields
+    ------
+    document_id:
+        Foreign key to the parent :class:`Document`.
+    position:
+        Zero-based index of the sentence within its document.
+    text:
+        Sentence text.
+    words:
+        List of token strings.
+    char_offsets:
+        List of ``(start, end)`` character offsets of each token within the
+        sentence text.
+    """
+
+    __tablename__ = "sentences"
+    __fields__ = ("document_id", "position", "text", "words", "char_offsets")
+
+    def word_slice(self, start: int, end: int) -> list[str]:
+        """Return ``words[start:end]`` with bounds checking."""
+        words = self.words or []
+        if start < 0 or end > len(words) or start > end:
+            raise ContextError(
+                f"word slice [{start}:{end}] out of range for sentence of length {len(words)}"
+            )
+        return list(words[start:end])
+
+
+class Span(MappedRecord):
+    """A contiguous token span within a sentence.
+
+    Fields
+    ------
+    sentence_id:
+        Foreign key to the parent :class:`Sentence`.
+    word_start, word_end:
+        Inclusive-start / exclusive-end token indices within the sentence.
+    text:
+        The surface text of the span.
+    """
+
+    __tablename__ = "spans"
+    __fields__ = ("sentence_id", "word_start", "word_end", "text")
+
+    def get_word_range(self) -> tuple[int, int]:
+        """Return the ``(word_start, word_end)`` token range of this span.
+
+        ``word_end`` is exclusive, matching Python slicing; the paper's
+        ``get_word_range`` example uses inclusive ends but every use in this
+        library is through :meth:`words_between`-style helpers so the
+        convention only needs to be internally consistent.
+        """
+        return int(self.word_start), int(self.word_end)
+
+    @property
+    def length(self) -> int:
+        """Number of tokens covered by the span."""
+        return int(self.word_end) - int(self.word_start)
+
+
+class EntityMention(MappedRecord):
+    """A typed entity annotation over a span (e.g. chemical / disease / person).
+
+    Fields
+    ------
+    span_id:
+        Foreign key to the annotated :class:`Span`.
+    entity_type:
+        Entity type label, e.g. ``"chemical"``.
+    canonical_id:
+        Optional knowledge-base identifier used by distant-supervision LFs.
+    """
+
+    __tablename__ = "entity_mentions"
+    __fields__ = ("span_id", "entity_type", "canonical_id")
+
+
+CONTEXT_RECORD_TYPES = (Document, Sentence, Span, EntityMention)

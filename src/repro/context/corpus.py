@@ -1,0 +1,211 @@
+"""Corpus: the persisted context hierarchy plus candidate materialization.
+
+A :class:`Corpus` owns an in-memory relational database (see
+:mod:`repro.db`) holding documents, sentences, spans, entity mentions, and
+candidate records, and can materialize :class:`repro.context.candidates.Candidate`
+views — the denormalized objects labeling functions receive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.context.candidates import Candidate, CandidateRecord, SentenceView, SpanView
+from repro.context.contexts import CONTEXT_RECORD_TYPES, Document, EntityMention, Sentence, Span
+from repro.context.preprocessing import TaggedEntity, TextPreprocessor
+from repro.db.orm import Session, schema_for_records
+from repro.db.storage import Database
+from repro.exceptions import ContextError
+
+_ALL_RECORD_TYPES = CONTEXT_RECORD_TYPES + (CandidateRecord,)
+
+
+class Corpus:
+    """A collection of documents with their context hierarchy and candidates.
+
+    Parameters
+    ----------
+    name:
+        Human-readable corpus name (e.g. ``"cdr-synthetic"``).
+    preprocessor:
+        Pipeline used by :meth:`add_document` to split, tokenize, and tag
+        entities.  Optional when documents are ingested pre-processed.
+    """
+
+    def __init__(self, name: str, preprocessor: Optional[TextPreprocessor] = None) -> None:
+        self.name = name
+        self.preprocessor = preprocessor
+        self.database = Database(schema_for_records(_ALL_RECORD_TYPES))
+        self.session = Session(self.database)
+
+    # ------------------------------------------------------------------ ingest
+    def add_document(
+        self,
+        name: str,
+        text: str,
+        split: str = "train",
+        metadata: Optional[dict] = None,
+    ) -> Document:
+        """Ingest a raw document: preprocess, persist sentences, spans, entities."""
+        if self.preprocessor is None:
+            raise ContextError(
+                "corpus has no preprocessor; use add_processed_document for "
+                "pre-tokenized input"
+            )
+        sentences = self.preprocessor.process_document(text)
+        return self.add_processed_document(name, text, sentences, split=split, metadata=metadata)
+
+    def add_processed_document(
+        self,
+        name: str,
+        text: str,
+        sentences: Sequence[dict],
+        split: str = "train",
+        metadata: Optional[dict] = None,
+    ) -> Document:
+        """Ingest a document whose sentences are already tokenized and tagged.
+
+        Each sentence dict must have keys ``text``, ``words``, ``position``;
+        optional keys are ``char_offsets`` and ``entities`` (a list of
+        :class:`TaggedEntity` or equivalent dicts).
+        """
+        document = self.session.add(
+            Document(name=name, text=text, split=split, metadata=dict(metadata or {}))
+        )
+        for sentence_dict in sentences:
+            sentence = self.session.add(
+                Sentence(
+                    document_id=document.id,
+                    position=sentence_dict["position"],
+                    text=sentence_dict["text"],
+                    words=list(sentence_dict["words"]),
+                    char_offsets=[list(pair) for pair in sentence_dict.get("char_offsets", [])],
+                )
+            )
+            for entity in sentence_dict.get("entities", []):
+                self._add_entity(sentence, entity)
+        return document
+
+    def _add_entity(self, sentence: Sentence, entity: TaggedEntity | dict) -> EntityMention:
+        if isinstance(entity, dict):
+            entity = TaggedEntity(**entity)
+        span = self.session.add(
+            Span(
+                sentence_id=sentence.id,
+                word_start=entity.word_start,
+                word_end=entity.word_end,
+                text=entity.text,
+            )
+        )
+        return self.session.add(
+            EntityMention(
+                span_id=span.id,
+                entity_type=entity.entity_type,
+                canonical_id=entity.canonical_id,
+            )
+        )
+
+    def add_candidate_record(
+        self,
+        sentence: Sentence,
+        span1: Span,
+        span2: Span,
+        relation_type: str,
+        split: str,
+        gold_label: Optional[int] = None,
+    ) -> CandidateRecord:
+        """Persist a candidate record linking a sentence and two spans."""
+        return self.session.add(
+            CandidateRecord(
+                sentence_id=sentence.id,
+                span1_id=span1.id,
+                span2_id=span2.id,
+                relation_type=relation_type,
+                split=split,
+                gold_label=gold_label,
+            )
+        )
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def num_documents(self) -> int:
+        """Number of documents in the corpus."""
+        return self.session.count(Document)
+
+    @property
+    def num_sentences(self) -> int:
+        """Number of sentences in the corpus."""
+        return self.session.count(Sentence)
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of persisted candidate records."""
+        return self.session.count(CandidateRecord)
+
+    def documents(self, split: Optional[str] = None) -> list[Document]:
+        """All documents, optionally filtered to one split."""
+        if split is None:
+            return self.session.all(Document)
+        return self.session.find(Document, split=split)
+
+    def sentences_of(self, document: Document) -> list[Sentence]:
+        """Sentences of ``document`` ordered by position."""
+        sentences = self.session.children(document, Sentence, "document_id")
+        return sorted(sentences, key=lambda s: s.position)
+
+    def entities_of(self, sentence: Sentence) -> list[tuple[Span, EntityMention]]:
+        """All ``(span, entity_mention)`` pairs tagged in ``sentence``."""
+        pairs = []
+        for span in self.session.children(sentence, Span, "sentence_id"):
+            for mention in self.session.children(span, EntityMention, "span_id"):
+                pairs.append((span, mention))
+        pairs.sort(key=lambda pair: pair[0].word_start)
+        return pairs
+
+    def candidate_records(self, split: Optional[str] = None) -> list[CandidateRecord]:
+        """Persisted candidate records, optionally filtered by split."""
+        if split is None:
+            records = self.session.all(CandidateRecord)
+        else:
+            records = self.session.find(CandidateRecord, split=split)
+        return sorted(records, key=lambda record: record.id)
+
+    # ----------------------------------------------------------- materialization
+    def materialize_candidate(self, record: CandidateRecord) -> Candidate:
+        """Build the denormalized :class:`Candidate` view for ``record``."""
+        sentence = self.session.get(Sentence, record.sentence_id)
+        document = self.session.get(Document, sentence.document_id)
+        span1 = self.session.get(Span, record.span1_id)
+        span2 = self.session.get(Span, record.span2_id)
+        candidate = Candidate(
+            uid=record.id,
+            span1=self._span_view(span1),
+            span2=self._span_view(span2),
+            sentence=SentenceView(
+                words=list(sentence.words),
+                text=sentence.text,
+                position=sentence.position,
+                document_name=document.name,
+                document_metadata=dict(document.metadata or {}),
+            ),
+            relation_type=record.relation_type,
+            split=record.split,
+            gold_label=record.gold_label,
+        )
+        candidate.validate()
+        return candidate
+
+    def candidates(self, split: Optional[str] = None) -> list[Candidate]:
+        """Materialize all candidates, optionally restricted to one split."""
+        return [self.materialize_candidate(record) for record in self.candidate_records(split)]
+
+    def _span_view(self, span: Span) -> SpanView:
+        mentions = self.session.children(span, EntityMention, "span_id")
+        mention = mentions[0] if mentions else None
+        return SpanView(
+            text=span.text,
+            word_start=span.word_start,
+            word_end=span.word_end,
+            entity_type=mention.entity_type if mention else None,
+            canonical_id=mention.canonical_id if mention else None,
+        )

@@ -1,0 +1,109 @@
+"""The Chem task: chemical reagent → reaction product extraction (Section 4.1.1).
+
+The real deployment (with FDA collaborators) extracts reagent/product
+relations from PubMed abstracts with distant supervision from MetaCyc.  The
+synthetic substitute plants a sparse "produces" relation (≈ 4% positive,
+matching Table 2), generates reaction-description sentences, and defines a
+16-LF suite.  The sparse positives and low label density (d_Λ ≈ 1.2) are the
+reason the paper's optimizer picks majority vote for this task (Table 1) —
+the synthetic version preserves exactly that property.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import TaskDataset, register_task
+from repro.datasets.kb import build_noisy_kb
+from repro.datasets.lf_library import (
+    distant_supervision_lfs,
+    keyword_pattern_lfs,
+    structure_based_lfs,
+)
+from repro.datasets.synth_text import RelationTaskSpec, build_relation_task
+from repro.datasets.vocab import PRODUCTS, REAGENTS
+
+POSITIVE_TEMPLATES = [
+    "{e1} yields {e2} under reflux.",
+    "Reaction of {e1} gave {e2} in high yield.",
+    "{e1} was converted to {e2} by oxidation.",
+    "Treatment with {e1} afforded {e2}.",
+    "{e1} produces {e2} in the presence of a catalyst.",
+    "{e2} was synthesized from {e1}.",
+    "{e1} reacted to form {e2} at room temperature.",
+]
+
+NEGATIVE_TEMPLATES = [
+    "{e1} was dissolved before {e2} was added separately.",
+    "{e1} did not react to give {e2}.",
+    "{e2} was purchased and compared with {e1} as a control.",
+    "{e1} was recovered unchanged while {e2} degraded.",
+    "No conversion of {e1} into {e2} was observed.",
+    "{e1} and {e2} were analysed in separate experiments.",
+    "{e2} was stable in the presence of {e1}.",
+]
+
+NEUTRAL_TEMPLATES = [
+    "The mixture containing {e1} and {e2} was analysed by chromatography.",
+    "Spectra of {e1} and {e2} were recorded.",
+    "{e1} and {e2} were stored at low temperature.",
+]
+
+POSITIVE_CUES = ["yields", "gave", "converted", "afforded", "produces", "synthesized", "form"]
+NEGATIVE_CUES = ["separately", "unchanged", "control", "stable", "no"]
+
+
+def build_spec(scale: float = 1.0) -> RelationTaskSpec:
+    """The Chem corpus specification (~4% positive candidates, sparse cues)."""
+    return RelationTaskSpec(
+        name="chem",
+        relation_type="produces",
+        entity_type1="reagent",
+        entity_type2="product",
+        entities1=dict(REAGENTS),
+        entities2=dict(PRODUCTS),
+        positive_templates=POSITIVE_TEMPLATES,
+        negative_templates=NEGATIVE_TEMPLATES,
+        neutral_templates=NEUTRAL_TEMPLATES,
+        positive_fraction=0.041,
+        cue_noise=0.2,
+        false_positive_cue_rate=0.03,
+        false_negative_cue_rate=0.3,
+        neutral_probability=0.45,
+        num_documents=int(round(1753 * scale)),
+        sentences_per_document=(2, 5),
+    )
+
+
+@register_task("chem")
+def build_chem_task(scale: float = 0.2, seed: int = 0) -> TaskDataset:
+    """Build the synthetic Chem task dataset (16 labeling functions)."""
+    data = build_relation_task(build_spec(scale=scale), seed=seed, scale=1.0)
+    knowledge_base = build_noisy_kb(
+        name="metacyc",
+        true_pairs=data.true_pairs,
+        all_pairs=data.all_pairs,
+        positive_subset="reactions",
+        negative_subset="non_reactions",
+        coverage=0.5,
+        precision=0.8,
+        negative_coverage=0.1,
+        negative_precision=0.9,
+        seed=seed + 1,
+    )
+    pattern_lfs = keyword_pattern_lfs(POSITIVE_CUES, NEGATIVE_CUES)
+    ds_lfs = distant_supervision_lfs(knowledge_base, "reactions", "non_reactions")
+    structure_lfs = structure_based_lfs(
+        far_distance=12,
+        reversed_negative_cues=("purchased", "compared"),
+        neutral_sentence_cues=("analysed", "spectra", "stored"),
+    )[:2]
+    lfs = pattern_lfs + ds_lfs + structure_lfs
+
+    return TaskDataset(
+        name="chem",
+        candidates=data.candidates,
+        gold=data.gold,
+        lfs=lfs,
+        distant_supervision_lfs=ds_lfs,
+        num_documents=data.num_documents,
+        metadata={"knowledge_base": knowledge_base, "true_pairs": data.true_pairs},
+    )

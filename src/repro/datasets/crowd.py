@@ -1,0 +1,134 @@
+"""The Crowd task: crowdsourced weather sentiment (Section 4.1.2).
+
+The real task uses CrowdFlower's weather-sentiment dataset: twenty
+contributors grade each of 505 tweets into five sentiment categories, and
+each contributor becomes one labeling function.  The synthetic substitute
+generates 505 weather tweets from a latent five-class sentiment, simulates
+102 crowd workers of heterogeneous accuracy (20 graders per tweet), and
+exposes one LF per worker through
+:class:`repro.labeling.generators.CrowdWorkerLFGenerator` — demonstrating
+that Snorkel subsumes crowdsourcing label models.  The discriminative model
+then classifies the tweet *text*, independent of the workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.context.candidates import Candidate, SentenceView, SpanView
+from repro.datasets.base import TaskDataset, register_task
+from repro.datasets.vocab import (
+    WEATHER_NEGATIVE_WORDS,
+    WEATHER_NEUTRAL_WORDS,
+    WEATHER_POSITIVE_WORDS,
+)
+from repro.evaluation.splits import assign_document_splits
+from repro.labeling.generators import CrowdWorkerLFGenerator
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: The five sentiment classes of the CrowdFlower task.
+CROWD_CLASSES = {
+    1: "negative",
+    2: "neutral",
+    3: "positive",
+    4: "not_weather",
+    5: "cannot_tell",
+}
+
+#: Latent class prior (roughly matching the skew of the real task).
+CLASS_PRIOR = np.array([0.30, 0.25, 0.30, 0.10, 0.05])
+
+_NOT_WEATHER_WORDS = ["traffic", "game", "election", "coffee", "meeting", "concert"]
+_AMBIGUOUS_WORDS = ["hmm", "maybe", "whatever", "something", "odd", "unsure"]
+
+_CLASS_VOCAB = {
+    1: WEATHER_NEGATIVE_WORDS,
+    2: WEATHER_NEUTRAL_WORDS,
+    3: WEATHER_POSITIVE_WORDS,
+    4: _NOT_WEATHER_WORDS,
+    5: _AMBIGUOUS_WORDS,
+}
+
+_FILLER = ["today", "outside", "really", "so", "this", "morning", "here", "feeling", "just", "very"]
+
+
+def _generate_tweet(rng: np.random.Generator, sentiment: int) -> list[str]:
+    """Generate tweet tokens whose vocabulary reflects the latent sentiment."""
+    vocab = _CLASS_VOCAB[sentiment]
+    num_class_words = int(rng.integers(1, 4))
+    num_filler = int(rng.integers(3, 8))
+    words = [vocab[int(rng.integers(len(vocab)))] for _ in range(num_class_words)]
+    words += [_FILLER[int(rng.integers(len(_FILLER)))] for _ in range(num_filler)]
+    # Occasionally mix in a word from another class to make the text noisy.
+    if rng.random() < 0.25:
+        other = int(rng.integers(1, 6))
+        words.append(_CLASS_VOCAB[other][int(rng.integers(len(_CLASS_VOCAB[other])))])
+    rng.shuffle(words)
+    return words
+
+
+@register_task("crowd")
+def build_crowd_task(
+    scale: float = 1.0,
+    seed: int = 0,
+    num_workers: int = 102,
+    graders_per_tweet: int = 20,
+) -> TaskDataset:
+    """Build the synthetic Crowd sentiment task (505 tweets at scale 1.0)."""
+    rng = ensure_rng(seed)
+    num_tweets = max(30, int(round(505 * scale)))
+    num_classes = len(CROWD_CLASSES)
+
+    sentiments = rng.choice(
+        np.arange(1, num_classes + 1), size=num_tweets, p=CLASS_PRIOR
+    ).astype(np.int64)
+    splits = assign_document_splits(num_tweets, 0.125, 0.125, seed=rng)
+
+    # Simulate workers: per-worker accuracy, uniform confusion over wrong classes.
+    worker_accuracies = rng.uniform(0.35, 0.9, size=num_workers)
+    annotations: dict[str, dict[int, int]] = {f"{w:03d}": {} for w in range(num_workers)}
+    candidates: dict[str, list[Candidate]] = {"train": [], "dev": [], "test": []}
+    gold: dict[str, list[int]] = {"train": [], "dev": [], "test": []}
+
+    for tweet_index in range(num_tweets):
+        sentiment = int(sentiments[tweet_index])
+        words = _generate_tweet(rng, sentiment)
+        candidate = Candidate(
+            uid=tweet_index,
+            span1=SpanView(text=words[0], word_start=0, word_end=1),
+            span2=SpanView(text=words[-1], word_start=len(words) - 1, word_end=len(words)),
+            sentence=SentenceView(
+                words=words,
+                text=" ".join(words),
+                document_name=f"tweet-{tweet_index:05d}",
+            ),
+            relation_type="weather_sentiment",
+            split=splits[tweet_index],
+            gold_label=sentiment,
+        )
+        candidates[splits[tweet_index]].append(candidate)
+        gold[splits[tweet_index]].append(sentiment)
+
+        graders = rng.choice(num_workers, size=min(graders_per_tweet, num_workers), replace=False)
+        for worker in graders:
+            if rng.random() < worker_accuracies[worker]:
+                vote = sentiment
+            else:
+                wrong = [klass for klass in range(1, num_classes + 1) if klass != sentiment]
+                vote = int(wrong[int(rng.integers(len(wrong)))])
+            annotations[f"{int(worker):03d}"][tweet_index] = vote
+
+    generator = CrowdWorkerLFGenerator(annotations, cardinality=num_classes)
+    return TaskDataset(
+        name="crowd",
+        candidates=candidates,
+        gold={split: np.array(values, dtype=np.int64) for split, values in gold.items()},
+        lfs=generator.generate(),
+        cardinality=num_classes,
+        num_documents=num_tweets,
+        metadata={
+            "worker_accuracies": worker_accuracies,
+            "classes": dict(CROWD_CLASSES),
+            "graders_per_tweet": graders_per_tweet,
+        },
+    )

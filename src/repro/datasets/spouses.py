@@ -1,0 +1,110 @@
+"""The Spouses task: spouse relation mentions in news articles (Section 4.1.1).
+
+The real task identifies spouse relationships between person mentions in the
+Signal Media news corpus, with distant supervision from DBpedia and
+crowdsourced evaluation labels.  The synthetic substitute plants a symmetric
+"spouse_of" relation over person names (≈ 8% positive, matching Table 2),
+writes news-style sentences, builds a DBpedia-like noisy KB, and defines an
+11-LF suite.  The Spouses LF suite is also the seed pool for the simulated
+user study (Section 4.2), which mixes participant-authored variants of these
+functions.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import TaskDataset, register_task
+from repro.datasets.kb import build_noisy_kb
+from repro.datasets.lf_library import (
+    distant_supervision_lfs,
+    keyword_pattern_lfs,
+    structure_based_lfs,
+)
+from repro.datasets.synth_text import RelationTaskSpec, build_relation_task
+from repro.datasets.vocab import PERSONS
+
+POSITIVE_TEMPLATES = [
+    "{e1} married {e2} in a private ceremony.",
+    "{e1} and her husband {e2} attended the gala.",
+    "{e1} and his wife {e2} announced the news.",
+    "{e1} celebrated a wedding anniversary with {e2}.",
+    "{e1} is the spouse of {e2}.",
+    "{e1} tied the knot with {e2} last spring.",
+    "{e1} and {e2} renewed their wedding vows.",
+]
+
+NEGATIVE_TEMPLATES = [
+    "{e1} met {e2} at the conference.",
+    "{e1} interviewed {e2} about the merger.",
+    "{e1} defeated {e2} in the semifinal.",
+    "{e1} succeeded {e2} as chief executive.",
+    "{e1} and colleague {e2} published the report.",
+    "{e1} criticized {e2} during the debate.",
+    "{e1} was hired by {e2} to lead the project.",
+]
+
+NEUTRAL_TEMPLATES = [
+    "{e1} and {e2} both appeared at the press briefing.",
+    "The article mentioned {e1} alongside {e2}.",
+    "{e1} was photographed near {e2} at the premiere.",
+]
+
+POSITIVE_CUES = ["married", "husband", "wife", "wedding", "spouse", "knot"]
+NEGATIVE_CUES = ["interviewed", "defeated", "succeeded", "colleague", "hired"]
+
+
+def build_spec(scale: float = 1.0) -> RelationTaskSpec:
+    """The Spouses corpus specification (≈ 8% positive candidates)."""
+    return RelationTaskSpec(
+        name="spouses",
+        relation_type="spouse_of",
+        entity_type1="person",
+        entity_type2="person",
+        entities1=dict(PERSONS),
+        entities2=dict(PERSONS),
+        positive_templates=POSITIVE_TEMPLATES,
+        negative_templates=NEGATIVE_TEMPLATES,
+        neutral_templates=NEUTRAL_TEMPLATES,
+        positive_fraction=0.083,
+        cue_noise=0.15,
+        false_positive_cue_rate=0.04,
+        false_negative_cue_rate=0.3,
+        neutral_probability=0.3,
+        num_documents=int(round(2073 * scale)),
+        sentences_per_document=(2, 6),
+    )
+
+
+@register_task("spouses")
+def build_spouses_task(scale: float = 0.15, seed: int = 0) -> TaskDataset:
+    """Build the synthetic Spouses task dataset (11 labeling functions)."""
+    data = build_relation_task(build_spec(scale=scale), seed=seed, scale=1.0)
+    knowledge_base = build_noisy_kb(
+        name="dbpedia",
+        true_pairs=data.true_pairs,
+        all_pairs=data.all_pairs,
+        positive_subset="spouse",
+        negative_subset="colleague",
+        coverage=0.4,
+        precision=0.9,
+        negative_coverage=0.2,
+        negative_precision=0.85,
+        seed=seed + 1,
+    )
+    pattern_lfs = keyword_pattern_lfs(POSITIVE_CUES, NEGATIVE_CUES, where="sentence")
+    ds_lfs = distant_supervision_lfs(knowledge_base, "spouse", "colleague")
+    structure_lfs = structure_based_lfs(
+        far_distance=12,
+        reversed_negative_cues=("hired", "interviewed"),
+        neutral_sentence_cues=("photographed", "briefing", "mentioned"),
+    )[:3]
+    lfs = (pattern_lfs + ds_lfs + structure_lfs)[:16]
+
+    return TaskDataset(
+        name="spouses",
+        candidates=data.candidates,
+        gold=data.gold,
+        lfs=lfs,
+        distant_supervision_lfs=ds_lfs,
+        num_documents=data.num_documents,
+        metadata={"knowledge_base": knowledge_base, "true_pairs": data.true_pairs},
+    )

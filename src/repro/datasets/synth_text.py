@@ -1,0 +1,253 @@
+"""Synthetic relation-extraction corpus builder.
+
+All four relation-extraction tasks (Chem, EHR, CDR, Spouses) are produced by
+the same machinery: a :class:`RelationTaskSpec` describing the entity
+vocabularies, sentence templates, positive rate and corpus size, and
+:func:`build_relation_task`, which
+
+1. plants a ground-truth relation over canonical entity-id pairs,
+2. writes documents whose sentences mention entity pairs with cue phrases
+   *correlated* (not perfectly aligned) with the planted truth,
+3. runs the real preprocessing pipeline (tokenizer, dictionary NER) and the
+   candidate extractor over the generated documents, and
+4. returns the materialized candidates, gold labels, and the planted truth
+   (for building noisy KBs and for evaluation).
+
+Because cue phrases are noisy and some sentences are neutral, pattern LFs
+derived from the cue words have realistic accuracies (roughly 60–90%) and
+coverages, which is what the generative model needs to be able to exploit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.context.candidates import Candidate
+from repro.context.corpus import Corpus
+from repro.context.extraction import CandidateExtractor, PairedEntityCandidateSpace
+from repro.context.preprocessing import DictionaryEntityTagger, TextPreprocessor
+from repro.datasets.vocab import FILLER_WORDS
+from repro.evaluation.splits import assign_document_splits
+from repro.exceptions import DatasetError
+from repro.types import NEGATIVE, POSITIVE
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class RelationTaskSpec:
+    """Everything needed to generate one synthetic relation-extraction task."""
+
+    name: str
+    relation_type: str
+    entity_type1: str
+    entity_type2: str
+    entities1: Mapping[str, str]
+    entities2: Mapping[str, str]
+    positive_templates: Sequence[str]
+    negative_templates: Sequence[str]
+    neutral_templates: Sequence[str] = field(default_factory=list)
+    positive_fraction: float = 0.25
+    cue_noise: float = 0.15
+    false_positive_cue_rate: Optional[float] = None
+    false_negative_cue_rate: Optional[float] = None
+    neutral_probability: float = 0.25
+    num_documents: int = 300
+    sentences_per_document: tuple[int, int] = (2, 5)
+    dev_fraction: float = 0.1
+    test_fraction: float = 0.15
+    filler_words: Sequence[str] = tuple(FILLER_WORDS)
+
+    def __post_init__(self) -> None:
+        if not self.positive_templates or not self.negative_templates:
+            raise DatasetError("positive_templates and negative_templates must be non-empty")
+        if not 0.0 < self.positive_fraction < 1.0:
+            raise DatasetError(
+                f"positive_fraction must lie in (0, 1), got {self.positive_fraction}"
+            )
+        if not 0.0 <= self.cue_noise <= 1.0:
+            raise DatasetError(f"cue_noise must lie in [0, 1], got {self.cue_noise}")
+        for name in ("false_positive_cue_rate", "false_negative_cue_rate"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{name} must lie in [0, 1], got {value}")
+        low, high = self.sentences_per_document
+        if low < 1 or high < low:
+            raise DatasetError(
+                f"sentences_per_document must be a valid (low, high) range, got "
+                f"{self.sentences_per_document}"
+            )
+
+
+@dataclass
+class RelationTaskData:
+    """The output of :func:`build_relation_task`."""
+
+    spec: RelationTaskSpec
+    corpus: Corpus
+    candidates: dict[str, list[Candidate]]
+    gold: dict[str, np.ndarray]
+    true_pairs: set[tuple[str, str]]
+    all_pairs: list[tuple[str, str]]
+
+    @property
+    def num_documents(self) -> int:
+        """Number of generated documents."""
+        return self.corpus.num_documents
+
+
+def build_relation_task(
+    spec: RelationTaskSpec, seed: SeedLike = 0, scale: float = 1.0
+) -> RelationTaskData:
+    """Generate the corpus, candidates, and gold labels for a task spec."""
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive, got {scale}")
+    rng = ensure_rng(seed)
+    num_documents = max(10, int(round(spec.num_documents * scale)))
+
+    true_pairs, all_pairs = _plant_relations(spec, rng)
+    same_type = spec.entity_type1 == spec.entity_type2
+    gold_lookup = _make_gold_lookup(true_pairs, symmetric=same_type)
+
+    tagger = DictionaryEntityTagger(
+        {spec.entity_type1: dict(spec.entities1), spec.entity_type2: dict(spec.entities2)}
+        if not same_type
+        else {spec.entity_type1: {**dict(spec.entities1), **dict(spec.entities2)}}
+    )
+    corpus = Corpus(name=spec.name, preprocessor=TextPreprocessor(entity_tagger=tagger))
+    splits = assign_document_splits(
+        num_documents, spec.dev_fraction, spec.test_fraction, seed=rng
+    )
+
+    surfaces1 = sorted(spec.entities1)
+    surfaces2 = sorted(spec.entities2)
+    for document_index in range(num_documents):
+        sentences = []
+        low, high = spec.sentences_per_document
+        for _ in range(int(rng.integers(low, high + 1))):
+            sentences.append(
+                _generate_sentence(spec, rng, surfaces1, surfaces2, gold_lookup)
+            )
+        corpus.add_document(
+            name=f"{spec.name}-doc-{document_index:05d}",
+            text=" ".join(sentences),
+            split=splits[document_index],
+        )
+
+    def gold_labeler(candidate: Candidate) -> Optional[int]:
+        key = (candidate.span1.canonical_id, candidate.span2.canonical_id)
+        return gold_lookup(key)
+
+    extractor = CandidateExtractor(
+        PairedEntityCandidateSpace(
+            relation_type=spec.relation_type,
+            type1=spec.entity_type1,
+            type2=spec.entity_type2,
+        ),
+        gold_labeler=gold_labeler,
+    )
+    extractor.extract(corpus)
+
+    candidates: dict[str, list[Candidate]] = {}
+    gold: dict[str, np.ndarray] = {}
+    for split in ("train", "dev", "test"):
+        split_candidates = corpus.candidates(split)
+        candidates[split] = split_candidates
+        gold[split] = np.array(
+            [candidate.gold_label for candidate in split_candidates], dtype=np.int64
+        )
+    return RelationTaskData(
+        spec=spec,
+        corpus=corpus,
+        candidates=candidates,
+        gold=gold,
+        true_pairs=true_pairs,
+        all_pairs=all_pairs,
+    )
+
+
+# ------------------------------------------------------------------------ internals
+def _plant_relations(
+    spec: RelationTaskSpec, rng: np.random.Generator
+) -> tuple[set[tuple[str, str]], list[tuple[str, str]]]:
+    """Sample which canonical-id pairs truly stand in the relation."""
+    ids1 = sorted(set(spec.entities1.values()))
+    ids2 = sorted(set(spec.entities2.values()))
+    if spec.entity_type1 == spec.entity_type2:
+        all_pairs = [(a, b) for a, b in itertools.combinations(sorted(set(ids1) | set(ids2)), 2)]
+    else:
+        all_pairs = [(a, b) for a in ids1 for b in ids2]
+    truth_mask = rng.random(len(all_pairs)) < spec.positive_fraction
+    true_pairs = {pair for pair, is_true in zip(all_pairs, truth_mask) if is_true}
+    return true_pairs, all_pairs
+
+
+def _make_gold_lookup(true_pairs: set[tuple[str, str]], symmetric: bool):
+    def lookup(pair: tuple[Optional[str], Optional[str]]) -> Optional[int]:
+        first, second = pair
+        if first is None or second is None:
+            return None
+        if (first, second) in true_pairs:
+            return POSITIVE
+        if symmetric and (second, first) in true_pairs:
+            return POSITIVE
+        return NEGATIVE
+
+    return lookup
+
+
+def _generate_sentence(
+    spec: RelationTaskSpec,
+    rng: np.random.Generator,
+    surfaces1: Sequence[str],
+    surfaces2: Sequence[str],
+    gold_lookup,
+) -> str:
+    """Write one sentence mentioning an entity pair with a (noisy) cue template."""
+    surface1 = surfaces1[int(rng.integers(len(surfaces1)))]
+    surface2 = surfaces2[int(rng.integers(len(surfaces2)))]
+    if spec.entity_type1 == spec.entity_type2:
+        while surface2 == surface1:
+            surface2 = surfaces2[int(rng.integers(len(surfaces2)))]
+    canonical1 = spec.entities1[surface1] if surface1 in spec.entities1 else spec.entities2[surface1]
+    canonical2 = spec.entities2[surface2] if surface2 in spec.entities2 else spec.entities1[surface2]
+    gold = gold_lookup((canonical1, canonical2))
+
+    use_neutral = spec.neutral_templates and rng.random() < spec.neutral_probability
+    if use_neutral:
+        templates = spec.neutral_templates
+    else:
+        # Cue noise may be asymmetric: sentences asserting a relation that does
+        # not hold (false-positive cues) are rarer in real corpora than true
+        # relations expressed without an explicit cue (false-negative cues).
+        if gold == POSITIVE:
+            flip_rate = (
+                spec.false_negative_cue_rate
+                if spec.false_negative_cue_rate is not None
+                else spec.cue_noise
+            )
+        else:
+            flip_rate = (
+                spec.false_positive_cue_rate
+                if spec.false_positive_cue_rate is not None
+                else spec.cue_noise
+            )
+        cue_matches_gold = rng.random() >= flip_rate
+        wants_positive = (gold == POSITIVE) == cue_matches_gold
+        templates = spec.positive_templates if wants_positive else spec.negative_templates
+    template = templates[int(rng.integers(len(templates)))]
+    sentence = template.format(e1=surface1, e2=surface2)
+
+    # Pad with a short filler clause so sentences vary in length and the
+    # discriminative featurizer sees non-cue context words.
+    num_filler = int(rng.integers(0, 5))
+    if num_filler:
+        filler = " ".join(
+            spec.filler_words[int(rng.integers(len(spec.filler_words)))]
+            for _ in range(num_filler)
+        )
+        sentence = f"{sentence[:-1]} {filler}."
+    return sentence

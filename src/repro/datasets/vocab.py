@@ -1,0 +1,136 @@
+"""Entity vocabularies and phrase lists for the synthetic corpora.
+
+Surface forms are synthetic but shaped like the real domains (chemical-ish
+names, disease-ish names, person names, anatomy terms), so labeling functions
+and the dictionary entity tagger exercise realistic code paths (multi-word
+mentions, shared substrings, case-insensitive matching).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def _with_ids(prefix: str, surfaces: list[str]) -> dict[str, str]:
+    """Assign stable canonical ids (``prefix:0001`` ...) to surface forms."""
+    return {surface: f"{prefix}:{index:04d}" for index, surface in enumerate(surfaces, start=1)}
+
+
+# --------------------------------------------------------------------- chemicals
+CHEMICALS: Mapping[str, str] = _with_ids(
+    "chem",
+    [
+        "magnesium", "lithium", "cisplatin", "warfarin", "haloperidol",
+        "metformin", "ibuprofen", "dexamethasone", "amiodarone", "clozapine",
+        "methotrexate", "penicillamine", "carbamazepine", "phenytoin", "doxorubicin",
+        "gentamicin", "isoniazid", "propranolol", "captopril", "verapamil",
+        "morphine sulfate", "valproic acid", "tacrolimus", "cyclosporine", "prednisone",
+        "heparin", "levodopa", "amphotericin", "ketamine", "naloxone",
+    ],
+)
+
+DISEASES: Mapping[str, str] = _with_ids(
+    "dis",
+    [
+        "quadriplegia", "preeclampsia", "hepatotoxicity", "nephrotoxicity", "seizures",
+        "bradycardia", "thrombocytopenia", "myasthenia gravis", "hypotension", "anemia",
+        "pancreatitis", "neutropenia", "tremor", "hyperkalemia", "agranulocytosis",
+        "cardiomyopathy", "ototoxicity", "rhabdomyolysis", "hyperglycemia", "nausea",
+        "renal failure", "liver injury", "qt prolongation", "proteinuria", "delirium",
+        "hemorrhage", "dyskinesia", "hypertension", "edema", "rash",
+    ],
+)
+
+# Reagent / product vocabulary for the Chem (chemical reactions) task.
+REAGENTS: Mapping[str, str] = _with_ids(
+    "rgt",
+    [
+        "sodium borohydride", "palladium acetate", "acetic anhydride", "thionyl chloride",
+        "lithium aluminium hydride", "sulfuric acid", "benzaldehyde", "aniline",
+        "grignard reagent", "potassium permanganate", "hydrogen peroxide", "acetyl chloride",
+        "sodium hydroxide", "phosphorus trichloride", "toluene", "ethanolamine",
+        "chloroacetic acid", "dimethylformamide", "triethylamine", "boron trifluoride",
+    ],
+)
+
+PRODUCTS: Mapping[str, str] = _with_ids(
+    "prd",
+    [
+        "benzyl alcohol", "acetanilide", "ethyl acetate", "nitrobenzene", "aspirin",
+        "paracetamol precursor", "benzoic acid", "salicylic acid", "phenol derivative",
+        "amide intermediate", "ester adduct", "sulfonamide product", "ketone intermediate",
+        "aldehyde product", "carboxylic acid", "imine adduct", "azo compound",
+        "lactone product", "epoxide intermediate", "nitrile product",
+    ],
+)
+
+# Anatomy + pain descriptors for the EHR pain-location task.
+ANATOMY: Mapping[str, str] = _with_ids(
+    "anat",
+    [
+        "lower back", "left knee", "right shoulder", "cervical spine", "abdomen",
+        "left hip", "right ankle", "lumbar region", "right wrist", "thoracic spine",
+        "left elbow", "pelvis", "right knee", "left shoulder", "neck",
+        "right hip", "left ankle", "sternum", "right elbow", "left wrist",
+    ],
+)
+
+PAIN_TERMS: Mapping[str, str] = _with_ids(
+    "pain",
+    [
+        "sharp pain", "chronic pain", "dull ache", "severe pain", "burning pain",
+        "intermittent pain", "throbbing pain", "radiating pain", "mild discomfort",
+        "acute pain", "stabbing pain", "persistent soreness", "tenderness",
+        "shooting pain", "aching sensation",
+    ],
+)
+
+# Person names for the Spouses task.
+PERSONS: Mapping[str, str] = _with_ids(
+    "pers",
+    [
+        "maria alvarez", "john keller", "wei zhang", "fatima hassan", "david cohen",
+        "elena petrova", "james okafor", "sofia rossi", "liam murphy", "aisha khan",
+        "noah fischer", "grace kim", "omar farouk", "lucia mendes", "peter novak",
+        "hannah weiss", "diego ramirez", "yuki tanaka", "anna kowalska", "samuel osei",
+        "claire dubois", "ivan markov", "nina haddad", "tom bradley", "priya sharma",
+        "mark jensen", "leila nasser", "carlos ortiz", "emma lindqvist", "victor hugo reyes",
+    ],
+)
+
+# Radiology findings and anatomy terms.
+RADIOLOGY_FINDINGS: Mapping[str, str] = _with_ids(
+    "find",
+    [
+        "opacity", "consolidation", "pleural effusion", "cardiomegaly", "pneumothorax",
+        "infiltrate", "atelectasis", "nodule", "interstitial markings", "edema pattern",
+        "hyperinflation", "granuloma", "mass", "fracture", "degenerative changes",
+    ],
+)
+
+RADIOLOGY_REGIONS: Mapping[str, str] = _with_ids(
+    "reg",
+    [
+        "right lower lobe", "left upper lobe", "right middle lobe", "left lower lobe",
+        "bilateral bases", "right apex", "left apex", "cardiac silhouette",
+        "costophrenic angle", "hilar region",
+    ],
+)
+
+# Weather-sentiment vocabulary for the Crowd task.
+WEATHER_POSITIVE_WORDS = [
+    "sunny", "gorgeous", "beautiful", "perfect", "lovely", "warm", "bright", "pleasant",
+]
+WEATHER_NEGATIVE_WORDS = [
+    "storm", "miserable", "freezing", "awful", "gloomy", "flooding", "terrible", "humid",
+]
+WEATHER_NEUTRAL_WORDS = [
+    "forecast", "cloudy", "breeze", "temperature", "degrees", "weekend", "afternoon", "evening",
+]
+
+# Generic filler vocabulary for padding sentences.
+FILLER_WORDS = [
+    "the", "a", "patient", "study", "report", "case", "observed", "noted", "during",
+    "after", "with", "without", "history", "of", "and", "in", "on", "for", "this",
+    "recent", "further", "results", "findings", "clinical", "data",
+]

@@ -1,0 +1,34 @@
+"""A small in-memory relational store with an ORM-ish session layer.
+
+This package is the reproduction's substitute for the paper's PostgreSQL +
+SQLAlchemy stack.  It provides:
+
+* :mod:`repro.db.schema` — table and column definitions with primary and
+  foreign keys,
+* :mod:`repro.db.storage` — the row store with primary-key and secondary
+  indexes,
+* :mod:`repro.db.query` — a small composable query API (filter, order, join),
+* :mod:`repro.db.orm` — a session that maps Python dataclass-like records to
+  rows and resolves parent/child relationships lazily.
+
+The context hierarchy (documents, sentences, spans, candidates) and the label
+store are built on top of it, exactly as Snorkel's data model sits on its ORM
+layer.
+"""
+
+from repro.db.schema import Column, ColumnType, ForeignKey, Schema, Table
+from repro.db.storage import Database
+from repro.db.query import Query
+from repro.db.orm import Session, MappedRecord
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "Database",
+    "Query",
+    "Session",
+    "MappedRecord",
+]

@@ -1,0 +1,139 @@
+"""A minimal object-relational mapping layer.
+
+Snorkel exposes its context hierarchy through SQLAlchemy so that labeling
+functions traverse parent/child structure with ordinary attribute access.
+This module reproduces the part of that experience the LF interface needs:
+
+* :class:`MappedRecord` — declarative base; subclasses declare a table and a
+  set of fields, and instances round-trip to database rows,
+* :class:`Session` — add / get / query records, and resolve parent and
+  children relationships on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Iterable, Optional, Type, TypeVar
+
+from repro.db.schema import Column, Schema, Table
+from repro.db.storage import Database
+from repro.exceptions import SchemaError
+
+R = TypeVar("R", bound="MappedRecord")
+
+
+class MappedRecord:
+    """Base class for objects persisted through a :class:`Session`.
+
+    Subclasses set two class attributes:
+
+    ``__tablename__``
+        Name of the backing table.
+    ``__fields__``
+        Tuple of column names (excluding the implicit ``id`` primary key).
+
+    Instances carry their field values as attributes plus an ``id`` that is
+    ``None`` until the record has been added to a session.
+    """
+
+    __tablename__: ClassVar[str] = ""
+    __fields__: ClassVar[tuple[str, ...]] = ()
+
+    def __init__(self, **values: Any) -> None:
+        unknown = set(values) - set(self.__fields__) - {"id"}
+        if unknown:
+            raise SchemaError(
+                f"{type(self).__name__} has no fields {sorted(unknown)!r}; "
+                f"declared fields are {list(self.__fields__)!r}"
+            )
+        self.id: Optional[int] = values.get("id")
+        for name in self.__fields__:
+            setattr(self, name, values.get(name))
+
+    def to_row(self) -> dict[str, Any]:
+        """Serialize the record to a database row dict."""
+        row = {name: getattr(self, name) for name in self.__fields__}
+        if self.id is not None:
+            row["id"] = self.id
+        return row
+
+    @classmethod
+    def from_row(cls: Type[R], row: dict[str, Any]) -> R:
+        """Construct a record from a database row dict."""
+        values = {name: row.get(name) for name in cls.__fields__}
+        values["id"] = row.get("id")
+        return cls(**values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__fields__[:4])
+        return f"{type(self).__name__}(id={self.id!r}, {fields})"
+
+
+class Session:
+    """A unit-of-work facade over :class:`Database` for mapped records."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._identity_map: dict[tuple[str, Any], MappedRecord] = {}
+
+    # ----------------------------------------------------------------- mutation
+    def add(self, record: MappedRecord) -> MappedRecord:
+        """Persist ``record``; assigns ``record.id`` and returns the record."""
+        record.id = self.database.insert(record.__tablename__, record.to_row())
+        self._identity_map[(record.__tablename__, record.id)] = record
+        return record
+
+    def add_all(self, records: Iterable[MappedRecord]) -> list[MappedRecord]:
+        """Persist many records and return them."""
+        return [self.add(record) for record in records]
+
+    # -------------------------------------------------------------------- reads
+    def get(self, record_type: Type[R], record_id: Any) -> R:
+        """Fetch a record by primary key (with identity-map caching)."""
+        key = (record_type.__tablename__, record_id)
+        cached = self._identity_map.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        row = self.database.get(record_type.__tablename__, record_id)
+        record = record_type.from_row(row)
+        self._identity_map[key] = record
+        return record
+
+    def find(self, record_type: Type[R], **equalities: Any) -> list[R]:
+        """Fetch all records of ``record_type`` matching the equality filters."""
+        rows = self.database.query(record_type.__tablename__).filter_by(**equalities).all()
+        return [record_type.from_row(row) for row in rows]
+
+    def count(self, record_type: Type[MappedRecord]) -> int:
+        """Count persisted records of ``record_type``."""
+        return self.database.count(record_type.__tablename__)
+
+    def all(self, record_type: Type[R]) -> list[R]:
+        """Fetch every persisted record of ``record_type``."""
+        return [record_type.from_row(row) for row in self.database.scan(record_type.__tablename__)]
+
+    def children(self, parent: MappedRecord, child_type: Type[R], fk_field: str) -> list[R]:
+        """Fetch all ``child_type`` records whose ``fk_field`` equals ``parent.id``."""
+        return self.find(child_type, **{fk_field: parent.id})
+
+    def parent(self, child: MappedRecord, parent_type: Type[R], fk_field: str) -> R:
+        """Resolve the parent record referenced by ``child.<fk_field>``."""
+        return self.get(parent_type, getattr(child, fk_field))
+
+
+def schema_for_records(record_types: Iterable[Type[MappedRecord]]) -> Schema:
+    """Build a :class:`Schema` with one table per mapped record type.
+
+    All non-id columns are created as nullable JSON columns with indexes on
+    fields named ``*_id`` (the foreign-key naming convention used by the
+    context hierarchy), which gives fast parent→children traversal.
+    """
+    schema = Schema()
+    for record_type in record_types:
+        if not record_type.__tablename__:
+            raise SchemaError(f"{record_type.__name__} does not declare __tablename__")
+        columns = [
+            Column(name=name, indexed=name.endswith("_id"))
+            for name in record_type.__fields__
+        ]
+        schema.add_table(Table(name=record_type.__tablename__, columns=columns))
+    return schema

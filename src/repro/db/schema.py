@@ -1,0 +1,160 @@
+"""Relational schema definitions: typed columns, tables, and foreign keys."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.exceptions import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    The store is dynamically typed under the hood; the declared type is used
+    for validation on insert so schema mistakes fail loudly rather than
+    silently storing the wrong thing.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    JSON = "json"
+
+    def validate(self, value: Any) -> bool:
+        """Return ``True`` if ``value`` is acceptable for this column type."""
+        if value is None:
+            return True
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        if self is ColumnType.BOOLEAN:
+            return isinstance(value, bool)
+        if self is ColumnType.JSON:
+            return isinstance(value, (dict, list, str, int, float, bool))
+        return False
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A reference from a column to another table's primary key."""
+
+    table: str
+    column: str = "id"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column in a table.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be unique within its table.
+    type:
+        Declared :class:`ColumnType`.
+    nullable:
+        Whether ``None`` is an acceptable stored value.
+    indexed:
+        Whether the storage layer should maintain a secondary hash index for
+        equality lookups on this column.
+    foreign_key:
+        Optional reference to another table.
+    """
+
+    name: str
+    type: ColumnType = ColumnType.JSON
+    nullable: bool = True
+    indexed: bool = False
+    foreign_key: Optional[ForeignKey] = None
+
+
+@dataclass
+class Table:
+    """A table definition: a primary key plus a list of columns."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    primary_key: str = "id"
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"table {self.name!r} has duplicate column names: {names}")
+        if self.primary_key in names:
+            raise SchemaError(
+                f"table {self.name!r}: primary key {self.primary_key!r} must not also be "
+                "declared as a regular column"
+            )
+
+    @property
+    def column_names(self) -> list[str]:
+        """All column names including the primary key (first)."""
+        return [self.primary_key] + [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column definition by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Return ``True`` if ``name`` is the primary key or a declared column."""
+        return name == self.primary_key or any(column.name == name for column in self.columns)
+
+    def foreign_keys(self) -> list[tuple[str, ForeignKey]]:
+        """All ``(column_name, ForeignKey)`` pairs declared on this table."""
+        return [(column.name, column.foreign_key) for column in self.columns if column.foreign_key]
+
+
+class Schema:
+    """A collection of tables forming one database schema."""
+
+    def __init__(self, tables: Iterable[Table] = ()) -> None:
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add_table(table)
+
+    def add_table(self, table: Table) -> Table:
+        """Register a table; raises if the name is taken."""
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists in schema")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table definition by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"schema has no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Return ``True`` if the schema declares a table called ``name``."""
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all registered tables in insertion order."""
+        return list(self._tables)
+
+    def validate_foreign_keys(self) -> None:
+        """Check that every foreign key points at an existing table and column."""
+        for table in self._tables.values():
+            for column_name, fk in table.foreign_keys():
+                if fk.table not in self._tables:
+                    raise SchemaError(
+                        f"{table.name}.{column_name} references unknown table {fk.table!r}"
+                    )
+                target = self._tables[fk.table]
+                if fk.column != target.primary_key and not target.has_column(fk.column):
+                    raise SchemaError(
+                        f"{table.name}.{column_name} references unknown column "
+                        f"{fk.table}.{fk.column}"
+                    )

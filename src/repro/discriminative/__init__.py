@@ -1,0 +1,24 @@
+"""Noise-aware discriminative end models and featurizers.
+
+The paper trains a bi-LSTM (text) or a pre-trained ResNet-50 (images) on the
+probabilistic labels; this package provides the laptop-scale, framework-free
+substitutes: hashing n-gram / relation-window featurizers for text, a
+noise-aware logistic regression and MLP trained with Adam, and an image-style
+classifier over pre-extracted feature vectors.  All models minimize the
+noise-aware loss ``Σ_i E_{y~Ỹ_i}[ℓ(h_θ(x_i), y)]`` (paper Section 2.3).
+"""
+
+from repro.discriminative.adam import AdamOptimizer
+from repro.discriminative.featurizers import HashingVectorizer, RelationFeaturizer
+from repro.discriminative.logistic import NoiseAwareLogisticRegression
+from repro.discriminative.mlp import NoiseAwareMLP
+from repro.discriminative.image import ImageFeatureClassifier
+
+__all__ = [
+    "AdamOptimizer",
+    "HashingVectorizer",
+    "RelationFeaturizer",
+    "NoiseAwareLogisticRegression",
+    "NoiseAwareMLP",
+    "ImageFeatureClassifier",
+]

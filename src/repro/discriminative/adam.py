@@ -1,0 +1,74 @@
+"""Adam optimizer (Kingma & Ba, 2014), used by every discriminative model.
+
+The paper trains its end models with Adam; this is a small, dependency-free
+implementation over flat numpy parameter arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class AdamOptimizer:
+    """First-order adaptive-moment optimizer for a single parameter array.
+
+    Parameters
+    ----------
+    learning_rate:
+        Base step size.
+    beta1, beta2:
+        Exponential decay rates for the first and second moment estimates.
+    epsilon:
+        Numerical stabilizer added to the denominator.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ConfigurationError("beta1 and beta2 must lie in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: Optional[np.ndarray] = None
+        self._second_moment: Optional[np.ndarray] = None
+        self._step_count = 0
+
+    def reset(self) -> None:
+        """Clear the optimizer state (moments and step count)."""
+        self._first_moment = None
+        self._second_moment = None
+        self._step_count = 0
+
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Return updated parameters after one Adam step along ``-gradient``."""
+        parameters = np.asarray(parameters, dtype=float)
+        gradient = np.asarray(gradient, dtype=float)
+        if parameters.shape != gradient.shape:
+            raise ConfigurationError(
+                f"parameter shape {parameters.shape} does not match gradient shape "
+                f"{gradient.shape}"
+            )
+        if self._first_moment is None or self._first_moment.shape != parameters.shape:
+            self._first_moment = np.zeros_like(parameters)
+            self._second_moment = np.zeros_like(parameters)
+            self._step_count = 0
+        self._step_count += 1
+        self._first_moment = self.beta1 * self._first_moment + (1 - self.beta1) * gradient
+        self._second_moment = self.beta2 * self._second_moment + (1 - self.beta2) * gradient**2
+        first_unbiased = self._first_moment / (1 - self.beta1**self._step_count)
+        second_unbiased = self._second_moment / (1 - self.beta2**self._step_count)
+        return parameters - self.learning_rate * first_unbiased / (
+            np.sqrt(second_unbiased) + self.epsilon
+        )

@@ -1,0 +1,77 @@
+"""Shared base class for noise-aware discriminative models.
+
+All end models train on *probabilistic* labels ``Ỹ_i ∈ [0, 1]`` by
+minimizing the noise-aware loss (paper Section 2.3)::
+
+    θ̂ = argmin_θ  Σ_i  E_{y ~ Ỹ_i}[ ℓ(h_θ(x_i), y) ]
+
+For the logistic loss this expectation is simply the cross-entropy against
+the soft label, so hard labels (0/1) are the special case of confident
+probabilistic labels.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.types import NEGATIVE, POSITIVE
+from repro.utils.mathutils import clip_probabilities
+
+
+def as_soft_labels(labels: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Canonicalize training labels into soft positive-class probabilities.
+
+    Accepts probabilities in [0, 1] or hard labels in {-1, +1}.
+    """
+    array = np.asarray(labels, dtype=float)
+    if array.ndim != 1:
+        raise ConfigurationError(f"labels must be 1-dimensional, got shape {array.shape}")
+    values = set(np.unique(array).tolist())
+    if values <= {-1.0, 1.0}:
+        return (array == 1.0).astype(float)
+    if array.min() < 0.0 or array.max() > 1.0:
+        raise ConfigurationError(
+            "labels must be probabilities in [0, 1] or hard labels in {-1, +1}"
+        )
+    return array
+
+
+class NoiseAwareClassifier(abc.ABC):
+    """Interface of all binary noise-aware end models."""
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        features: np.ndarray,
+        soft_labels: Sequence[float] | np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> "NoiseAwareClassifier":
+        """Train on features and probabilistic labels."""
+
+    @abc.abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities."""
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard labels in {-1, +1} (0.5 threshold)."""
+        probs = self.predict_proba(features)
+        return np.where(probs > 0.5, POSITIVE, NEGATIVE).astype(np.int64)
+
+    def score(self, features: np.ndarray, gold_labels: Sequence[int] | np.ndarray) -> float:
+        """Accuracy of hard predictions against gold labels."""
+        gold = np.asarray(gold_labels)
+        return float((self.predict(features) == gold).mean())
+
+
+def noise_aware_cross_entropy(
+    predicted_probs: np.ndarray, soft_labels: np.ndarray
+) -> float:
+    """Mean noise-aware cross-entropy ``E_{y~Ỹ}[ℓ_log(p, y)]``."""
+    predicted = clip_probabilities(predicted_probs)
+    soft = np.asarray(soft_labels, dtype=float)
+    losses = -(soft * np.log(predicted) + (1.0 - soft) * np.log(1.0 - predicted))
+    return float(losses.mean())

@@ -1,0 +1,133 @@
+"""Feature extraction for the discriminative text models.
+
+The discriminative model must be able to generalize beyond the labeling
+functions: it sees *features* of candidates (word n-grams, window words,
+distances) rather than the LF votes.  The paper uses a bi-LSTM over word
+embeddings; the substitute here is a hashed sparse bag of n-grams over the
+sentence plus relation-specific features (words between the argument spans,
+window words, argument order and distance), which preserves the property the
+paper relies on: features that co-occur with LF-covered candidates also
+appear on uncovered candidates, letting the end model raise recall.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.context.candidates import Candidate
+from repro.exceptions import ConfigurationError
+from repro.utils.textutils import ngrams, normalize
+
+
+def _stable_hash(token: str) -> int:
+    """Deterministic 64-bit hash of a string (stable across processes)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingVectorizer:
+    """Hashed bag-of-n-grams featurizer over token sequences.
+
+    Parameters
+    ----------
+    num_features:
+        Dimensionality of the hashed feature space.
+    ngram_range:
+        Inclusive ``(min_n, max_n)`` n-gram sizes.
+    signed:
+        Use the hash parity as the feature sign (reduces collision bias).
+    """
+
+    def __init__(
+        self,
+        num_features: int = 2048,
+        ngram_range: tuple[int, int] = (1, 2),
+        signed: bool = True,
+    ) -> None:
+        if num_features <= 0:
+            raise ConfigurationError(f"num_features must be positive, got {num_features}")
+        low, high = ngram_range
+        if low < 1 or high < low:
+            raise ConfigurationError(f"invalid ngram_range {ngram_range}")
+        self.num_features = num_features
+        self.ngram_range = ngram_range
+        self.signed = signed
+
+    def transform_tokens(self, tokens: Sequence[str], prefix: str = "") -> np.ndarray:
+        """Featurize a single token sequence into a dense vector."""
+        vector = np.zeros(self.num_features)
+        normalized = [normalize(token) for token in tokens]
+        low, high = self.ngram_range
+        for n in range(low, high + 1):
+            for gram in ngrams(normalized, n):
+                key = prefix + " ".join(gram)
+                value = _stable_hash(key)
+                index = value % self.num_features
+                sign = 1.0 if not self.signed or (value >> 63) & 1 == 0 else -1.0
+                vector[index] += sign
+        return vector
+
+    def transform(self, token_sequences: Iterable[Sequence[str]]) -> np.ndarray:
+        """Featurize many token sequences into a ``(len, num_features)`` matrix."""
+        rows = [self.transform_tokens(tokens) for tokens in token_sequences]
+        if not rows:
+            return np.zeros((0, self.num_features))
+        return np.vstack(rows)
+
+
+class RelationFeaturizer:
+    """Featurizer for relation candidates (pairs of spans in a sentence).
+
+    Produces a dense vector combining hashed n-grams of several scopes (the
+    full sentence, the words between the spans, left/right windows, and the
+    argument surface forms) plus a handful of structural features (argument
+    order, token distance, span lengths).
+    """
+
+    def __init__(
+        self,
+        num_features: int = 2048,
+        ngram_range: tuple[int, int] = (1, 2),
+        window_size: int = 3,
+    ) -> None:
+        self.vectorizer = HashingVectorizer(num_features=num_features, ngram_range=ngram_range)
+        self.window_size = window_size
+        self.num_features = num_features
+
+    @property
+    def output_dim(self) -> int:
+        """Dimensionality of the produced feature vectors."""
+        return self.num_features + 5
+
+    def transform_candidate(self, candidate: Candidate) -> np.ndarray:
+        """Featurize one candidate."""
+        hashed = np.zeros(self.num_features)
+        hashed += self.vectorizer.transform_tokens(candidate.sentence.words, prefix="sent:")
+        hashed += 2.0 * self.vectorizer.transform_tokens(candidate.words_between(), prefix="btw:")
+        hashed += self.vectorizer.transform_tokens(
+            candidate.window_left(self.window_size), prefix="left:"
+        )
+        hashed += self.vectorizer.transform_tokens(
+            candidate.window_right(self.window_size), prefix="right:"
+        )
+        hashed += self.vectorizer.transform_tokens(candidate.span1.text.split(), prefix="arg1:")
+        hashed += self.vectorizer.transform_tokens(candidate.span2.text.split(), prefix="arg2:")
+        structural = np.array(
+            [
+                1.0 if candidate.span1_precedes_span2() else -1.0,
+                float(candidate.token_distance()),
+                float(candidate.span1.length),
+                float(candidate.span2.length),
+                float(len(candidate.sentence.words)),
+            ]
+        )
+        return np.concatenate([hashed, structural])
+
+    def transform(self, candidates: Sequence[Candidate]) -> np.ndarray:
+        """Featurize a list of candidates into a dense matrix."""
+        if not candidates:
+            return np.zeros((0, self.output_dim))
+        return np.vstack([self.transform_candidate(candidate) for candidate in candidates])

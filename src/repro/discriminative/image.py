@@ -1,0 +1,84 @@
+"""Cross-modal "image" classifier over pre-extracted feature vectors.
+
+In the radiology application the paper writes labeling functions over text
+reports and trains a ResNet-50 on the paired X-ray images.  Offline we cannot
+ship images or a pre-trained CNN, so the substitute keeps the cross-modal
+structure intact: each candidate carries a synthetic image feature vector
+(generated to be correlated with the latent abnormality but *not* visible to
+the labeling functions, which only see the report text), and the end model is
+an MLP over those features.  The division of labor — LFs on one modality,
+the discriminative model on another — is exactly the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.context.candidates import Candidate
+from repro.discriminative.base import NoiseAwareClassifier
+from repro.discriminative.mlp import NoiseAwareMLP
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike
+
+#: Metadata key under which candidates carry their image feature vector.
+IMAGE_FEATURE_KEY = "image_features"
+
+
+def extract_image_features(candidates: Sequence[Candidate]) -> np.ndarray:
+    """Stack the image feature vectors stored in candidate metadata."""
+    rows = []
+    for candidate in candidates:
+        features = candidate.metadata.get(IMAGE_FEATURE_KEY)
+        if features is None:
+            raise ConfigurationError(
+                f"candidate {candidate.uid} has no {IMAGE_FEATURE_KEY!r} metadata; "
+                "did you build the radiology dataset?"
+            )
+        rows.append(np.asarray(features, dtype=float))
+    if not rows:
+        return np.zeros((0, 0))
+    return np.vstack(rows)
+
+
+class ImageFeatureClassifier(NoiseAwareClassifier):
+    """Noise-aware classifier over image feature vectors (ResNet substitute)."""
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (32,),
+        epochs: int = 80,
+        learning_rate: float = 0.01,
+        seed: SeedLike = 0,
+    ) -> None:
+        self._mlp = NoiseAwareMLP(
+            hidden_sizes=hidden_sizes,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            seed=seed,
+        )
+
+    def fit(
+        self,
+        features: np.ndarray,
+        soft_labels: Sequence[float] | np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> "ImageFeatureClassifier":
+        """Train on image feature vectors and probabilistic labels."""
+        self._mlp.fit(features, soft_labels, sample_weights)
+        return self
+
+    def fit_candidates(
+        self, candidates: Sequence[Candidate], soft_labels: Sequence[float] | np.ndarray
+    ) -> "ImageFeatureClassifier":
+        """Convenience: extract image features from candidates, then fit."""
+        return self.fit(extract_image_features(candidates), soft_labels)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class (abnormality) probabilities."""
+        return self._mlp.predict_proba(features)
+
+    def predict_proba_candidates(self, candidates: Sequence[Candidate]) -> np.ndarray:
+        """Positive-class probabilities computed from candidate metadata features."""
+        return self.predict_proba(extract_image_features(candidates))

@@ -1,0 +1,148 @@
+"""Noise-aware logistic regression trained with Adam.
+
+The workhorse end model for the relation-extraction tasks: a linear model
+over :class:`repro.discriminative.featurizers.RelationFeaturizer` features,
+trained by minimizing the expected logistic loss against the probabilistic
+labels produced by the generative model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.discriminative.adam import AdamOptimizer
+from repro.discriminative.base import NoiseAwareClassifier, as_soft_labels
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.mathutils import sigmoid
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class NoiseAwareLogisticRegression(NoiseAwareClassifier):
+    """ℓ2-regularized logistic regression on soft labels.
+
+    Parameters
+    ----------
+    epochs:
+        Passes over the training data.
+    batch_size:
+        Minibatch size.
+    learning_rate:
+        Adam learning rate.
+    reg_strength:
+        ℓ2 penalty on the weights (not the bias).
+    class_balance:
+        Optional re-weighting: when set, positive-leaning examples are scaled
+        so the effective positive mass matches this fraction.  Useful for the
+        heavily imbalanced tasks (e.g. Chem at ~4% positive).
+    seed:
+        RNG seed for shuffling and initialization.
+    """
+
+    def __init__(
+        self,
+        epochs: int = 50,
+        batch_size: int = 128,
+        learning_rate: float = 0.01,
+        reg_strength: float = 1e-4,
+        class_balance: Optional[float] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        if epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive, got {epochs}")
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.reg_strength = reg_strength
+        self.class_balance = class_balance
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+        self.loss_history: list[float] = []
+
+    def fit(
+        self,
+        features: np.ndarray,
+        soft_labels: Sequence[float] | np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> "NoiseAwareLogisticRegression":
+        """Train on a dense feature matrix and probabilistic labels."""
+        features = np.asarray(features, dtype=float)
+        soft = as_soft_labels(soft_labels)
+        if features.ndim != 2 or features.shape[0] != soft.shape[0]:
+            raise ConfigurationError(
+                f"features {features.shape} incompatible with labels of length {soft.shape[0]}"
+            )
+        rng = ensure_rng(self.seed)
+        num_examples, num_features = features.shape
+        weights = rng.normal(scale=0.01, size=num_features)
+        bias = 0.0
+        optimizer = AdamOptimizer(learning_rate=self.learning_rate)
+        example_weights = self._example_weights(soft, sample_weights)
+        batch_size = min(self.batch_size, num_examples)
+        self.loss_history = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(num_examples)
+            epoch_loss = 0.0
+            for start in range(0, num_examples, batch_size):
+                rows = order[start : start + batch_size]
+                batch_features = features[rows]
+                batch_soft = soft[rows]
+                batch_weights = example_weights[rows]
+                scores = batch_features @ weights + bias
+                probs = sigmoid(scores)
+                errors = (probs - batch_soft) * batch_weights
+                grad_weights = (
+                    batch_features.T @ errors / rows.size + self.reg_strength * weights
+                )
+                grad_bias = float(errors.mean())
+                packed = np.concatenate([weights, [bias]])
+                packed_grad = np.concatenate([grad_weights, [grad_bias]])
+                packed = optimizer.step(packed, packed_grad)
+                weights, bias = packed[:-1], float(packed[-1])
+                epoch_loss += self._batch_loss(probs, batch_soft, batch_weights)
+            self.loss_history.append(epoch_loss)
+
+        self.weights = weights
+        self.bias = bias
+        return self
+
+    def _example_weights(
+        self, soft: np.ndarray, sample_weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        weights = (
+            np.ones(soft.shape[0])
+            if sample_weights is None
+            else np.asarray(sample_weights, dtype=float)
+        )
+        if weights.shape != soft.shape:
+            raise ConfigurationError(
+                f"sample_weights shape {weights.shape} does not match labels {soft.shape}"
+            )
+        if self.class_balance is not None:
+            positive_mass = float(soft.mean())
+            if 0.0 < positive_mass < 1.0:
+                target = self.class_balance
+                positive_scale = target / positive_mass
+                negative_scale = (1.0 - target) / (1.0 - positive_mass)
+                weights = weights * (
+                    soft * positive_scale + (1.0 - soft) * negative_scale
+                )
+        return weights
+
+    @staticmethod
+    def _batch_loss(probs: np.ndarray, soft: np.ndarray, weights: np.ndarray) -> float:
+        clipped = np.clip(probs, 1e-9, 1 - 1e-9)
+        losses = -(soft * np.log(clipped) + (1 - soft) * np.log(1 - clipped))
+        return float((losses * weights).sum())
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities for a feature matrix."""
+        if self.weights is None:
+            raise NotFittedError("NoiseAwareLogisticRegression must be fit before predicting")
+        features = np.asarray(features, dtype=float)
+        return np.asarray(sigmoid(features @ self.weights + self.bias))

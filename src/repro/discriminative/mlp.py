@@ -1,0 +1,160 @@
+"""A small noise-aware multi-layer perceptron.
+
+Serves as the "more expressive end model" option (the paper's LSTM / ResNet
+role): one or two hidden layers of ReLU units trained with Adam on the
+noise-aware cross-entropy.  Implemented directly in numpy with manual
+backpropagation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.discriminative.adam import AdamOptimizer
+from repro.discriminative.base import NoiseAwareClassifier, as_soft_labels
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.mathutils import sigmoid
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class NoiseAwareMLP(NoiseAwareClassifier):
+    """Feed-forward ReLU network with a sigmoid output, trained on soft labels.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Sizes of the hidden layers, e.g. ``(64,)`` or ``(128, 32)``.
+    epochs, batch_size, learning_rate, reg_strength:
+        Optimization hyperparameters (Adam + ℓ2).
+    dropout:
+        Input dropout probability applied during training only.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (64,),
+        epochs: int = 60,
+        batch_size: int = 128,
+        learning_rate: float = 0.005,
+        reg_strength: float = 1e-4,
+        dropout: float = 0.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not hidden_sizes or any(size <= 0 for size in hidden_sizes):
+            raise ConfigurationError(f"hidden_sizes must be positive, got {hidden_sizes}")
+        if not 0.0 <= dropout < 1.0:
+            raise ConfigurationError(f"dropout must lie in [0, 1), got {dropout}")
+        self.hidden_sizes = tuple(int(size) for size in hidden_sizes)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.reg_strength = reg_strength
+        self.dropout = dropout
+        self.seed = seed
+        self._layers: Optional[list[tuple[np.ndarray, np.ndarray]]] = None
+
+    # --------------------------------------------------------------------- fit
+    def fit(
+        self,
+        features: np.ndarray,
+        soft_labels: Sequence[float] | np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> "NoiseAwareMLP":
+        """Train the network on features and probabilistic labels."""
+        features = np.asarray(features, dtype=float)
+        soft = as_soft_labels(soft_labels)
+        if features.ndim != 2 or features.shape[0] != soft.shape[0]:
+            raise ConfigurationError(
+                f"features {features.shape} incompatible with labels of length {soft.shape[0]}"
+            )
+        rng = ensure_rng(self.seed)
+        weights = (
+            np.ones(soft.shape[0])
+            if sample_weights is None
+            else np.asarray(sample_weights, dtype=float)
+        )
+        layer_sizes = [features.shape[1], *self.hidden_sizes, 1]
+        layers = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            layers.append((rng.normal(scale=scale, size=(fan_in, fan_out)), np.zeros(fan_out)))
+        optimizer = AdamOptimizer(learning_rate=self.learning_rate)
+        batch_size = min(self.batch_size, features.shape[0])
+
+        for _ in range(self.epochs):
+            order = rng.permutation(features.shape[0])
+            for start in range(0, features.shape[0], batch_size):
+                rows = order[start : start + batch_size]
+                batch = features[rows]
+                if self.dropout > 0.0:
+                    mask = rng.random(batch.shape) >= self.dropout
+                    batch = batch * mask / (1.0 - self.dropout)
+                gradients = self._gradients(layers, batch, soft[rows], weights[rows])
+                packed = self._pack(layers)
+                packed_grad = self._pack(gradients)
+                packed = optimizer.step(packed, packed_grad)
+                layers = self._unpack(packed, layer_sizes)
+
+        self._layers = layers
+        return self
+
+    def _gradients(
+        self,
+        layers: list[tuple[np.ndarray, np.ndarray]],
+        batch: np.ndarray,
+        soft: np.ndarray,
+        weights: np.ndarray,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        activations = [batch]
+        pre_activations = []
+        hidden = batch
+        for index, (weight, bias) in enumerate(layers):
+            linear = hidden @ weight + bias
+            pre_activations.append(linear)
+            hidden = linear if index == len(layers) - 1 else np.maximum(linear, 0.0)
+            activations.append(hidden)
+        probs = np.asarray(sigmoid(pre_activations[-1][:, 0]))
+        delta = ((probs - soft) * weights / batch.shape[0])[:, None]
+        gradients: list[tuple[np.ndarray, np.ndarray]] = [None] * len(layers)  # type: ignore[list-item]
+        for index in range(len(layers) - 1, -1, -1):
+            weight, _ = layers[index]
+            grad_weight = activations[index].T @ delta + self.reg_strength * weight
+            grad_bias = delta.sum(axis=0)
+            gradients[index] = (grad_weight, grad_bias)
+            if index > 0:
+                delta = (delta @ weight.T) * (pre_activations[index - 1] > 0.0)
+        return gradients
+
+    @staticmethod
+    def _pack(layers: list[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+        return np.concatenate(
+            [np.concatenate([weight.ravel(), bias.ravel()]) for weight, bias in layers]
+        )
+
+    @staticmethod
+    def _unpack(packed: np.ndarray, layer_sizes: list[int]) -> list[tuple[np.ndarray, np.ndarray]]:
+        layers = []
+        offset = 0
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            weight_size = fan_in * fan_out
+            weight = packed[offset : offset + weight_size].reshape(fan_in, fan_out)
+            offset += weight_size
+            bias = packed[offset : offset + fan_out]
+            offset += fan_out
+            layers.append((weight, bias))
+        return layers
+
+    # --------------------------------------------------------------- inference
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities for a feature matrix."""
+        if self._layers is None:
+            raise NotFittedError("NoiseAwareMLP must be fit before predicting")
+        hidden = np.asarray(features, dtype=float)
+        for index, (weight, bias) in enumerate(self._layers):
+            linear = hidden @ weight + bias
+            hidden = linear if index == len(self._layers) - 1 else np.maximum(linear, 0.0)
+        return np.asarray(sigmoid(hidden[:, 0]))

@@ -1,0 +1,131 @@
+"""Noise-aware multi-class softmax regression.
+
+Used by the Crowd sentiment task (five classes): the Dawid–Skene label model
+produces a full posterior over classes per tweet, and this model minimizes
+the expected cross-entropy against that posterior — the multi-class analogue
+of the binary noise-aware loss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.discriminative.adam import AdamOptimizer
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.mathutils import softmax
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class NoiseAwareSoftmaxRegression:
+    """Multi-class linear classifier trained on soft label distributions.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of classes; predictions are in ``1..num_classes``.
+    epochs, batch_size, learning_rate, reg_strength:
+        Optimization hyperparameters (Adam + ℓ2).
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        epochs: int = 60,
+        batch_size: int = 64,
+        learning_rate: float = 0.05,
+        reg_strength: float = 1e-4,
+        seed: SeedLike = 0,
+    ) -> None:
+        if num_classes < 2:
+            raise ConfigurationError(f"num_classes must be >= 2, got {num_classes}")
+        self.num_classes = num_classes
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.reg_strength = reg_strength
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None
+        self.bias: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        soft_labels: np.ndarray,
+    ) -> "NoiseAwareSoftmaxRegression":
+        """Train on a feature matrix and per-class probability targets.
+
+        ``soft_labels`` may be a ``(m, num_classes)`` distribution matrix or a
+        vector of hard class labels in ``1..num_classes`` (converted to
+        one-hot distributions).
+        """
+        features = np.asarray(features, dtype=float)
+        targets = self._as_distributions(soft_labels, features.shape[0])
+        rng = ensure_rng(self.seed)
+        num_examples, num_features = features.shape
+        weights = rng.normal(scale=0.01, size=(num_features, self.num_classes))
+        bias = np.zeros(self.num_classes)
+        optimizer = AdamOptimizer(learning_rate=self.learning_rate)
+        batch_size = min(self.batch_size, num_examples)
+
+        for _ in range(self.epochs):
+            order = rng.permutation(num_examples)
+            for start in range(0, num_examples, batch_size):
+                rows = order[start : start + batch_size]
+                batch = features[rows]
+                probs = softmax(batch @ weights + bias, axis=1)
+                errors = (probs - targets[rows]) / rows.size
+                grad_weights = batch.T @ errors + self.reg_strength * weights
+                grad_bias = errors.sum(axis=0)
+                packed = np.concatenate([weights.ravel(), bias])
+                packed_grad = np.concatenate([grad_weights.ravel(), grad_bias])
+                packed = optimizer.step(packed, packed_grad)
+                weights = packed[: num_features * self.num_classes].reshape(
+                    num_features, self.num_classes
+                )
+                bias = packed[num_features * self.num_classes :]
+
+        self.weights = weights
+        self.bias = bias
+        return self
+
+    def _as_distributions(self, soft_labels: np.ndarray, num_examples: int) -> np.ndarray:
+        targets = np.asarray(soft_labels, dtype=float)
+        if targets.ndim == 1:
+            if targets.shape[0] != num_examples:
+                raise ConfigurationError(
+                    f"got {targets.shape[0]} labels for {num_examples} examples"
+                )
+            classes = targets.astype(int)
+            if classes.min() < 1 or classes.max() > self.num_classes:
+                raise ConfigurationError(
+                    f"hard labels must lie in 1..{self.num_classes}, got range "
+                    f"[{classes.min()}, {classes.max()}]"
+                )
+            one_hot = np.zeros((num_examples, self.num_classes))
+            one_hot[np.arange(num_examples), classes - 1] = 1.0
+            return one_hot
+        if targets.shape != (num_examples, self.num_classes):
+            raise ConfigurationError(
+                f"soft labels must have shape ({num_examples}, {self.num_classes}), got "
+                f"{targets.shape}"
+            )
+        row_sums = targets.sum(axis=1, keepdims=True)
+        return targets / np.clip(row_sums, 1e-12, None)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-class probabilities for a feature matrix."""
+        if self.weights is None or self.bias is None:
+            raise NotFittedError("NoiseAwareSoftmaxRegression must be fit before predicting")
+        features = np.asarray(features, dtype=float)
+        return softmax(features @ self.weights + self.bias, axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard class predictions in ``1..num_classes``."""
+        return self.predict_proba(features).argmax(axis=1) + 1
+
+    def score(self, features: np.ndarray, gold_classes: Sequence[int] | np.ndarray) -> float:
+        """Accuracy against hard gold class labels."""
+        gold = np.asarray(gold_classes)
+        return float((self.predict(features) == gold).mean())

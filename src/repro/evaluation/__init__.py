@@ -1,0 +1,25 @@
+"""Evaluation: metrics, scorers, and dataset splits."""
+
+from repro.evaluation.metrics import (
+    accuracy,
+    f1_score,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+    roc_auc,
+)
+from repro.evaluation.scorer import BinaryScorer, ScoreReport
+from repro.evaluation.splits import SplitSizes, split_indices
+
+__all__ = [
+    "accuracy",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "precision_recall_f1",
+    "roc_auc",
+    "BinaryScorer",
+    "ScoreReport",
+    "SplitSizes",
+    "split_indices",
+]

@@ -1,0 +1,100 @@
+"""Scorer with error bucketization.
+
+Snorkel's notebook Viewer separates dev-set candidates into true/false
+positives/negatives so users can inspect errors and refine their labeling
+functions; :class:`BinaryScorer` reproduces that bucketization alongside the
+headline metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.metrics import accuracy, confusion_counts, precision_recall_f1, roc_auc
+from repro.types import NEGATIVE, POSITIVE
+
+
+@dataclass
+class ScoreReport:
+    """Headline metrics plus the confusion counts and error buckets."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    auc: Optional[float] = None
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+    true_positive_indices: list[int] = field(default_factory=list)
+    false_positive_indices: list[int] = field(default_factory=list)
+    true_negative_indices: list[int] = field(default_factory=list)
+    false_negative_indices: list[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, float]:
+        """Headline metrics as a flat dict (handy for table building)."""
+        result = {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+        }
+        if self.auc is not None:
+            result["auc"] = self.auc
+        return result
+
+
+class BinaryScorer:
+    """Compute a :class:`ScoreReport` for binary predictions."""
+
+    def score(
+        self,
+        gold: Sequence[int] | np.ndarray,
+        predicted: Sequence[int] | np.ndarray,
+        scores: Optional[Sequence[float] | np.ndarray] = None,
+    ) -> ScoreReport:
+        """Score hard predictions (and optionally ranking scores for AUC)."""
+        gold_arr = np.asarray(gold)
+        pred_arr = np.asarray(predicted)
+        precision, recall, f1 = precision_recall_f1(gold_arr, pred_arr)
+        tp, fp, tn, fn = confusion_counts(gold_arr, pred_arr)
+        pred_binary = np.where(pred_arr == POSITIVE, POSITIVE, NEGATIVE)
+        report = ScoreReport(
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            accuracy=accuracy(gold_arr, pred_binary),
+            auc=None if scores is None else roc_auc(gold_arr, np.asarray(scores, dtype=float)),
+            tp=tp,
+            fp=fp,
+            tn=tn,
+            fn=fn,
+            true_positive_indices=np.flatnonzero(
+                (pred_binary == POSITIVE) & (gold_arr == POSITIVE)
+            ).tolist(),
+            false_positive_indices=np.flatnonzero(
+                (pred_binary == POSITIVE) & (gold_arr != POSITIVE)
+            ).tolist(),
+            true_negative_indices=np.flatnonzero(
+                (pred_binary == NEGATIVE) & (gold_arr != POSITIVE)
+            ).tolist(),
+            false_negative_indices=np.flatnonzero(
+                (pred_binary == NEGATIVE) & (gold_arr == POSITIVE)
+            ).tolist(),
+        )
+        return report
+
+    def score_probabilities(
+        self,
+        gold: Sequence[int] | np.ndarray,
+        probabilities: Sequence[float] | np.ndarray,
+        threshold: float = 0.5,
+    ) -> ScoreReport:
+        """Score probabilistic predictions by thresholding (AUC included)."""
+        probs = np.asarray(probabilities, dtype=float)
+        predicted = np.where(probs > threshold, POSITIVE, NEGATIVE)
+        return self.score(gold, predicted, scores=probs)

@@ -1,0 +1,79 @@
+"""Train / development / test splitting.
+
+The paper's setup: training data is unlabeled; a small labeled development
+set is used for hyperparameters and LF iteration; a blind labeled test set is
+used for final scores (Table 7 lists the split sizes).  Splitting here is
+done at the *document* level so that all candidates from one document land in
+the same split, matching how the real corpora were partitioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class SplitSizes:
+    """Counts of items per split."""
+
+    train: int
+    dev: int
+    test: int
+
+    @property
+    def total(self) -> int:
+        """Total number of items across all splits."""
+        return self.train + self.dev + self.test
+
+
+def split_indices(
+    num_items: int,
+    dev_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    seed: SeedLike = 0,
+) -> dict[str, np.ndarray]:
+    """Randomly split ``range(num_items)`` into train/dev/test index arrays."""
+    if num_items < 0:
+        raise ConfigurationError(f"num_items must be >= 0, got {num_items}")
+    if dev_fraction < 0 or test_fraction < 0 or dev_fraction + test_fraction >= 1.0:
+        raise ConfigurationError(
+            f"invalid split fractions dev={dev_fraction}, test={test_fraction}"
+        )
+    rng = ensure_rng(seed)
+    order = rng.permutation(num_items)
+    num_dev = int(round(num_items * dev_fraction))
+    num_test = int(round(num_items * test_fraction))
+    dev = order[:num_dev]
+    test = order[num_dev : num_dev + num_test]
+    train = order[num_dev + num_test :]
+    return {"train": np.sort(train), "dev": np.sort(dev), "test": np.sort(test)}
+
+
+def assign_document_splits(
+    num_documents: int,
+    dev_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    seed: SeedLike = 0,
+) -> list[str]:
+    """Assign each document index a split name, preserving the requested fractions."""
+    splits = split_indices(num_documents, dev_fraction, test_fraction, seed)
+    assignment = ["train"] * num_documents
+    for name in ("dev", "test"):
+        for index in splits[name]:
+            assignment[int(index)] = name
+    return assignment
+
+
+def split_sizes(assignment: Sequence[str]) -> SplitSizes:
+    """Count items per split from an assignment list."""
+    return SplitSizes(
+        train=sum(1 for split in assignment if split == "train"),
+        dev=sum(1 for split in assignment if split == "dev"),
+        test=sum(1 for split in assignment if split == "test"),
+    )

@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per paper table / figure.
+
+Each module exposes a ``run(...)`` function returning plain dataclasses /
+dicts with the same rows or series the paper reports; the benchmark harness
+in ``benchmarks/`` calls these and prints the comparison tables recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, describe_experiments
+
+__all__ = ["EXPERIMENTS", "describe_experiments"]

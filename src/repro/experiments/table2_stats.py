@@ -1,0 +1,49 @@
+"""Tables 2 and 7: task summary statistics and split sizes."""
+
+from __future__ import annotations
+
+from repro.datasets.base import TaskSummary, load_task
+
+DEFAULT_TASKS: tuple[tuple[str, float], ...] = (
+    ("chem", 0.1),
+    ("ehr", 0.008),
+    ("cdr", 0.15),
+    ("spouses", 0.1),
+    ("radiology", 0.08),
+    ("crowd", 0.5),
+)
+
+
+def run(tasks: tuple[tuple[str, float], ...] = DEFAULT_TASKS, seed: int = 0) -> list[TaskSummary]:
+    """Build each task and collect its summary row."""
+    return [load_task(name, scale=scale, seed=seed).summary() for name, scale in tasks]
+
+
+def format_table2(summaries: list[TaskSummary]) -> str:
+    """Render the Table-2 style summary (LFs, %pos, docs, candidates)."""
+    header = f"{'Task':<12}{'# LFs':>7}{'% Pos.':>9}{'# Docs':>9}{'# Candidates':>14}"
+    lines = [header, "-" * len(header)]
+    for summary in summaries:
+        positive = (
+            f"{100 * summary.positive_fraction:>9.1f}"
+            if summary.positive_fraction is not None
+            else f"{'-':>9}"
+        )
+        lines.append(
+            f"{summary.name:<12}{summary.num_lfs:>7}{positive}"
+            f"{summary.num_documents:>9}{summary.num_candidates:>14}"
+        )
+    return "\n".join(lines)
+
+
+def format_table7(summaries: list[TaskSummary]) -> str:
+    """Render the Table-7 style split sizes."""
+    header = f"{'Task':<12}{'# Train':>10}{'# Dev':>10}{'# Test':>10}"
+    lines = [header, "-" * len(header)]
+    for summary in summaries:
+        sizes = summary.split_sizes
+        lines.append(
+            f"{summary.name:<12}{sizes.get('train', 0):>10}"
+            f"{sizes.get('dev', 0):>10}{sizes.get('test', 0):>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""The labeling-function interface layer.
+
+This package reproduces the paper's "flexible interface for sources"
+(Section 2.1): hand-written Python labeling functions, declarative operators
+(patterns, dictionaries, distant supervision from ontologies, weak
+classifiers), labeling-function generators, an applier producing the label
+matrix Λ, and analysis utilities (coverage / overlap / conflict / accuracy).
+"""
+
+from repro.labeling.lf import LabelingFunction, labeling_function
+from repro.labeling.declarative import (
+    dictionary_lf,
+    keyword_lf,
+    lf_search,
+    pattern_lf,
+    weak_classifier_lf,
+)
+from repro.labeling.generators import OntologyLFGenerator, CrowdWorkerLFGenerator
+from repro.labeling.applier import LFApplier
+from repro.labeling.matrix import LabelMatrix
+from repro.labeling.analysis import LFAnalysis
+
+__all__ = [
+    "LabelingFunction",
+    "labeling_function",
+    "lf_search",
+    "pattern_lf",
+    "keyword_lf",
+    "dictionary_lf",
+    "weak_classifier_lf",
+    "OntologyLFGenerator",
+    "CrowdWorkerLFGenerator",
+    "LFApplier",
+    "LabelMatrix",
+    "LFAnalysis",
+]

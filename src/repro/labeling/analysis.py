@@ -1,0 +1,168 @@
+"""Labeling-function analysis: the feedback loop of LF development.
+
+``LFAnalysis`` computes, per labeling function, the statistics Snorkel's
+notebook interface reports to users while they iterate: coverage, overlap
+(how often another LF also votes), conflict (how often another LF disagrees),
+and — when a small labeled development set is available — empirical accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.labeling.matrix import LabelMatrix
+from repro.types import ABSTAIN, validate_ground_truth
+
+
+@dataclass(frozen=True)
+class LFSummary:
+    """Per-LF summary statistics."""
+
+    name: str
+    coverage: float
+    overlap: float
+    conflict: float
+    polarity: tuple[int, ...]
+    empirical_accuracy: Optional[float] = None
+    num_labeled: int = 0
+
+
+class LFAnalysis:
+    """Compute coverage / overlap / conflict / accuracy summaries for Λ."""
+
+    def __init__(self, label_matrix: LabelMatrix) -> None:
+        self.label_matrix = label_matrix
+
+    # ------------------------------------------------------------- matrix-level
+    def coverage(self) -> float:
+        """Fraction of candidates receiving at least one label."""
+        return self.label_matrix.coverage()
+
+    def label_density(self) -> float:
+        """Mean non-abstaining labels per candidate."""
+        return self.label_matrix.label_density()
+
+    def overlap_fraction(self) -> float:
+        """Fraction of candidates labeled by at least two LFs."""
+        counts = self.label_matrix.non_abstain_mask.sum(axis=1)
+        if counts.size == 0:
+            return 0.0
+        return float((counts >= 2).mean())
+
+    def conflict_fraction(self) -> float:
+        """Fraction of candidates where two non-abstaining LFs disagree."""
+        values = self.label_matrix.values
+        conflicts = np.zeros(values.shape[0], dtype=bool)
+        for i in range(values.shape[0]):
+            row = values[i][values[i] != ABSTAIN]
+            conflicts[i] = row.size > 1 and np.unique(row).size > 1
+        if conflicts.size == 0:
+            return 0.0
+        return float(conflicts.mean())
+
+    # ----------------------------------------------------------------- per-LF
+    def lf_coverages(self) -> np.ndarray:
+        """Per-LF coverage."""
+        return self.label_matrix.lf_coverage()
+
+    def lf_overlaps(self) -> np.ndarray:
+        """Per-LF fraction of its labeled candidates also labeled by another LF."""
+        values = self.label_matrix.values
+        non_abstain = values != ABSTAIN
+        row_counts = non_abstain.sum(axis=1)
+        overlaps = np.zeros(values.shape[1])
+        for j in range(values.shape[1]):
+            labeled = non_abstain[:, j]
+            if labeled.sum() == 0:
+                overlaps[j] = 0.0
+            else:
+                overlaps[j] = float((row_counts[labeled] >= 2).mean())
+        return overlaps
+
+    def lf_conflicts(self) -> np.ndarray:
+        """Per-LF fraction of its labeled candidates where some other LF disagrees."""
+        values = self.label_matrix.values
+        non_abstain = values != ABSTAIN
+        conflicts = np.zeros(values.shape[1])
+        for j in range(values.shape[1]):
+            labeled_rows = np.flatnonzero(non_abstain[:, j])
+            if labeled_rows.size == 0:
+                continue
+            disagree = 0
+            for i in labeled_rows:
+                others = values[i][non_abstain[i]]
+                if np.any(others != values[i, j]):
+                    disagree += 1
+            conflicts[j] = disagree / labeled_rows.size
+        return conflicts
+
+    def lf_empirical_accuracies(
+        self, gold_labels: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Per-LF accuracy on non-abstained candidates w.r.t. gold labels.
+
+        LFs that never vote on the labeled set get accuracy ``nan``.
+        """
+        gold = validate_ground_truth(gold_labels, cardinality=self.label_matrix.cardinality)
+        if gold.shape[0] != self.label_matrix.num_candidates:
+            raise ValueError(
+                f"gold labels have length {gold.shape[0]}, expected "
+                f"{self.label_matrix.num_candidates}"
+            )
+        values = self.label_matrix.values
+        accuracies = np.full(values.shape[1], np.nan)
+        for j in range(values.shape[1]):
+            voted = values[:, j] != ABSTAIN
+            if voted.sum() == 0:
+                continue
+            accuracies[j] = float((values[voted, j] == gold[voted]).mean())
+        return accuracies
+
+    def summary(
+        self, gold_labels: Optional[Sequence[int] | np.ndarray] = None
+    ) -> list[LFSummary]:
+        """Full per-LF summary table."""
+        coverages = self.lf_coverages()
+        overlaps = self.lf_overlaps()
+        conflicts = self.lf_conflicts()
+        polarities = self.label_matrix.lf_polarity()
+        accuracies = (
+            self.lf_empirical_accuracies(gold_labels) if gold_labels is not None else None
+        )
+        num_labeled = len(gold_labels) if gold_labels is not None else 0
+        summaries = []
+        for j, name in enumerate(self.label_matrix.lf_names):
+            summaries.append(
+                LFSummary(
+                    name=name,
+                    coverage=float(coverages[j]),
+                    overlap=float(overlaps[j]),
+                    conflict=float(conflicts[j]),
+                    polarity=tuple(polarities[j]),
+                    empirical_accuracy=(
+                        None
+                        if accuracies is None or np.isnan(accuracies[j])
+                        else float(accuracies[j])
+                    ),
+                    num_labeled=num_labeled,
+                )
+            )
+        return summaries
+
+    def summary_table(
+        self, gold_labels: Optional[Sequence[int] | np.ndarray] = None
+    ) -> str:
+        """Human-readable summary table (the notebook-style LF report)."""
+        rows = self.summary(gold_labels)
+        header = f"{'LF':<40}{'Cov.':>8}{'Overlap':>10}{'Conflict':>10}{'Acc.':>8}"
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            accuracy = f"{row.empirical_accuracy:.2f}" if row.empirical_accuracy is not None else "  -"
+            lines.append(
+                f"{row.name:<40}{row.coverage:>8.2f}{row.overlap:>10.2f}"
+                f"{row.conflict:>10.2f}{accuracy:>8}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Applying labeling functions over candidates to produce the label matrix Λ.
+
+Snorkel's execution model applies LFs in an embarrassingly parallel fashion:
+the master process hands candidate keys to workers, each worker materializes
+its candidates and runs the LFs, and labels are returned to the master.  The
+:class:`LFApplier` reproduces this structure with deterministic chunking (a
+stand-in for worker partitioning) and an optional fault policy controlling
+whether an LF exception aborts the run or is recorded as an abstention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.labeling.lf import LabelingFunction
+from repro.labeling.matrix import LabelMatrix
+from repro.types import ABSTAIN
+
+
+@dataclass
+class ApplyReport:
+    """Statistics from one application run.
+
+    Attributes
+    ----------
+    num_candidates, num_lfs:
+        Shape of the produced label matrix.
+    num_chunks:
+        Number of candidate chunks processed (the "worker partitions").
+    errors:
+        Mapping ``lf name -> number of suppressed exceptions`` (only populated
+        when ``fault_tolerant=True``).
+    """
+
+    num_candidates: int = 0
+    num_lfs: int = 0
+    num_chunks: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+
+
+class LFApplier:
+    """Applies a fixed list of labeling functions over candidates.
+
+    Parameters
+    ----------
+    lfs:
+        Labeling functions to apply; their order fixes the column order of Λ.
+    fault_tolerant:
+        When ``True``, exceptions raised by an LF on a candidate are counted
+        and converted to abstentions instead of aborting the run.
+    chunk_size:
+        Number of candidates per execution chunk.  Chunking mirrors the
+        paper's parallel execution model and keeps per-chunk progress
+        reporting cheap; results are independent of the chunk size.
+    """
+
+    def __init__(
+        self,
+        lfs: Sequence[LabelingFunction],
+        fault_tolerant: bool = False,
+        chunk_size: int = 1024,
+    ) -> None:
+        if not lfs:
+            raise LabelingError("LFApplier requires at least one labeling function")
+        names = [lf.name for lf in lfs]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise LabelingError(f"duplicate labeling function names: {sorted(duplicates)}")
+        if chunk_size <= 0:
+            raise LabelingError(f"chunk_size must be positive, got {chunk_size}")
+        self.lfs = list(lfs)
+        self.fault_tolerant = fault_tolerant
+        self.chunk_size = chunk_size
+        self.last_report: Optional[ApplyReport] = None
+
+    @property
+    def lf_names(self) -> list[str]:
+        """Column names of the produced label matrix."""
+        return [lf.name for lf in self.lfs]
+
+    def apply(self, candidates: Sequence) -> LabelMatrix:
+        """Apply every LF to every candidate and return the label matrix Λ."""
+        candidates = list(candidates)
+        report = ApplyReport(num_candidates=len(candidates), num_lfs=len(self.lfs))
+        matrix = np.full((len(candidates), len(self.lfs)), ABSTAIN, dtype=np.int64)
+        for chunk_start in range(0, len(candidates), self.chunk_size):
+            chunk = candidates[chunk_start : chunk_start + self.chunk_size]
+            report.num_chunks += 1
+            for offset, candidate in enumerate(chunk):
+                row = chunk_start + offset
+                for column, lf in enumerate(self.lfs):
+                    matrix[row, column] = self._apply_one(lf, candidate, report)
+        self.last_report = report
+        cardinality = max((lf.cardinality for lf in self.lfs), default=2)
+        return LabelMatrix(matrix, lf_names=self.lf_names, cardinality=cardinality)
+
+    def _apply_one(self, lf: LabelingFunction, candidate, report: ApplyReport) -> int:
+        try:
+            return lf(candidate)
+        except LabelingError:
+            if not self.fault_tolerant:
+                raise
+            report.errors[lf.name] = report.errors.get(lf.name, 0) + 1
+            return ABSTAIN

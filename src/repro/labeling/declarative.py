@@ -1,0 +1,189 @@
+"""Declarative labeling-function operators.
+
+These helpers encode the most common weak-supervision function types the
+paper's interface layer ships (Section 2.1): regex pattern search between the
+candidate's argument spans, keyword presence, dictionary membership of the
+argument pair (distant supervision), and wrapping a weak classifier.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.context.candidates import Candidate
+from repro.labeling.lf import LabelingFunction
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE
+from repro.utils.textutils import normalize
+
+
+def lf_search(
+    pattern: str,
+    name: Optional[str] = None,
+    label: int = POSITIVE,
+    reverse_args: bool = False,
+    source_type: str = "pattern",
+) -> LabelingFunction:
+    """Regex search between the two argument spans, mirroring the paper's
+    ``lf_search("{{1}}.*\\Wcauses\\W.*{{2}}")`` declarative operator.
+
+    The placeholders ``{{1}}`` and ``{{2}}`` denote the first and second
+    argument span; the text searched is the token sequence between the two
+    spans (in sentence order).  If the pattern matches:
+
+    * when the first argument precedes the second, ``label`` is emitted,
+    * when the arguments appear in reverse order, the negated label is
+      emitted (or ``label`` itself when ``reverse_args`` is ``True``),
+    * otherwise the LF abstains.
+    """
+    core = pattern.replace("{{1}}", "").replace("{{2}}", "").strip()
+    compiled = re.compile(core, flags=re.IGNORECASE)
+    lf_name = name or f"lf_search_{_slugify(core)}"
+
+    def function(candidate: Candidate) -> int:
+        between = candidate.text_between()
+        if not compiled.search(between):
+            return ABSTAIN
+        if candidate.span1_precedes_span2():
+            return label
+        return label if reverse_args else -label
+
+    return LabelingFunction(lf_name, function, source_type=source_type)
+
+
+def pattern_lf(
+    phrase: str,
+    label: int = POSITIVE,
+    name: Optional[str] = None,
+    where: str = "between",
+    window_size: int = 3,
+    source_type: str = "pattern",
+) -> LabelingFunction:
+    """Phrase-presence labeling function.
+
+    Parameters
+    ----------
+    phrase:
+        Word or multi-word phrase to look for (case-insensitive).
+    label:
+        Label emitted when the phrase is found.
+    where:
+        ``"between"`` (default) searches the tokens between the argument
+        spans; ``"left"`` / ``"right"`` search a window next to the earlier /
+        later span; ``"sentence"`` searches the entire sentence.
+    window_size:
+        Window size for ``"left"`` / ``"right"``.
+    """
+    phrase_tokens = tuple(normalize(token) for token in phrase.split())
+    lf_name = name or f"lf_{where}_{_slugify(phrase)}"
+
+    def function(candidate: Candidate) -> int:
+        if where == "between":
+            tokens = candidate.words_between()
+        elif where == "left":
+            tokens = candidate.window_left(window_size)
+        elif where == "right":
+            tokens = candidate.window_right(window_size)
+        elif where == "sentence":
+            tokens = list(candidate.sentence.words)
+        else:
+            raise ValueError(f"unknown search scope {where!r}")
+        normalized = [normalize(token) for token in tokens]
+        return label if _contains_phrase(normalized, phrase_tokens) else ABSTAIN
+
+    return LabelingFunction(lf_name, function, source_type=source_type)
+
+
+def keyword_lf(
+    keywords: Sequence[str],
+    label: int = POSITIVE,
+    name: Optional[str] = None,
+    where: str = "between",
+    source_type: str = "pattern",
+) -> LabelingFunction:
+    """Emit ``label`` when any of ``keywords`` occurs in the chosen scope."""
+    keyword_set = {normalize(keyword) for keyword in keywords}
+    lf_name = name or f"lf_keywords_{_slugify('_'.join(sorted(keyword_set))[:30])}"
+
+    def function(candidate: Candidate) -> int:
+        if where == "between":
+            tokens = candidate.words_between()
+        elif where == "sentence":
+            tokens = list(candidate.sentence.words)
+        else:
+            raise ValueError(f"unknown search scope {where!r}")
+        for token in tokens:
+            if normalize(token) in keyword_set:
+                return label
+        return ABSTAIN
+
+    return LabelingFunction(lf_name, function, source_type=source_type)
+
+
+def dictionary_lf(
+    pairs: Iterable[tuple[str, str]],
+    label: int = POSITIVE,
+    name: Optional[str] = None,
+    use_canonical_ids: bool = True,
+    source_type: str = "distant_supervision",
+) -> LabelingFunction:
+    """Distant supervision from a set of known entity pairs.
+
+    Emits ``label`` when the candidate's argument pair occurs in ``pairs``.
+    Matching is on canonical KB ids when available (and
+    ``use_canonical_ids`` is True), otherwise on normalized surface text.
+    """
+    pair_set = {(normalize(a), normalize(b)) for a, b in pairs}
+    lf_name = name or "lf_dictionary"
+
+    def function(candidate: Candidate) -> int:
+        if use_canonical_ids and candidate.span1.canonical_id and candidate.span2.canonical_id:
+            key = (normalize(candidate.span1.canonical_id), normalize(candidate.span2.canonical_id))
+        else:
+            key = (normalize(candidate.span1.text), normalize(candidate.span2.text))
+        return label if key in pair_set else ABSTAIN
+
+    return LabelingFunction(lf_name, function, source_type=source_type)
+
+
+def weak_classifier_lf(
+    predict: Callable[[Candidate], float],
+    threshold_positive: float = 0.7,
+    threshold_negative: float = 0.3,
+    name: Optional[str] = None,
+    source_type: str = "classifier",
+) -> LabelingFunction:
+    """Wrap a weak classifier's positive-class score as a labeling function.
+
+    Scores above ``threshold_positive`` vote positive, below
+    ``threshold_negative`` vote negative, and in between the LF abstains —
+    this is how low-coverage / noisy classifiers are used as label sources.
+    """
+    if not 0.0 <= threshold_negative <= threshold_positive <= 1.0:
+        raise ValueError(
+            "thresholds must satisfy 0 <= threshold_negative <= threshold_positive <= 1"
+        )
+    lf_name = name or "lf_weak_classifier"
+
+    def function(candidate: Candidate) -> int:
+        score = float(predict(candidate))
+        if score >= threshold_positive:
+            return POSITIVE
+        if score <= threshold_negative:
+            return NEGATIVE
+        return ABSTAIN
+
+    return LabelingFunction(lf_name, function, source_type=source_type)
+
+
+def _contains_phrase(tokens: Sequence[str], phrase: Sequence[str]) -> bool:
+    """True if ``phrase`` occurs contiguously in ``tokens``."""
+    n = len(phrase)
+    if n == 0:
+        return False
+    return any(tuple(tokens[i : i + n]) == tuple(phrase) for i in range(len(tokens) - n + 1))
+
+
+def _slugify(text: str) -> str:
+    """Make a safe LF-name fragment from free text."""
+    return re.sub(r"[^A-Za-z0-9]+", "_", text).strip("_").lower() or "anon"

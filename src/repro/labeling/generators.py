@@ -1,0 +1,102 @@
+"""Labeling-function generators.
+
+Generators build many labeling functions from a single resource (paper
+Example 2.4): an ontology / knowledge base with several relation subsets, or
+a crowdsourcing table with one LF per worker.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.context.candidates import Candidate
+from repro.labeling.declarative import dictionary_lf
+from repro.labeling.lf import LabelingFunction
+from repro.types import ABSTAIN
+
+
+class OntologyLFGenerator:
+    """Generate one distant-supervision LF per ontology subset.
+
+    Parameters
+    ----------
+    name:
+        Name of the ontology (e.g. ``"ctd"``); used as an LF name prefix.
+    subsets:
+        Mapping from subset name (e.g. ``"causes"``) to the set of entity-id
+        pairs that subset asserts.
+    subset_labels:
+        Mapping from subset name to the label its LF should emit, mirroring
+        the paper's ``Ontology(ctd, {"Causes": True, "Treats": False})``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        subsets: Mapping[str, Sequence[tuple[str, str]]],
+        subset_labels: Mapping[str, int | bool],
+    ) -> None:
+        unknown = set(subset_labels) - set(subsets)
+        if unknown:
+            raise ValueError(f"subset_labels references unknown subsets {sorted(unknown)}")
+        self.name = name
+        self.subsets = {key: list(value) for key, value in subsets.items()}
+        self.subset_labels = dict(subset_labels)
+
+    def generate(self) -> list[LabelingFunction]:
+        """Create one LF per labeled subset."""
+        lfs = []
+        for subset_name, label in self.subset_labels.items():
+            numeric = 1 if label is True else (-1 if label is False else int(label))
+            lfs.append(
+                dictionary_lf(
+                    pairs=self.subsets[subset_name],
+                    label=numeric,
+                    name=f"lf_{self.name}_{subset_name}",
+                )
+            )
+        return lfs
+
+
+class CrowdWorkerLFGenerator:
+    """Represent each crowd worker as a labeling function (paper Section 4.1.2).
+
+    Parameters
+    ----------
+    annotations:
+        Mapping from worker id to a mapping from candidate uid to that
+        worker's label.  Workers abstain on candidates they did not annotate.
+    cardinality:
+        Number of classes of the crowd task (binary by default; the Crowd
+        sentiment task in the paper is multi-class).
+    """
+
+    def __init__(
+        self,
+        annotations: Mapping[str, Mapping[int, int]],
+        cardinality: int = 2,
+    ) -> None:
+        self.annotations = {worker: dict(votes) for worker, votes in annotations.items()}
+        self.cardinality = cardinality
+
+    def generate(self) -> list[LabelingFunction]:
+        """Create one LF per crowd worker."""
+        lfs = []
+        for worker_id in sorted(self.annotations):
+            votes = self.annotations[worker_id]
+            lfs.append(
+                LabelingFunction(
+                    name=f"lf_worker_{worker_id}",
+                    function=self._make_vote_function(votes),
+                    source_type="crowd",
+                    cardinality=self.cardinality,
+                )
+            )
+        return lfs
+
+    @staticmethod
+    def _make_vote_function(votes: Mapping[int, int]):
+        def vote(candidate: Candidate) -> int:
+            return votes.get(candidate.uid, ABSTAIN)
+
+        return vote

@@ -1,0 +1,143 @@
+"""The label matrix Λ: labeling-function outputs over a candidate set.
+
+``LabelMatrix`` is a thin, validated wrapper around an integer numpy array of
+shape ``(num_candidates, num_lfs)`` with named columns, plus the summary
+quantities the paper's analysis and optimizer rely on — most importantly the
+label density ``d_Λ`` (mean number of non-abstaining labels per data point).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE, validate_label_matrix
+
+
+class LabelMatrix:
+    """A validated label matrix with named labeling-function columns."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        lf_names: Optional[Sequence[str]] = None,
+        cardinality: int = 2,
+    ) -> None:
+        self.values = validate_label_matrix(values, cardinality=cardinality)
+        self.cardinality = cardinality
+        if lf_names is None:
+            lf_names = [f"lf_{j}" for j in range(self.values.shape[1])]
+        if len(lf_names) != self.values.shape[1]:
+            raise LabelingError(
+                f"got {len(lf_names)} LF names for a matrix with {self.values.shape[1]} columns"
+            )
+        self.lf_names = list(lf_names)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(num_candidates, num_lfs)``."""
+        return self.values.shape  # type: ignore[return-value]
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of data points (rows)."""
+        return self.values.shape[0]
+
+    @property
+    def num_lfs(self) -> int:
+        """Number of labeling functions (columns)."""
+        return self.values.shape[1]
+
+    def __getitem__(self, item):
+        return self.values[item]
+
+    def column(self, lf_name: str) -> np.ndarray:
+        """Return the label vector of the LF called ``lf_name``."""
+        try:
+            index = self.lf_names.index(lf_name)
+        except ValueError:
+            raise LabelingError(f"no labeling function named {lf_name!r}") from None
+        return self.values[:, index]
+
+    def select_lfs(self, names_or_indices: Iterable) -> "LabelMatrix":
+        """Return a new matrix restricted to the given LFs (by name or index)."""
+        indices = []
+        for item in names_or_indices:
+            if isinstance(item, str):
+                if item not in self.lf_names:
+                    raise LabelingError(f"no labeling function named {item!r}")
+                indices.append(self.lf_names.index(item))
+            else:
+                indices.append(int(item))
+        return LabelMatrix(
+            self.values[:, indices],
+            lf_names=[self.lf_names[i] for i in indices],
+            cardinality=self.cardinality,
+        )
+
+    def select_rows(self, row_indices: Sequence[int] | np.ndarray) -> "LabelMatrix":
+        """Return a new matrix restricted to the given rows."""
+        return LabelMatrix(
+            self.values[np.asarray(row_indices)],
+            lf_names=self.lf_names,
+            cardinality=self.cardinality,
+        )
+
+    # --------------------------------------------------------------- statistics
+    @property
+    def non_abstain_mask(self) -> np.ndarray:
+        """Boolean mask of non-abstaining entries."""
+        return self.values != ABSTAIN
+
+    def label_density(self) -> float:
+        """Mean number of non-abstaining labels per data point (paper's d_Λ)."""
+        if self.num_candidates == 0:
+            return 0.0
+        return float(self.non_abstain_mask.sum(axis=1).mean())
+
+    def coverage(self) -> float:
+        """Fraction of data points with at least one non-abstaining label."""
+        if self.num_candidates == 0:
+            return 0.0
+        return float((self.non_abstain_mask.sum(axis=1) > 0).mean())
+
+    def lf_coverage(self) -> np.ndarray:
+        """Per-LF fraction of data points it labels."""
+        if self.num_candidates == 0:
+            return np.zeros(self.num_lfs)
+        return self.non_abstain_mask.mean(axis=0)
+
+    def lf_polarity(self) -> list[list[int]]:
+        """Per-LF sorted list of distinct non-abstain labels it emits."""
+        polarities = []
+        for j in range(self.num_lfs):
+            column = self.values[:, j]
+            polarities.append(sorted(int(v) for v in np.unique(column[column != ABSTAIN])))
+        return polarities
+
+    def class_balance(self) -> dict[int, float]:
+        """Distribution of emitted (non-abstain) labels across the matrix."""
+        non_abstain = self.values[self.non_abstain_mask]
+        if non_abstain.size == 0:
+            return {}
+        labels, counts = np.unique(non_abstain, return_counts=True)
+        total = counts.sum()
+        return {int(label): float(count) / total for label, count in zip(labels, counts)}
+
+    def vote_counts(self, label: int) -> np.ndarray:
+        """Per-row counts of LFs voting exactly ``label`` (the paper's c_y(Λ_i))."""
+        return (self.values == label).sum(axis=1)
+
+    # ----------------------------------------------------------------- exports
+    def to_array(self) -> np.ndarray:
+        """Return a copy of the underlying integer array."""
+        return self.values.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"LabelMatrix(shape={self.shape}, density={self.label_density():.2f}, "
+            f"coverage={self.coverage():.2f})"
+        )

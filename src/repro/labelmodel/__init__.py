@@ -1,0 +1,55 @@
+"""The generative label model and its surrounding machinery.
+
+This package is the reproduction of the paper's core technical contribution
+(Sections 2.2 and 3):
+
+* :mod:`repro.labelmodel.majority` — unweighted and weighted majority vote,
+* :mod:`repro.labelmodel.factor_graph` — the factor definitions (labeling
+  propensity, accuracy, pairwise correlation),
+* :mod:`repro.labelmodel.gibbs` — the Gibbs sampler used during training,
+* :mod:`repro.labelmodel.generative` — the generative model trained by SGD
+  interleaved with Gibbs sampling (contrastive-divergence style),
+* :mod:`repro.labelmodel.dawid_skene` — a Dawid–Skene EM estimator used for
+  the multi-class crowdsourcing task and as a related-work baseline,
+* :mod:`repro.labelmodel.advantage` — the modeling advantage A_w, optimal
+  advantage A*, and the optimizer's upper bound Ã*,
+* :mod:`repro.labelmodel.structure` — pseudolikelihood-style structure
+  learning of pairwise LF correlations with an ℓ1 selection threshold,
+* :mod:`repro.labelmodel.elbow` — elbow-point selection over the threshold
+  sweep,
+* :mod:`repro.labelmodel.optimizer` — the Algorithm-1 modeling-strategy
+  optimizer,
+* :mod:`repro.labelmodel.theory` — the low/high-density bounds of Section 3.1.
+"""
+
+from repro.labelmodel.majority import MajorityVoter, WeightedMajorityVoter
+from repro.labelmodel.factor_graph import FactorGraphSpec
+from repro.labelmodel.generative import GenerativeModel
+from repro.labelmodel.dawid_skene import DawidSkeneModel
+from repro.labelmodel.advantage import (
+    estimate_advantage_bound,
+    modeling_advantage,
+    optimal_advantage,
+)
+from repro.labelmodel.structure import StructureLearner, learn_structure
+from repro.labelmodel.elbow import select_elbow_point
+from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
+from repro.labelmodel.theory import high_density_upper_bound, low_density_upper_bound
+
+__all__ = [
+    "MajorityVoter",
+    "WeightedMajorityVoter",
+    "FactorGraphSpec",
+    "GenerativeModel",
+    "DawidSkeneModel",
+    "modeling_advantage",
+    "optimal_advantage",
+    "estimate_advantage_bound",
+    "StructureLearner",
+    "learn_structure",
+    "select_elbow_point",
+    "ModelingStrategy",
+    "ModelingStrategyOptimizer",
+    "low_density_upper_bound",
+    "high_density_upper_bound",
+]

@@ -1,0 +1,172 @@
+"""Factor-graph specification for the generative label model.
+
+The paper encodes the generative model ``p_w(Λ, Y)`` with three factor
+types per data point ``i`` (Section 2.2):
+
+* labeling propensity   ``φ_Lab_{i,j}(Λ, Y)  = 1{Λ_{i,j} ≠ ∅}``
+* accuracy              ``φ_Acc_{i,j}(Λ, Y)  = 1{Λ_{i,j} = y_i}``
+* pairwise correlation  ``φ_Corr_{i,j,k}(Λ, Y) = 1{Λ_{i,j} = Λ_{i,k}}`` for (j, k) ∈ C
+
+The concatenated factor vector has dimension ``2 n + |C|`` and the model is
+``p_w(Λ, Y) = Z_w^{-1} exp(Σ_i wᵀ φ_i(Λ_i, y_i))``.
+
+:class:`FactorGraphSpec` owns the bookkeeping: which correlation pairs are
+modeled, how the weight vector is laid out, and how to evaluate the factor
+vector and the row-wise energy for observed or sampled assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import LabelModelError
+from repro.types import ABSTAIN
+
+
+@dataclass(frozen=True)
+class WeightLayout:
+    """Index ranges of the flat weight vector ``w ∈ R^{2n + |C|}``."""
+
+    num_lfs: int
+    num_correlations: int
+
+    @property
+    def size(self) -> int:
+        """Total number of parameters."""
+        return 2 * self.num_lfs + self.num_correlations
+
+    @property
+    def propensity_slice(self) -> slice:
+        """Slice of the labeling-propensity weights (length ``n``)."""
+        return slice(0, self.num_lfs)
+
+    @property
+    def accuracy_slice(self) -> slice:
+        """Slice of the accuracy weights (length ``n``)."""
+        return slice(self.num_lfs, 2 * self.num_lfs)
+
+    @property
+    def correlation_slice(self) -> slice:
+        """Slice of the correlation weights (length ``|C|``)."""
+        return slice(2 * self.num_lfs, 2 * self.num_lfs + self.num_correlations)
+
+
+class FactorGraphSpec:
+    """The factor structure of the generative model for one task.
+
+    Parameters
+    ----------
+    num_lfs:
+        Number of labeling functions ``n``.
+    correlations:
+        Iterable of ``(j, k)`` labeling-function index pairs to model as
+        correlated (the set ``C``).  Pairs are canonicalized to ``j < k`` and
+        de-duplicated.
+    """
+
+    def __init__(self, num_lfs: int, correlations: Iterable[tuple[int, int]] = ()) -> None:
+        if num_lfs <= 0:
+            raise LabelModelError(f"num_lfs must be positive, got {num_lfs}")
+        self.num_lfs = num_lfs
+        canonical: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for j, k in correlations:
+            if j == k:
+                raise LabelModelError(f"correlation pair ({j}, {k}) is a self-pair")
+            if not (0 <= j < num_lfs and 0 <= k < num_lfs):
+                raise LabelModelError(
+                    f"correlation pair ({j}, {k}) out of range for {num_lfs} labeling functions"
+                )
+            pair = (min(j, k), max(j, k))
+            if pair not in seen:
+                seen.add(pair)
+                canonical.append(pair)
+        self.correlations: list[tuple[int, int]] = canonical
+        self.layout = WeightLayout(num_lfs=num_lfs, num_correlations=len(canonical))
+
+    # ------------------------------------------------------------------ weights
+    def initial_weights(
+        self, accuracy_init: float = 0.7, propensity_init: float = 0.0
+    ) -> np.ndarray:
+        """A sensible starting weight vector.
+
+        Accuracy weights start at the log-odds implied by ``accuracy_init``
+        (the paper's prior that LFs are better than random); propensity and
+        correlation weights start at ``propensity_init`` / zero.
+        """
+        weights = np.zeros(self.layout.size)
+        weights[self.layout.propensity_slice] = propensity_init
+        accuracy_weight = 0.5 * np.log(accuracy_init / (1.0 - accuracy_init))
+        weights[self.layout.accuracy_slice] = accuracy_weight
+        return weights
+
+    def split_weights(self, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split a flat weight vector into (propensity, accuracy, correlation)."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.layout.size,):
+            raise LabelModelError(
+                f"expected weight vector of length {self.layout.size}, got shape {weights.shape}"
+            )
+        return (
+            weights[self.layout.propensity_slice],
+            weights[self.layout.accuracy_slice],
+            weights[self.layout.correlation_slice],
+        )
+
+    # ------------------------------------------------------------------ factors
+    def factor_vector(self, lf_row: np.ndarray, y: int) -> np.ndarray:
+        """Evaluate ``φ_i(Λ_i, y_i)`` for one data point."""
+        lf_row = np.asarray(lf_row)
+        phi = np.zeros(self.layout.size)
+        phi[self.layout.propensity_slice] = (lf_row != ABSTAIN).astype(float)
+        phi[self.layout.accuracy_slice] = (lf_row == y).astype(float)
+        for index, (j, k) in enumerate(self.correlations):
+            phi[2 * self.num_lfs + index] = float(lf_row[j] == lf_row[k])
+        return phi
+
+    def factor_matrix(self, label_matrix: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Evaluate factor vectors for every row; returns shape ``(m, 2n+|C|)``."""
+        label_matrix = np.asarray(label_matrix)
+        y = np.asarray(y)
+        m = label_matrix.shape[0]
+        phi = np.zeros((m, self.layout.size))
+        phi[:, self.layout.propensity_slice] = (label_matrix != ABSTAIN).astype(float)
+        phi[:, self.layout.accuracy_slice] = (label_matrix == y[:, None]).astype(float)
+        for index, (j, k) in enumerate(self.correlations):
+            phi[:, 2 * self.num_lfs + index] = (
+                label_matrix[:, j] == label_matrix[:, k]
+            ).astype(float)
+        return phi
+
+    def energy(self, weights: np.ndarray, label_matrix: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Row-wise unnormalized log-probability ``wᵀ φ_i(Λ_i, y_i)``."""
+        return self.factor_matrix(label_matrix, y) @ np.asarray(weights, dtype=float)
+
+    # ----------------------------------------------------------------- topology
+    def correlation_index(self, j: int, k: int) -> int:
+        """Position of the (j, k) correlation weight within the weight vector."""
+        pair = (min(j, k), max(j, k))
+        try:
+            offset = self.correlations.index(pair)
+        except ValueError:
+            raise LabelModelError(f"pair {pair} is not modeled as correlated") from None
+        return 2 * self.num_lfs + offset
+
+    def neighbors(self, j: int) -> list[tuple[int, int]]:
+        """Correlation partners of LF ``j`` as ``(partner_index, weight_index)``."""
+        partners = []
+        for offset, (a, b) in enumerate(self.correlations):
+            if a == j:
+                partners.append((b, 2 * self.num_lfs + offset))
+            elif b == j:
+                partners.append((a, 2 * self.num_lfs + offset))
+        return partners
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"FactorGraphSpec(num_lfs={self.num_lfs}, "
+            f"num_correlations={len(self.correlations)})"
+        )

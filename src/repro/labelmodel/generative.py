@@ -1,0 +1,388 @@
+"""The generative label model trained without ground truth.
+
+``GenerativeModel`` implements the paper's Section 2.2 model: the joint
+``p_w(Λ, Y) = Z_w^{-1} exp(Σ_i wᵀ φ_i(Λ_i, y_i))`` over labeling-function
+outputs and latent labels, with labeling-propensity, accuracy, and pairwise
+correlation factors.  Two estimators are provided:
+
+* ``method="em"`` (default) — expectation–maximization on the marginal
+  likelihood of the observed votes.  The E-step computes the exact label
+  posterior ``P(y_i | Λ_i, w)`` (closed form, because the propensity and
+  correlation factors do not involve ``y``); the M-step re-estimates each
+  labeling function's accuracy from its expected agreement with the latent
+  label.  Modeled correlations are handled with an explicit double-counting
+  correction: when computing the posterior, each LF's weight is divided by
+  one plus the number of its modeled correlation partners that cast the same
+  vote on that data point, so a family of near-duplicate LFs counts roughly
+  once (this resolves the paper's Example 3.1 pathology).  EM is
+  deterministic, fast, and robust on the sparse low-coverage matrices real
+  LF suites produce.
+
+* ``method="cd"`` — the paper's original optimization strategy: stochastic
+  gradient steps on the marginal likelihood interleaved with Gibbs sampling
+  (contrastive divergence), conditioning on the abstention pattern.  Retained
+  for fidelity and for denser matrices; it is noisier on very low-coverage
+  LFs.
+
+After training, the probabilistic labels are ``Ỹ_i = p_ŵ(y_i = +1 | Λ_i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.discriminative.adam import AdamOptimizer
+from repro.exceptions import LabelModelError, NotFittedError
+from repro.labeling.matrix import LabelMatrix
+from repro.labelmodel.factor_graph import FactorGraphSpec
+from repro.labelmodel.gibbs import GibbsSampler
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE, probs_to_labels
+from repro.utils.mathutils import log_odds_to_accuracy, sigmoid
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Diagnostics recorded during training."""
+
+    epochs: int = 0
+    weight_deltas: list[float] = field(default_factory=list)
+    mean_accuracy_weights: list[float] = field(default_factory=list)
+
+
+def _as_array(label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
+    if isinstance(label_matrix, LabelMatrix):
+        return label_matrix.values
+    return np.asarray(label_matrix, dtype=np.int64)
+
+
+class GenerativeModel:
+    """Generative model over labeling functions (accuracies + correlations).
+
+    Parameters
+    ----------
+    method:
+        ``"em"`` (default) or ``"cd"``; see the module docstring.
+    epochs:
+        EM iterations, or passes over the label matrix for CD.
+    step_size:
+        CD learning rate (ignored by EM).
+    batch_size:
+        CD minibatch size (ignored by EM).
+    reg_strength:
+        CD ℓ2 pull toward the initial weights (ignored by EM).
+    cd_sweeps:
+        Gibbs sweeps per CD gradient step.
+    accuracy_init:
+        Prior labeling-function accuracy used for initialization and, in EM,
+        as the center of the Beta-like smoothing.
+    smoothing:
+        EM pseudo-count smoothing of the accuracy estimates (stabilizes LFs
+        with very few votes).
+    learn_propensity:
+        Whether to fill in the labeling-propensity weights from the empirical
+        per-LF coverage after training.  These never affect the label
+        posterior; they are recorded so the joint model is fully
+        parameterized.
+    class_balance:
+        Optional known positive-class fraction.  When given, the class-prior
+        weight is fixed at ``0.5·logit(class_balance)``; when ``None`` EM
+        re-estimates the balance each iteration (for CD the prior stays 0
+        unless a balance is supplied).
+    non_adversarial:
+        Clamp LF accuracies at ≥ 50% (the paper's standing assumption
+        ``w*_j > 0``).  A labeling function can be learned to be useless but
+        not actively inverted.
+    seed:
+        RNG seed (or generator) for reproducible Gibbs chains.
+    """
+
+    def __init__(
+        self,
+        method: str = "em",
+        epochs: int = 30,
+        step_size: float = 0.05,
+        batch_size: int = 256,
+        reg_strength: float = 0.05,
+        cd_sweeps: int = 1,
+        accuracy_init: float = 0.7,
+        smoothing: float = 2.0,
+        damping: float = 0.5,
+        max_accuracy: float = 0.95,
+        learn_propensity: bool = True,
+        class_balance: Optional[float] = None,
+        non_adversarial: bool = True,
+        seed: SeedLike = 0,
+    ) -> None:
+        if method not in ("em", "cd"):
+            raise LabelModelError(f"method must be 'em' or 'cd', got {method!r}")
+        if epochs <= 0:
+            raise LabelModelError(f"epochs must be positive, got {epochs}")
+        if step_size <= 0:
+            raise LabelModelError(f"step_size must be positive, got {step_size}")
+        if not 0.5 < accuracy_init < 1.0:
+            raise LabelModelError(
+                f"accuracy_init must lie in (0.5, 1.0), got {accuracy_init}"
+            )
+        if smoothing < 0:
+            raise LabelModelError(f"smoothing must be >= 0, got {smoothing}")
+        if not 0.0 <= damping < 1.0:
+            raise LabelModelError(f"damping must lie in [0, 1), got {damping}")
+        if not 0.5 < max_accuracy < 1.0:
+            raise LabelModelError(f"max_accuracy must lie in (0.5, 1), got {max_accuracy}")
+        if class_balance is not None and not 0.0 < class_balance < 1.0:
+            raise LabelModelError(
+                f"class_balance must lie in (0, 1) when given, got {class_balance}"
+            )
+        self.method = method
+        self.epochs = epochs
+        self.step_size = step_size
+        self.batch_size = batch_size
+        self.reg_strength = reg_strength
+        self.cd_sweeps = cd_sweeps
+        self.accuracy_init = accuracy_init
+        self.smoothing = smoothing
+        self.damping = damping
+        self.max_accuracy = max_accuracy
+        self.learn_propensity = learn_propensity
+        self.class_balance = class_balance
+        self.non_adversarial = non_adversarial
+        self.seed = seed
+
+        self.spec: Optional[FactorGraphSpec] = None
+        self.weights: Optional[np.ndarray] = None
+        self.class_prior_weight_: float = 0.0
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ fitting
+    def fit(
+        self,
+        label_matrix: LabelMatrix | np.ndarray,
+        correlations: Iterable[tuple[int, int]] = (),
+    ) -> "GenerativeModel":
+        """Fit the model to a label matrix, optionally with correlation pairs ``C``."""
+        matrix = _as_array(label_matrix)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise LabelModelError(f"label matrix must be non-empty 2-D, got shape {matrix.shape}")
+        spec = FactorGraphSpec(num_lfs=matrix.shape[1], correlations=correlations)
+        if self.method == "em":
+            weights, class_prior = self._fit_em(spec, matrix)
+        else:
+            weights, class_prior = self._fit_cd(spec, matrix)
+
+        if self.learn_propensity:
+            coverage = np.clip((matrix != ABSTAIN).mean(axis=0), 1e-6, 1 - 1e-6)
+            weights[spec.layout.propensity_slice] = 0.5 * np.log(coverage / (1.0 - coverage))
+
+        self.spec = spec
+        self.weights = weights
+        self.class_prior_weight_ = float(class_prior)
+        return self
+
+    # --------------------------------------------------------------------- EM
+    def _fit_em(self, spec: FactorGraphSpec, matrix: np.ndarray) -> tuple[np.ndarray, float]:
+        """Damped, truncated expectation-maximization with correlation discounting.
+
+        The M-step re-estimates each LF's accuracy from its expected agreement
+        with the posterior label; damping mixes the new estimate with the old
+        one, and accuracies are capped at ``max_accuracy``.  Damping plus the
+        cap act as regularization-by-early-stopping: they keep the estimator
+        anchored near the well-behaved one-step solution and away from the
+        degenerate optimum of the symmetric-accuracy model in which a few
+        broad labeling functions are declared perfect and absorb every
+        disagreement.
+        """
+        history = TrainingHistory()
+        num_rows, num_lfs = matrix.shape
+        voted = matrix != ABSTAIN
+        vote_counts = np.maximum(voted.sum(axis=0), 1)
+        discounts = self._correlation_discounts(spec, matrix)
+        discounted = matrix.astype(float) / discounts
+
+        accuracies = np.full(num_lfs, self.accuracy_init)
+        if self.class_balance is not None:
+            prior_weight = 0.5 * float(np.log(self.class_balance / (1.0 - self.class_balance)))
+        else:
+            prior_weight = 0.0
+
+        for _ in range(self.epochs):
+            weights = 0.5 * np.log(accuracies / (1.0 - accuracies))
+            scores = (discounted * weights).sum(axis=1)
+            posteriors = sigmoid(2.0 * (scores + prior_weight))
+
+            # M-step: expected accuracy of each LF on the rows where it votes,
+            # smoothed toward the prior accuracy.
+            agrees_positive = (matrix == POSITIVE) * posteriors[:, None]
+            agrees_negative = (matrix == NEGATIVE) * (1.0 - posteriors[:, None])
+            expected_correct = (agrees_positive + agrees_negative).sum(axis=0)
+            new_accuracies = (expected_correct + self.smoothing * self.accuracy_init) / (
+                vote_counts + self.smoothing
+            )
+            new_accuracies = np.clip(new_accuracies, 0.05, self.max_accuracy)
+            if self.non_adversarial:
+                new_accuracies = np.maximum(new_accuracies, 0.5)
+            new_accuracies = self.damping * accuracies + (1.0 - self.damping) * new_accuracies
+
+            delta = float(np.abs(new_accuracies - accuracies).sum())
+            accuracies = new_accuracies
+            history.epochs += 1
+            history.weight_deltas.append(delta)
+            history.mean_accuracy_weights.append(
+                float(0.5 * np.log(accuracies / (1.0 - accuracies)).mean())
+            )
+            if delta < 1e-10:
+                break
+
+        weights = spec.initial_weights(accuracy_init=self.accuracy_init)
+        weights[spec.layout.accuracy_slice] = 0.5 * np.log(accuracies / (1.0 - accuracies))
+        # Record the empirical agreement rate of each modeled pair as its
+        # correlation weight (log-odds of agreement on co-voted rows); the EM
+        # estimator uses the discount correction rather than these weights,
+        # but they make the fitted joint model inspectable.
+        for index, (j, k) in enumerate(spec.correlations):
+            both = voted[:, j] & voted[:, k]
+            if both.sum() == 0:
+                agreement = 0.5
+            else:
+                agreement = float((matrix[both, j] == matrix[both, k]).mean())
+            agreement = float(np.clip(agreement, 1e-3, 1 - 1e-3))
+            weights[2 * spec.num_lfs + index] = 0.5 * np.log(agreement / (1.0 - agreement))
+        self.history = history
+        return weights, prior_weight
+
+    @staticmethod
+    def _correlation_discounts(spec: FactorGraphSpec, matrix: np.ndarray) -> np.ndarray:
+        """Per-entry double-counting discount ``d_{i,j}``.
+
+        ``d_{i,j}`` is one plus the number of LF ``j``'s modeled correlation
+        partners that cast the same (non-abstaining) vote on row ``i``; the
+        EM posterior divides LF ``j``'s weight by it, so a clique of
+        near-duplicates contributes approximately one effective vote.
+        """
+        discounts = np.ones_like(matrix, dtype=float)
+        if not spec.correlations:
+            return discounts
+        voted = matrix != ABSTAIN
+        for j, k in spec.correlations:
+            same = voted[:, j] & voted[:, k] & (matrix[:, j] == matrix[:, k])
+            discounts[same, j] += 1.0
+            discounts[same, k] += 1.0
+        return discounts
+
+    # --------------------------------------------------------------------- CD
+    def _fit_cd(self, spec: FactorGraphSpec, matrix: np.ndarray) -> tuple[np.ndarray, float]:
+        """The paper's SGD + Gibbs (contrastive divergence) estimator."""
+        rng = ensure_rng(self.seed)
+        sampler = GibbsSampler(spec, seed=rng)
+        weights = spec.initial_weights(accuracy_init=self.accuracy_init)
+        prior_weights = weights.copy()
+        num_rows = matrix.shape[0]
+        batch_size = min(self.batch_size, num_rows)
+        history = TrainingHistory()
+        if self.class_balance is not None:
+            class_prior = 0.5 * float(np.log(self.class_balance / (1.0 - self.class_balance)))
+        else:
+            class_prior = 0.0
+        optimizer = AdamOptimizer(learning_rate=self.step_size)
+
+        for _ in range(self.epochs):
+            permutation = rng.permutation(num_rows)
+            epoch_delta = 0.0
+            for start in range(0, num_rows, batch_size):
+                batch_rows = permutation[start : start + batch_size]
+                batch = matrix[batch_rows]
+                gradient = self._cd_batch_gradient(spec, sampler, weights, batch, class_prior)
+                gradient -= self.reg_strength * (weights - prior_weights)
+                # The estimator conditions on the abstention pattern, so the
+                # propensity weights receive no gradient signal.
+                gradient[spec.layout.propensity_slice] = 0.0
+                new_weights = optimizer.step(weights, -gradient)
+                if self.non_adversarial:
+                    accuracy_slice = spec.layout.accuracy_slice
+                    new_weights[accuracy_slice] = np.maximum(new_weights[accuracy_slice], 0.0)
+                epoch_delta += float(np.abs(new_weights - weights).sum())
+                weights = new_weights
+            history.epochs += 1
+            history.weight_deltas.append(epoch_delta)
+            history.mean_accuracy_weights.append(
+                float(weights[spec.layout.accuracy_slice].mean())
+            )
+        self.history = history
+        return weights, class_prior
+
+    def _cd_batch_gradient(
+        self,
+        spec: FactorGraphSpec,
+        sampler: GibbsSampler,
+        weights: np.ndarray,
+        batch: np.ndarray,
+        class_prior: float,
+    ) -> np.ndarray:
+        """Ascent direction ``E_data[φ] - E_model[φ]`` for one minibatch."""
+        posterior_positive = sampler.label_posteriors(weights, batch, class_prior)
+        phi_positive = spec.factor_matrix(batch, np.full(batch.shape[0], POSITIVE))
+        phi_negative = spec.factor_matrix(batch, np.full(batch.shape[0], NEGATIVE))
+        data_phase = (
+            posterior_positive[:, None] * phi_positive
+            + (1.0 - posterior_positive)[:, None] * phi_negative
+        ).mean(axis=0)
+        sampled_matrix, sampled_y = sampler.sample_joint(
+            weights, batch, sweeps=self.cd_sweeps, class_prior_weight=class_prior
+        )
+        model_phase = spec.factor_matrix(sampled_matrix, sampled_y).mean(axis=0)
+        return data_phase - model_phase
+
+    # ---------------------------------------------------------------- inference
+    def _require_fitted(self) -> tuple[FactorGraphSpec, np.ndarray]:
+        if self.spec is None or self.weights is None:
+            raise NotFittedError("GenerativeModel must be fit before inference")
+        return self.spec, self.weights
+
+    @property
+    def accuracy_weights(self) -> np.ndarray:
+        """Learned accuracy weights (the log-odds weights ``w_acc``)."""
+        spec, weights = self._require_fitted()
+        return weights[spec.layout.accuracy_slice].copy()
+
+    @property
+    def correlation_weights(self) -> np.ndarray:
+        """Learned correlation weights, aligned with ``spec.correlations``."""
+        spec, weights = self._require_fitted()
+        return weights[spec.layout.correlation_slice].copy()
+
+    def learned_accuracies(self) -> np.ndarray:
+        """Implied labeling-function accuracies ``σ(2 w_acc_j)``."""
+        return np.asarray(log_odds_to_accuracy(self.accuracy_weights))
+
+    def predict_proba(self, label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
+        """Probabilistic training labels ``Ỹ_i = p_ŵ(y_i = +1 | Λ_i)``."""
+        spec, weights = self._require_fitted()
+        matrix = _as_array(label_matrix)
+        if matrix.shape[1] != spec.num_lfs:
+            raise LabelModelError(
+                f"label matrix has {matrix.shape[1]} LFs, model was fit with {spec.num_lfs}"
+            )
+        accuracy_weights = weights[spec.layout.accuracy_slice]
+        if self.method == "em" and spec.correlations:
+            discounts = self._correlation_discounts(spec, matrix)
+            scores = ((matrix.astype(float) / discounts) * accuracy_weights).sum(axis=1)
+        else:
+            scores = matrix.astype(float) @ accuracy_weights
+        return sigmoid(2.0 * (scores + self.class_prior_weight_))
+
+    def predict(
+        self, label_matrix: LabelMatrix | np.ndarray, tie_value: int = NEGATIVE
+    ) -> np.ndarray:
+        """Hard labels from the probabilistic labels (ties go to ``tie_value``)."""
+        return probs_to_labels(self.predict_proba(label_matrix), tie_value=tie_value)
+
+    def score(
+        self, label_matrix: LabelMatrix | np.ndarray, gold_labels: Sequence[int] | np.ndarray
+    ) -> float:
+        """Accuracy of the hard predictions against gold labels."""
+        predictions = self.predict(label_matrix)
+        gold = np.asarray(gold_labels)
+        return float((predictions == gold).mean())

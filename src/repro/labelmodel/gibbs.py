@@ -1,0 +1,150 @@
+"""Gibbs sampling for the generative label model.
+
+The paper optimizes the marginal likelihood "by interleaving stochastic
+gradient descent steps with Gibbs sampling ones, similar to contrastive
+divergence", using the Numbskull NUMBA sampler.  This module provides the
+pure-numpy equivalent: block-Gibbs updates over the latent labels ``y_i``
+and, for the model-expectation (negative) phase of the gradient, over the
+labeling-function outputs ``Λ_{i,j}`` themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.labelmodel.factor_graph import FactorGraphSpec
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE
+from repro.utils.mathutils import sigmoid
+from repro.utils.rng import SeedLike, ensure_rng
+
+_LF_VALUES = np.array([NEGATIVE, ABSTAIN, POSITIVE], dtype=np.int64)
+
+
+class GibbsSampler:
+    """Gibbs sampler over ``(Λ, Y)`` for a fixed factor-graph specification.
+
+    All methods operate on a weight vector laid out per
+    :class:`repro.labelmodel.factor_graph.WeightLayout`.
+    """
+
+    def __init__(self, spec: FactorGraphSpec, seed: SeedLike = None) -> None:
+        self.spec = spec
+        self.rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------- labels
+    def label_posteriors(
+        self,
+        weights: np.ndarray,
+        label_matrix: np.ndarray,
+        class_prior_weight: float = 0.0,
+    ) -> np.ndarray:
+        """Exact posterior ``P(y_i = +1 | Λ_i, w)`` for every row.
+
+        Because the correlation and propensity factors do not involve ``y``,
+        the conditional depends only on the accuracy weights (plus an optional
+        class-prior weight ``w_0``):
+        ``P(y_i = +1 | Λ_i) = σ(2 (w_0 + Σ_j w_acc_j Λ_{i,j}))`` (paper
+        Appendix A.4; the prior term is an extension for imbalanced tasks).
+        """
+        _, accuracy_weights, _ = self.spec.split_weights(weights)
+        scores = np.asarray(label_matrix, dtype=float) @ accuracy_weights
+        return sigmoid(2.0 * (scores + class_prior_weight))
+
+    def sample_labels(
+        self,
+        weights: np.ndarray,
+        label_matrix: np.ndarray,
+        class_prior_weight: float = 0.0,
+    ) -> np.ndarray:
+        """Draw ``y_i ~ P(y_i | Λ_i, w)`` for every row."""
+        posteriors = self.label_posteriors(weights, label_matrix, class_prior_weight)
+        uniforms = self.rng.random(posteriors.shape[0])
+        return np.where(uniforms < posteriors, POSITIVE, NEGATIVE).astype(np.int64)
+
+    # -------------------------------------------------------------- LF outputs
+    def sample_lf_outputs(
+        self,
+        weights: np.ndarray,
+        label_matrix: np.ndarray,
+        y: np.ndarray,
+        sweeps: int = 1,
+        pattern_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Resample the non-abstaining ``Λ_{i,j}`` values given ``y`` and the rest.
+
+        The estimator conditions on the *abstention pattern* of the observed
+        label matrix: whether an LF votes is governed by the labeling
+        propensity factor, which does not involve ``y``, so it carries no
+        information about accuracies or correlations and can be conditioned
+        on.  For entries where the pattern says "votes", the conditional of
+        ``Λ_{i,j} = λ ∈ {-1, +1}`` is proportional to::
+
+            exp( w_acc_j·1{λ=y_i} + Σ_{k: (j,k)∈C} w_corr_{jk}·1{λ=Λ_{i,k}} )
+
+        Entries where the pattern says "abstains" stay abstaining.  Used for
+        the model-expectation phase of contrastive-divergence training; the
+        chain starts from the observed label matrix.
+        """
+        _, accuracy, _ = self.spec.split_weights(weights)
+        weights = np.asarray(weights, dtype=float)
+        sampled = np.array(label_matrix, dtype=np.int64, copy=True)
+        if pattern_mask is None:
+            pattern_mask = sampled != ABSTAIN
+        y = np.asarray(y)
+        m = sampled.shape[0]
+        for _ in range(sweeps):
+            for j in range(self.spec.num_lfs):
+                votes = pattern_mask[:, j]
+                if not np.any(votes):
+                    continue
+                # Candidate values: NEGATIVE (column 0) and POSITIVE (column 1).
+                logits = np.zeros((m, 2))
+                logits[:, 0] += accuracy[j] * (y == NEGATIVE)
+                logits[:, 1] += accuracy[j] * (y == POSITIVE)
+                for partner, weight_index in self.spec.neighbors(j):
+                    partner_values = sampled[:, partner]
+                    logits[:, 0] += weights[weight_index] * (partner_values == NEGATIVE)
+                    logits[:, 1] += weights[weight_index] * (partner_values == POSITIVE)
+                probability_positive = _row_softmax(logits)[:, 1]
+                draws = np.where(
+                    self.rng.random(m) < probability_positive, POSITIVE, NEGATIVE
+                ).astype(np.int64)
+                sampled[votes, j] = draws[votes]
+        return sampled
+
+    def sample_joint(
+        self,
+        weights: np.ndarray,
+        label_matrix: np.ndarray,
+        sweeps: int = 1,
+        initial_y: Optional[np.ndarray] = None,
+        class_prior_weight: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run ``sweeps`` rounds of block-Gibbs over ``(Y, Λ_values)`` starting at Λ.
+
+        The abstention pattern of the observed matrix is held fixed (see
+        :meth:`sample_lf_outputs`).  Returns the final ``(Λ_sample, y_sample)``
+        pair.
+        """
+        observed = np.asarray(label_matrix, dtype=np.int64)
+        pattern_mask = observed != ABSTAIN
+        current_matrix = observed.copy()
+        if initial_y is None:
+            y = self.sample_labels(weights, current_matrix, class_prior_weight)
+        else:
+            y = np.array(initial_y, dtype=np.int64, copy=True)
+        for _ in range(sweeps):
+            current_matrix = self.sample_lf_outputs(
+                weights, current_matrix, y, sweeps=1, pattern_mask=pattern_mask
+            )
+            y = self.sample_labels(weights, current_matrix, class_prior_weight)
+        return current_matrix, y
+
+
+def _row_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max subtraction for stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,81 @@
+"""Theoretical bounds on the optimal modeling advantage (paper Section 3.1.1).
+
+Two regimes bracket where the generative model can help:
+
+* **Low label density** (Proposition 1): with non-adversarial labeling
+  functions the expected optimal advantage is bounded by the expected number
+  of disagreeing label pairs, which scales as ``d̄² ᾱ (1 - ᾱ)`` — quadratic
+  in the mean label density ``d̄ = n · p_l``.
+* **High label density** (Theorem 1, from Li, Yu & Zhou's analysis of the
+  symmetric Dawid–Skene model): the unweighted majority vote converges
+  exponentially, giving the bound ``exp(-2 p_l (ᾱ - 1/2)² d̄)``.
+
+The middle-density regime between the two bounds is where the paper (and our
+Figure-4 benchmark) expects the generative model to pay off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import require_probability
+
+
+def low_density_upper_bound(label_density: float, mean_accuracy: float) -> float:
+    """Proposition 1: ``E[A*] <= d̄² ᾱ (1 - ᾱ)``.
+
+    Parameters
+    ----------
+    label_density:
+        Mean number of non-abstaining labels per data point (``d̄``).
+    mean_accuracy:
+        Average labeling-function accuracy ``ᾱ`` (must be in [0, 1]).
+    """
+    if label_density < 0:
+        raise ConfigurationError(f"label_density must be >= 0, got {label_density}")
+    alpha = require_probability("mean_accuracy", mean_accuracy)
+    return float(label_density**2 * alpha * (1.0 - alpha))
+
+
+def high_density_upper_bound(
+    label_density: float, mean_accuracy: float, label_propensity: float
+) -> float:
+    """Theorem 1: ``E[A*] <= exp(-2 p_l (ᾱ - 1/2)² d̄)``.
+
+    Valid when the mean labeling-function accuracy exceeds 1/2; for
+    ``mean_accuracy <= 0.5`` the bound is vacuous and 1.0 is returned.
+
+    Parameters
+    ----------
+    label_density:
+        Mean number of non-abstaining labels per data point (``d̄ = n p_l``).
+    mean_accuracy:
+        Average labeling-function accuracy ``ᾱ``.
+    label_propensity:
+        Probability ``p_l`` that a labeling function emits a non-abstaining
+        label on any given data point.
+    """
+    if label_density < 0:
+        raise ConfigurationError(f"label_density must be >= 0, got {label_density}")
+    alpha = require_probability("mean_accuracy", mean_accuracy)
+    propensity = require_probability("label_propensity", label_propensity)
+    if alpha <= 0.5:
+        return 1.0
+    exponent = -2.0 * propensity * (alpha - 0.5) ** 2 * label_density
+    return float(np.exp(exponent))
+
+
+def combined_upper_bound(
+    label_density: float, mean_accuracy: float, label_propensity: float
+) -> float:
+    """The tighter of the low-density and high-density bounds.
+
+    Useful for plotting the theoretical envelope over a density sweep
+    (Figure 4): the quadratic bound dominates at low density, the exponential
+    bound at high density, and their crossover brackets the mid-density
+    regime.
+    """
+    low = low_density_upper_bound(label_density, mean_accuracy)
+    high = high_density_upper_bound(label_density, mean_accuracy, label_propensity)
+    return float(min(low, high, 1.0))

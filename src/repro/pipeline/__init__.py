@@ -1,0 +1,5 @@
+"""End-to-end pipeline orchestration."""
+
+from repro.pipeline.snorkel import PipelineConfig, PipelineResult, SnorkelPipeline
+
+__all__ = ["SnorkelPipeline", "PipelineConfig", "PipelineResult"]

@@ -1,0 +1,218 @@
+"""The end-to-end Snorkel pipeline.
+
+``SnorkelPipeline`` wires the stages of Figure 2 together for a binary task:
+
+1. apply the labeling functions over the training candidates → label matrix Λ,
+2. run the modeling-strategy optimizer (Algorithm 1) to choose between
+   unweighted majority vote and the generative model (and, for the latter,
+   which correlations to include),
+3. produce probabilistic training labels Ỹ,
+4. train a noise-aware discriminative model on candidate *features* and Ỹ,
+5. evaluate the generative and discriminative stages on the held-out test
+   split.
+
+The pipeline never touches training-split gold labels; they exist in the
+task datasets purely so the benchmark harness can report oracle statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.context.candidates import Candidate
+from repro.datasets.base import TaskDataset
+from repro.discriminative.base import NoiseAwareClassifier
+from repro.discriminative.featurizers import RelationFeaturizer
+from repro.discriminative.logistic import NoiseAwareLogisticRegression
+from repro.evaluation.scorer import BinaryScorer, ScoreReport
+from repro.exceptions import ConfigurationError
+from repro.labeling.applier import LFApplier
+from repro.labeling.lf import LabelingFunction
+from repro.labeling.matrix import LabelMatrix
+from repro.labelmodel.generative import GenerativeModel
+from repro.labelmodel.majority import MajorityVoter
+from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
+from repro.types import NEGATIVE, POSITIVE
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of one pipeline execution."""
+
+    use_optimizer: bool = True
+    force_strategy: Optional[str] = None  # "MV" or "GM" to bypass the optimizer
+    learn_correlations: bool = True
+    advantage_tolerance: float = 0.01
+    generative_epochs: int = 20
+    generative_step_size: float = 0.05
+    discriminative_epochs: int = 40
+    num_features: int = 1024
+    class_balance: Optional[float] = None
+    keep_uncovered: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.force_strategy not in (None, "MV", "GM"):
+            raise ConfigurationError(
+                f"force_strategy must be None, 'MV' or 'GM', got {self.force_strategy!r}"
+            )
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipeline execution."""
+
+    task_name: str
+    strategy: Optional[ModelingStrategy]
+    label_matrix: LabelMatrix
+    training_probs: np.ndarray
+    generative_test_report: ScoreReport
+    discriminative_test_report: ScoreReport
+    generative_model: Optional[GenerativeModel]
+    discriminative_model: NoiseAwareClassifier
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def generative_f1(self) -> float:
+        """Test F1 of the label-model stage (Snorkel Gen. column of Table 3)."""
+        return self.generative_test_report.f1
+
+    @property
+    def discriminative_f1(self) -> float:
+        """Test F1 of the end model (Snorkel Disc. column of Table 3)."""
+        return self.discriminative_test_report.f1
+
+
+class SnorkelPipeline:
+    """Orchestrates LF application, label modeling, and end-model training."""
+
+    def __init__(
+        self,
+        lfs: Optional[Sequence[LabelingFunction]] = None,
+        config: Optional[PipelineConfig] = None,
+        featurizer: Optional[RelationFeaturizer] = None,
+        discriminative_model: Optional[NoiseAwareClassifier] = None,
+    ) -> None:
+        self.lfs = list(lfs) if lfs is not None else None
+        self.config = config or PipelineConfig()
+        self.featurizer = featurizer or RelationFeaturizer(num_features=self.config.num_features)
+        self._discriminative_model = discriminative_model
+
+    # ------------------------------------------------------------------ running
+    def run(self, task: TaskDataset) -> PipelineResult:
+        """Run the full pipeline on a binary task dataset."""
+        if task.cardinality != 2:
+            raise ConfigurationError(
+                f"SnorkelPipeline handles binary tasks; task {task.name!r} has "
+                f"cardinality {task.cardinality} (use the Dawid-Skene model directly)"
+            )
+        lfs = self.lfs if self.lfs is not None else task.lfs
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        applier = LFApplier(lfs)
+        train_candidates = task.split_candidates("train")
+        test_candidates = task.split_candidates("test")
+        label_matrix = applier.apply(train_candidates)
+        test_matrix = applier.apply(test_candidates)
+        timings["lf_application"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        strategy, generative_model, training_probs = self._label_modeling(label_matrix)
+        timings["label_modeling"] = time.perf_counter() - start
+
+        # Generative-stage evaluation on the test split.
+        if generative_model is not None:
+            test_probs = generative_model.predict_proba(test_matrix)
+        else:
+            test_probs = MajorityVoter().predict_proba(test_matrix)
+        generative_report = BinaryScorer().score_probabilities(
+            task.split_gold("test"), test_probs
+        )
+
+        start = time.perf_counter()
+        discriminative_model, discriminative_report = self._discriminative_stage(
+            task, train_candidates, test_candidates, training_probs
+        )
+        timings["discriminative_training"] = time.perf_counter() - start
+
+        return PipelineResult(
+            task_name=task.name,
+            strategy=strategy,
+            label_matrix=label_matrix,
+            training_probs=training_probs,
+            generative_test_report=generative_report,
+            discriminative_test_report=discriminative_report,
+            generative_model=generative_model,
+            discriminative_model=discriminative_model,
+            timings=timings,
+        )
+
+    # ----------------------------------------------------------------- stages
+    def _label_modeling(
+        self, label_matrix: LabelMatrix
+    ) -> tuple[Optional[ModelingStrategy], Optional[GenerativeModel], np.ndarray]:
+        """Choose a strategy and produce probabilistic training labels."""
+        config = self.config
+        strategy: Optional[ModelingStrategy] = None
+        if config.force_strategy is not None:
+            use_generative = config.force_strategy == "GM"
+            correlations: list[tuple[int, int]] = []
+        elif config.use_optimizer:
+            optimizer = ModelingStrategyOptimizer(
+                advantage_tolerance=config.advantage_tolerance,
+                learn_correlations=config.learn_correlations,
+            )
+            strategy = optimizer.choose(label_matrix)
+            use_generative = strategy.use_generative_model
+            correlations = strategy.correlations
+        else:
+            use_generative = True
+            correlations = []
+
+        if not use_generative:
+            return strategy, None, MajorityVoter().predict_proba(label_matrix)
+
+        model = GenerativeModel(
+            epochs=config.generative_epochs,
+            step_size=config.generative_step_size,
+            seed=config.seed,
+        )
+        model.fit(label_matrix, correlations=correlations)
+        return strategy, model, model.predict_proba(label_matrix)
+
+    def _discriminative_stage(
+        self,
+        task: TaskDataset,
+        train_candidates: Sequence[Candidate],
+        test_candidates: Sequence[Candidate],
+        training_probs: np.ndarray,
+    ) -> tuple[NoiseAwareClassifier, ScoreReport]:
+        """Featurize, train the end model on Ỹ, and evaluate on the test split."""
+        config = self.config
+        train_features = self.featurizer.transform(list(train_candidates))
+        test_features = self.featurizer.transform(list(test_candidates))
+
+        if config.keep_uncovered:
+            keep = np.arange(len(train_candidates))
+        else:
+            # Drop candidates no LF covered (probability exactly 0.5 carries no
+            # supervision signal); the paper's end models similarly train on
+            # the covered set.
+            keep = np.flatnonzero(~np.isclose(training_probs, 0.5))
+            if keep.size == 0:
+                keep = np.arange(len(train_candidates))
+
+        model = self._discriminative_model or NoiseAwareLogisticRegression(
+            epochs=config.discriminative_epochs,
+            class_balance=config.class_balance,
+            seed=config.seed,
+        )
+        model.fit(train_features[keep], training_probs[keep])
+        probs = model.predict_proba(test_features)
+        report = BinaryScorer().score_probabilities(task.split_gold("test"), probs)
+        return model, report

@@ -1,0 +1,9 @@
+"""Simulation of the paper's Section 4.2 user study."""
+
+from repro.userstudy.simulate import (
+    ParticipantProfile,
+    UserStudyResult,
+    simulate_user_study,
+)
+
+__all__ = ["ParticipantProfile", "UserStudyResult", "simulate_user_study"]

@@ -1,0 +1,104 @@
+"""Unit tests for the context hierarchy, preprocessing, and candidate extraction."""
+
+import pytest
+
+from repro.context import (
+    CandidateExtractor,
+    Corpus,
+    DictionaryEntityTagger,
+    PairedEntityCandidateSpace,
+    SimpleSentenceSplitter,
+    SimpleTokenizer,
+    TextPreprocessor,
+)
+from repro.context.candidates import Candidate, SentenceView, SpanView
+from repro.exceptions import ContextError
+
+
+def make_corpus():
+    tagger = DictionaryEntityTagger(
+        {"chemical": {"magnesium": "chem:1"}, "disease": {"preeclampsia": "dis:1", "renal failure": "dis:2"}}
+    )
+    return Corpus("test", preprocessor=TextPreprocessor(entity_tagger=tagger))
+
+
+def test_tokenizer_offsets_roundtrip():
+    words, offsets = SimpleTokenizer().tokenize("Magnesium causes harm.")
+    assert words[0] == "Magnesium"
+    start, end = offsets[0]
+    assert "Magnesium causes harm."[start:end] == "Magnesium"
+
+
+def test_sentence_splitter():
+    parts = SimpleSentenceSplitter().split("One sentence. Two sentence! Three?")
+    assert len(parts) == 3
+
+
+def test_dictionary_tagger_multiword_and_case():
+    tagger = DictionaryEntityTagger({"disease": {"Renal Failure": "dis:2"}})
+    tags = tagger.tag(["acute", "renal", "failure", "observed"])
+    assert len(tags) == 1
+    assert (tags[0].word_start, tags[0].word_end) == (1, 3)
+
+
+def test_corpus_ingest_and_candidate_extraction():
+    corpus = make_corpus()
+    corpus.add_document("d1", "Magnesium causes preeclampsia in rare cases.", split="train")
+    extractor = CandidateExtractor(
+        PairedEntityCandidateSpace("causes", "chemical", "disease"),
+        gold_labeler=lambda c: 1,
+    )
+    created = extractor.extract(corpus)
+    assert created == 1
+    candidates = corpus.candidates("train")
+    assert len(candidates) == 1
+    candidate = candidates[0]
+    assert candidate.span1.entity_type == "chemical"
+    assert candidate.span2.entity_type == "disease"
+    assert candidate.gold_label == 1
+    assert "causes" in candidate.words_between()
+
+
+def test_same_type_pairs_unordered():
+    space = PairedEntityCandidateSpace("spouse", "person", "person")
+    corpus = Corpus(
+        "p",
+        preprocessor=TextPreprocessor(
+            entity_tagger=DictionaryEntityTagger({"person": {"ada": "p1", "bob": "p2", "cam": "p3"}})
+        ),
+    )
+    corpus.add_document("d", "Ada married Bob while Cam watched.", split="train")
+    created = CandidateExtractor(space).extract(corpus)
+    assert created == 3  # three unordered pairs of three persons
+
+
+def test_candidate_window_and_distance_helpers():
+    candidate = Candidate(
+        uid=1,
+        span1=SpanView("a", 1, 2),
+        span2=SpanView("b", 5, 6),
+        sentence=SentenceView(words=["w0", "a", "x", "y", "z", "b", "w6"], text=""),
+    )
+    assert candidate.token_distance() == 3
+    assert candidate.words_between() == ["x", "y", "z"]
+    assert candidate.window_left(1) == ["w0"]
+    assert candidate.window_right(1) == ["w6"]
+    assert candidate.span1_precedes_span2()
+
+
+def test_candidate_validate_rejects_bad_spans():
+    candidate = Candidate(
+        uid=1,
+        span1=SpanView("a", 0, 9),
+        span2=SpanView("b", 1, 2),
+        sentence=SentenceView(words=["a", "b"], text=""),
+    )
+    with pytest.raises(ContextError):
+        candidate.validate()
+
+
+def test_max_token_distance_filter():
+    space = PairedEntityCandidateSpace("r", "chemical", "disease", max_token_distance=1)
+    corpus = make_corpus()
+    corpus.add_document("d", "Magnesium was given long before preeclampsia developed.", split="train")
+    assert CandidateExtractor(space).extract(corpus) == 0

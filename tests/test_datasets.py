@@ -1,0 +1,97 @@
+"""Tests for the synthetic dataset generators and task registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_task, registered_tasks
+from repro.datasets.kb import build_noisy_kb
+from repro.datasets.synthetic import generate_correlated_label_matrix, generate_label_matrix
+from repro.exceptions import DatasetError
+from repro.labeling import LFApplier
+from repro.types import POSITIVE
+
+
+def test_registry_lists_all_six_tasks():
+    assert {"cdr", "chem", "ehr", "spouses", "radiology", "crowd"} <= set(registered_tasks())
+
+
+def test_unknown_task_raises():
+    with pytest.raises(DatasetError):
+        load_task("nope")
+
+
+def test_synthetic_matrix_properties():
+    data = generate_label_matrix(num_points=300, num_lfs=5, accuracy=0.8, propensity=0.3, seed=0)
+    assert data.label_matrix.shape == (300, 5)
+    coverage = data.label_matrix.lf_coverage()
+    assert np.all(coverage > 0.15) and np.all(coverage < 0.45)
+    # Empirical per-LF accuracy on voted rows is near the target.
+    values = data.label_matrix.values
+    for j in range(5):
+        voted = values[:, j] != 0
+        accuracy = (values[voted, j] == data.gold_labels[voted]).mean()
+        assert 0.65 < accuracy < 0.95
+
+
+def test_correlated_matrix_reports_planted_pairs():
+    data = generate_correlated_label_matrix(num_points=200, num_groups=3, group_size=3, seed=0)
+    assert len(data.correlated_pairs) == 3 * 2
+    values = data.label_matrix.values
+    j, k = data.correlated_pairs[0]
+    both = (values[:, j] != 0) & (values[:, k] != 0)
+    agreement = (values[both, j] == values[both, k]).mean()
+    assert agreement > 0.8
+
+
+def test_noisy_kb_subsets():
+    true_pairs = [("a", str(i)) for i in range(20)]
+    all_pairs = true_pairs + [("b", str(i)) for i in range(80)]
+    kb = build_noisy_kb("kb", true_pairs, all_pairs, coverage=0.5, precision=1.0, seed=0)
+    positive = set(kb.subset("causes"))
+    assert positive <= set(map(tuple, all_pairs))
+    assert 5 <= len(positive) <= 15
+    assert kb.size() >= len(positive)
+
+
+def test_cdr_task_structure():
+    task = load_task("cdr", scale=0.05, seed=0)
+    summary = task.summary()
+    assert summary.num_lfs >= 25
+    assert 0.1 < summary.positive_fraction < 0.4
+    assert set(task.candidates) == {"train", "dev", "test"}
+    groups = task.lfs_by_type()
+    assert {"pattern", "distant_supervision", "structure"} <= set(groups)
+    # Gold labels align with candidates in every split.
+    for split in ("train", "dev", "test"):
+        assert len(task.split_gold(split)) == len(task.split_candidates(split))
+
+
+def test_chem_task_is_sparse_and_imbalanced():
+    task = load_task("chem", scale=0.05, seed=0)
+    gold = task.split_gold("train")
+    assert (gold == POSITIVE).mean() < 0.15
+    matrix = LFApplier(task.lfs).apply(task.split_candidates("train"))
+    assert matrix.label_density() < 2.0
+
+
+def test_radiology_task_has_image_features():
+    task = load_task("radiology", scale=0.03, seed=0)
+    candidate = task.split_candidates("train")[0]
+    assert "image_features" in candidate.metadata
+    assert len(candidate.metadata["image_features"]) == task.metadata["image_feature_dim"]
+
+
+def test_crowd_task_multiclass_and_worker_lfs():
+    task = load_task("crowd", scale=0.2, seed=0)
+    assert task.cardinality == 5
+    assert len(task.lfs) == 102
+    matrix = LFApplier(task.lfs).apply(task.split_candidates("train"))
+    assert matrix.label_density() > 5
+    assert set(np.unique(matrix.values)) <= set(range(0, 6))
+
+
+def test_task_determinism():
+    first = load_task("spouses", scale=0.05, seed=7)
+    second = load_task("spouses", scale=0.05, seed=7)
+    assert first.summary() == second.summary()
+    assert np.array_equal(first.split_gold("train"), second.split_gold("train"))

@@ -1,0 +1,143 @@
+"""Unit tests for the in-memory relational store and ORM layer."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Database, ForeignKey, Schema, Table
+from repro.db.orm import MappedRecord, Session, schema_for_records
+from repro.exceptions import IntegrityError, QueryError, SchemaError
+
+
+def make_schema():
+    return Schema(
+        [
+            Table("authors", [Column("name", ColumnType.TEXT, nullable=False)]),
+            Table(
+                "books",
+                [
+                    Column("title", ColumnType.TEXT),
+                    Column("author_id", ColumnType.INTEGER, indexed=True,
+                           foreign_key=ForeignKey("authors")),
+                    Column("year", ColumnType.INTEGER),
+                ],
+            ),
+        ]
+    )
+
+
+def test_insert_and_get_roundtrip():
+    db = Database(make_schema())
+    author_id = db.insert("authors", {"name": "ada"})
+    book_id = db.insert("books", {"title": "notes", "author_id": author_id, "year": 1843})
+    assert db.get("books", book_id)["title"] == "notes"
+    assert db.count("books") == 1
+
+
+def test_auto_increment_keys_are_unique():
+    db = Database(make_schema())
+    keys = [db.insert("authors", {"name": f"a{i}"}) for i in range(10)]
+    assert len(set(keys)) == 10
+
+
+def test_duplicate_primary_key_rejected():
+    db = Database(make_schema())
+    db.insert("authors", {"id": 1, "name": "ada"})
+    with pytest.raises(IntegrityError):
+        db.insert("authors", {"id": 1, "name": "bob"})
+
+
+def test_foreign_key_enforced():
+    db = Database(make_schema())
+    with pytest.raises(IntegrityError):
+        db.insert("books", {"title": "x", "author_id": 999})
+
+
+def test_type_validation():
+    db = Database(make_schema())
+    with pytest.raises(IntegrityError):
+        db.insert("authors", {"name": 123})
+
+
+def test_not_null_enforced():
+    db = Database(make_schema())
+    with pytest.raises(IntegrityError):
+        db.insert("authors", {"name": None})
+
+
+def test_unknown_column_rejected():
+    db = Database(make_schema())
+    with pytest.raises(SchemaError):
+        db.insert("authors", {"name": "ada", "nope": 1})
+
+
+def test_find_by_uses_index_and_scan_agree():
+    db = Database(make_schema())
+    author = db.insert("authors", {"name": "ada"})
+    other = db.insert("authors", {"name": "bob"})
+    for i in range(5):
+        db.insert("books", {"title": f"b{i}", "author_id": author if i % 2 == 0 else other})
+    indexed = db.find_by("books", "author_id", author)
+    scanned = [row for row in db.scan("books") if row["author_id"] == author]
+    assert {row["id"] for row in indexed} == {row["id"] for row in scanned}
+
+
+def test_query_filter_order_limit_project():
+    db = Database(make_schema())
+    author = db.insert("authors", {"name": "ada"})
+    for i in range(5):
+        db.insert("books", {"title": f"b{i}", "author_id": author, "year": 2000 + i})
+    rows = (
+        db.query("books").filter("year", lambda y: y >= 2002).order_by("year", descending=True)
+        .limit(2).project("title", "year").all()
+    )
+    assert [row["year"] for row in rows] == [2004, 2003]
+    assert set(rows[0]) == {"title", "year"}
+
+
+def test_query_join():
+    db = Database(make_schema())
+    author = db.insert("authors", {"name": "ada"})
+    db.insert("books", {"title": "b", "author_id": author})
+    joined = db.query("books").join("authors", on=("author_id", "id"))
+    assert joined[0]["authors.name"] == "ada"
+
+
+def test_query_one_errors_on_multiple():
+    db = Database(make_schema())
+    db.insert("authors", {"name": "ada"})
+    db.insert("authors", {"name": "bob"})
+    with pytest.raises(QueryError):
+        db.query("authors").one()
+
+
+def test_delete_removes_row_and_index_entry():
+    db = Database(make_schema())
+    author = db.insert("authors", {"name": "ada"})
+    book = db.insert("books", {"title": "b", "author_id": author})
+    db.delete("books", book)
+    assert db.count("books") == 0
+    assert db.find_by("books", "author_id", author) == []
+
+
+class Widget(MappedRecord):
+    __tablename__ = "widgets"
+    __fields__ = ("label", "parent_id")
+
+
+class Gadget(MappedRecord):
+    __tablename__ = "gadgets"
+    __fields__ = ("widget_id", "value")
+
+
+def test_orm_session_roundtrip_and_children():
+    session = Session(Database(schema_for_records([Widget, Gadget])))
+    widget = session.add(Widget(label="w"))
+    session.add_all([Gadget(widget_id=widget.id, value=i) for i in range(3)])
+    assert session.count(Gadget) == 3
+    children = session.children(widget, Gadget, "widget_id")
+    assert sorted(g.value for g in children) == [0, 1, 2]
+    assert session.get(Widget, widget.id) is widget  # identity map
+
+
+def test_orm_rejects_unknown_fields():
+    with pytest.raises(SchemaError):
+        Widget(label="w", bogus=1)

@@ -1,0 +1,153 @@
+"""Unit tests for the labeling-function interface layer."""
+
+import numpy as np
+import pytest
+
+from repro.context.candidates import Candidate, SentenceView, SpanView
+from repro.exceptions import LabelingError
+from repro.labeling import (
+    LFAnalysis,
+    LFApplier,
+    LabelMatrix,
+    LabelingFunction,
+    labeling_function,
+    lf_search,
+    pattern_lf,
+    dictionary_lf,
+    weak_classifier_lf,
+)
+from repro.labeling.generators import CrowdWorkerLFGenerator, OntologyLFGenerator
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE
+
+
+def make_candidate(words, start1=0, end1=1, start2=None, end2=None, uid=0):
+    start2 = len(words) - 1 if start2 is None else start2
+    end2 = len(words) if end2 is None else end2
+    return Candidate(
+        uid=uid,
+        span1=SpanView(words[start1], start1, end1, canonical_id="c1"),
+        span2=SpanView(words[start2], start2, end2, canonical_id="d1"),
+        sentence=SentenceView(words=list(words), text=" ".join(words)),
+    )
+
+
+def test_decorator_normalizes_bool_and_none():
+    @labeling_function()
+    def lf(x):
+        return True if "causes" in x.sentence.words else None
+
+    assert lf(make_candidate(["a", "causes", "b"])) == POSITIVE
+    assert lf(make_candidate(["a", "treats", "b"])) == ABSTAIN
+
+
+def test_invalid_return_value_raises():
+    lf = LabelingFunction("bad", lambda x: 2)
+    with pytest.raises(LabelingError):
+        lf(make_candidate(["a", "b"]))
+
+
+def test_lf_exception_is_wrapped():
+    lf = LabelingFunction("boom", lambda x: 1 / 0)
+    with pytest.raises(LabelingError):
+        lf(make_candidate(["a", "b"]))
+
+
+def test_pattern_lf_between_scope():
+    lf = pattern_lf("causes", label=POSITIVE)
+    assert lf(make_candidate(["mag", "causes", "pre"])) == POSITIVE
+    assert lf(make_candidate(["mag", "treats", "pre"])) == ABSTAIN
+
+
+def test_lf_search_direction():
+    lf = lf_search(r"causes", label=POSITIVE)
+    forward = make_candidate(["mag", "causes", "pre"])
+    assert lf(forward) == POSITIVE
+    reverse = Candidate(
+        uid=1,
+        span1=SpanView("pre", 2, 3),
+        span2=SpanView("mag", 0, 1),
+        sentence=SentenceView(words=["mag", "causes", "pre"], text=""),
+    )
+    assert lf(reverse) == NEGATIVE
+
+
+def test_dictionary_lf_uses_canonical_ids():
+    lf = dictionary_lf([("c1", "d1")], label=POSITIVE)
+    assert lf(make_candidate(["a", "b", "c"])) == POSITIVE
+    lf_other = dictionary_lf([("c9", "d9")], label=POSITIVE)
+    assert lf_other(make_candidate(["a", "b", "c"])) == ABSTAIN
+
+
+def test_weak_classifier_lf_thresholds():
+    lf = weak_classifier_lf(lambda c: 0.9)
+    assert lf(make_candidate(["a", "b"])) == POSITIVE
+    lf_low = weak_classifier_lf(lambda c: 0.1)
+    assert lf_low(make_candidate(["a", "b"])) == NEGATIVE
+    lf_mid = weak_classifier_lf(lambda c: 0.5)
+    assert lf_mid(make_candidate(["a", "b"])) == ABSTAIN
+
+
+def test_ontology_generator_creates_one_lf_per_subset():
+    generator = OntologyLFGenerator(
+        "kb", {"causes": [("c1", "d1")], "treats": [("c2", "d2")]},
+        {"causes": True, "treats": False},
+    )
+    lfs = generator.generate()
+    assert len(lfs) == 2
+    assert {lf(make_candidate(["a", "b"])) for lf in lfs} == {POSITIVE, ABSTAIN}
+
+
+def test_crowd_generator_votes_and_abstains():
+    generator = CrowdWorkerLFGenerator({"w1": {0: 1}, "w2": {1: -1}})
+    lfs = generator.generate()
+    candidate0 = make_candidate(["a", "b"], uid=0)
+    assert [lf(candidate0) for lf in lfs] == [1, 0]
+
+
+def test_applier_shapes_and_report():
+    lfs = [pattern_lf("causes", label=POSITIVE), pattern_lf("treats", label=NEGATIVE)]
+    candidates = [
+        make_candidate(["mag", "causes", "pre"]),
+        make_candidate(["mag", "treats", "pre"]),
+        make_candidate(["mag", "and", "pre"]),
+    ]
+    matrix = LFApplier(lfs).apply(candidates)
+    assert matrix.shape == (3, 2)
+    assert matrix.values[0, 0] == POSITIVE
+    assert matrix.values[1, 1] == NEGATIVE
+    assert matrix.values[2].tolist() == [0, 0]
+
+
+def test_applier_rejects_duplicate_names():
+    lf = pattern_lf("causes", name="dup")
+    with pytest.raises(LabelingError):
+        LFApplier([lf, pattern_lf("treats", name="dup")])
+
+
+def test_applier_fault_tolerant_records_errors():
+    bad = LabelingFunction("bad", lambda x: {})
+    applier = LFApplier([bad], fault_tolerant=True)
+    matrix = applier.apply([make_candidate(["a", "b"])])
+    assert matrix.values[0, 0] == ABSTAIN
+    assert applier.last_report.errors["bad"] == 1
+
+
+def test_label_matrix_statistics():
+    matrix = LabelMatrix(np.array([[1, 0], [-1, 1], [0, 0]]))
+    assert matrix.label_density() == pytest.approx(1.0)
+    assert matrix.coverage() == pytest.approx(2 / 3)
+    assert matrix.vote_counts(1).tolist() == [1, 1, 0]
+    assert matrix.lf_polarity() == [[-1, 1], [1]]
+
+
+def test_lf_analysis_summary_and_accuracy():
+    matrix = LabelMatrix(np.array([[1, 1], [1, -1], [0, -1], [0, 0]]), lf_names=["a", "b"])
+    analysis = LFAnalysis(matrix)
+    gold = np.array([1, 1, -1, -1])
+    accuracies = analysis.lf_empirical_accuracies(gold)
+    assert accuracies[0] == pytest.approx(1.0)
+    assert accuracies[1] == pytest.approx(2 / 3)
+    summary = analysis.summary(gold)
+    assert summary[0].name == "a"
+    assert 0 <= analysis.conflict_fraction() <= 1
+    assert "LF" in analysis.summary_table(gold)

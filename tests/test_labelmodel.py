@@ -1,0 +1,156 @@
+"""Tests for majority vote, the generative model, Dawid-Skene, and advantage."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    generate_correlated_label_matrix,
+    generate_label_matrix,
+    generate_misspecification_example,
+)
+from repro.exceptions import LabelModelError, NotFittedError
+from repro.labelmodel import (
+    GenerativeModel,
+    MajorityVoter,
+    WeightedMajorityVoter,
+    estimate_advantage_bound,
+    modeling_advantage,
+    optimal_advantage,
+)
+from repro.labelmodel.dawid_skene import DawidSkeneModel
+from repro.labelmodel.majority import MultiClassMajorityVoter
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE
+
+
+def test_majority_voter_basic():
+    matrix = np.array([[1, 1, 0], [-1, 1, -1], [0, 0, 0]])
+    voter = MajorityVoter()
+    assert voter.predict(matrix, tie_break=0).tolist() == [1, -1, 0]
+    probs = voter.predict_proba(matrix)
+    assert probs[0] == pytest.approx(1.0)
+    assert probs[2] == pytest.approx(0.5)
+
+
+def test_weighted_majority_voter_uses_weights():
+    matrix = np.array([[1, -1]])
+    voter = WeightedMajorityVoter([2.0, 0.5])
+    assert voter.predict(matrix).tolist() == [1]
+    assert voter.predict_proba(matrix)[0] > 0.5
+
+
+def test_multiclass_majority_voter():
+    matrix = np.array([[1, 1, 2], [0, 3, 3]])
+    voter = MultiClassMajorityVoter(cardinality=3)
+    assert voter.predict(matrix).tolist() == [1, 3]
+    probs = voter.predict_proba(matrix)
+    assert probs.shape == (2, 3)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+def test_generative_model_recovers_accuracy_ordering():
+    data = generate_label_matrix(
+        num_points=800, num_lfs=6, accuracy=[0.9, 0.85, 0.8, 0.65, 0.6, 0.55],
+        propensity=0.5, seed=3,
+    )
+    model = GenerativeModel(epochs=15, seed=0).fit(data.label_matrix)
+    learned = model.learned_accuracies()
+    assert learned[0] > learned[-1]
+    corr = np.corrcoef(learned, data.lf_accuracies)[0, 1]
+    assert corr > 0.5
+
+
+def test_generative_model_beats_or_matches_majority_vote_on_synthetic():
+    data = generate_label_matrix(
+        num_points=1000, num_lfs=10, accuracy=[0.9] * 3 + [0.55] * 7, propensity=0.4, seed=1
+    )
+    model = GenerativeModel(epochs=15, seed=0).fit(data.label_matrix)
+    mv_accuracy = float(
+        (MajorityVoter().predict(data.label_matrix, tie_break=-1) == data.gold_labels).mean()
+    )
+    assert model.score(data.label_matrix, data.gold_labels) >= mv_accuracy - 0.01
+
+
+def test_generative_model_correlations_fix_example_3_1():
+    data = generate_misspecification_example(num_points=1500, seed=2)
+    independent = GenerativeModel(epochs=10, seed=0).fit(data.label_matrix)
+    correlated = GenerativeModel(epochs=10, seed=0).fit(
+        data.label_matrix, correlations=data.correlated_pairs
+    )
+    assert correlated.score(data.label_matrix, data.gold_labels) > independent.score(
+        data.label_matrix, data.gold_labels
+    )
+    # With correlations modeled, the independent block's estimated accuracy is
+    # higher than the correlated (coin-flip) block's.
+    accuracies = correlated.learned_accuracies()
+    assert accuracies[5:].mean() > accuracies[:5].mean()
+
+
+def test_generative_model_cd_method_runs():
+    data = generate_label_matrix(num_points=300, num_lfs=5, propensity=0.5, seed=0)
+    model = GenerativeModel(method="cd", epochs=5, seed=0).fit(data.label_matrix)
+    probs = model.predict_proba(data.label_matrix)
+    assert probs.shape == (300,)
+    assert np.all((probs >= 0) & (probs <= 1))
+
+
+def test_generative_model_validation_errors():
+    with pytest.raises(LabelModelError):
+        GenerativeModel(epochs=0)
+    with pytest.raises(LabelModelError):
+        GenerativeModel(method="bogus")
+    with pytest.raises(NotFittedError):
+        GenerativeModel().predict_proba(np.zeros((2, 2), dtype=int))
+
+
+def test_class_balance_shifts_predictions():
+    matrix = np.array([[1, 0, 0]] * 10 + [[0, -1, 0]] * 10)
+    low = GenerativeModel(epochs=5, class_balance=0.1, seed=0).fit(matrix)
+    high = GenerativeModel(epochs=5, class_balance=0.9, seed=0).fit(matrix)
+    assert high.predict_proba(matrix).mean() > low.predict_proba(matrix).mean()
+
+
+def test_dawid_skene_recovers_worker_quality():
+    rng = np.random.default_rng(0)
+    truth = rng.integers(1, 4, size=400)
+    accuracies = [0.9, 0.85, 0.6, 0.4]
+    matrix = np.zeros((400, 4), dtype=int)
+    for j, accuracy in enumerate(accuracies):
+        correct = rng.random(400) < accuracy
+        wrong = np.where(truth == 1, 2, 1)
+        matrix[:, j] = np.where(correct, truth, wrong)
+    model = DawidSkeneModel(cardinality=3, seed=0).fit(matrix)
+    predictions = model.predict()
+    assert float((predictions == truth).mean()) > 0.85
+    worker_acc = model.worker_accuracies()
+    assert worker_acc[0] > worker_acc[3]
+
+
+def test_dawid_skene_binary_recode():
+    rng = np.random.default_rng(1)
+    truth = rng.choice([-1, 1], size=200)
+    matrix = np.zeros((200, 3), dtype=int)
+    for j in range(3):
+        correct = rng.random(200) < 0.8
+        matrix[:, j] = np.where(correct, truth, -truth)
+    model = DawidSkeneModel(cardinality=2).fit(matrix)
+    assert set(np.unique(model.predict())) <= {-1, 1}
+    assert float((model.predict() == truth).mean()) > 0.8
+
+
+def test_modeling_advantage_definition():
+    matrix = np.array([[1, -1, -1], [1, 0, 0]])
+    gold = np.array([1, 1])
+    weights = np.array([5.0, 0.1, 0.1])
+    advantage = modeling_advantage(matrix, gold, weights)
+    assert advantage == pytest.approx(0.5)  # first row flips correctly, second is unchanged
+    assert optimal_advantage(matrix, gold, [0.99, 0.55, 0.55]) == pytest.approx(0.5)
+
+
+def test_advantage_bound_upper_bounds_zero_disagreement():
+    matrix = np.array([[1, 1], [-1, -1]])
+    assert estimate_advantage_bound(matrix) == pytest.approx(0.0)
+
+
+def test_advantage_bound_positive_with_conflicts():
+    matrix = np.array([[1, -1, 0], [-1, 1, 1]])
+    assert estimate_advantage_bound(matrix) > 0.0

@@ -1,0 +1,82 @@
+"""Integration tests: the end-to-end pipeline, baselines, and the user study."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    distant_supervision_baseline,
+    hand_supervision_baseline,
+    unweighted_lf_baseline,
+)
+from repro.datasets import load_task
+from repro.exceptions import ConfigurationError
+from repro.pipeline import PipelineConfig, SnorkelPipeline
+from repro.userstudy import simulate_user_study
+from repro.userstudy.simulate import generate_participants, scores_by_factor
+
+
+@pytest.fixture(scope="module")
+def small_cdr():
+    return load_task("cdr", scale=0.06, seed=0)
+
+
+def test_pipeline_end_to_end(small_cdr):
+    config = PipelineConfig(generative_epochs=5, discriminative_epochs=10, seed=0)
+    result = SnorkelPipeline(config=config).run(small_cdr)
+    assert result.strategy is not None
+    assert result.training_probs.shape[0] == len(small_cdr.split_candidates("train"))
+    assert np.all((result.training_probs >= 0) & (result.training_probs <= 1))
+    assert 0.0 <= result.discriminative_f1 <= 1.0
+    assert set(result.timings) == {"lf_application", "label_modeling", "discriminative_training"}
+
+
+def test_pipeline_force_mv_strategy(small_cdr):
+    config = PipelineConfig(force_strategy="MV", discriminative_epochs=5, seed=0)
+    result = SnorkelPipeline(config=config).run(small_cdr)
+    assert result.generative_model is None
+
+
+def test_pipeline_rejects_multiclass_task():
+    crowd = load_task("crowd", scale=0.1, seed=0)
+    with pytest.raises(ConfigurationError):
+        SnorkelPipeline().run(crowd)
+
+
+def test_pipeline_config_validation():
+    with pytest.raises(ConfigurationError):
+        PipelineConfig(force_strategy="nope")
+
+
+def test_baselines_produce_reports(small_cdr):
+    distant = distant_supervision_baseline(small_cdr, epochs=5)
+    hand = hand_supervision_baseline(small_cdr, epochs=5)
+    unweighted = unweighted_lf_baseline(small_cdr, epochs=5)
+    for report in (distant, hand, unweighted):
+        assert 0.0 <= report.f1 <= 1.0
+        assert report.tp + report.fp + report.tn + report.fn == len(
+            small_cdr.split_candidates("test")
+        )
+
+
+def test_hand_supervision_budget_subsamples(small_cdr):
+    limited = hand_supervision_baseline(small_cdr, label_budget=20, epochs=5, seed=1)
+    assert 0.0 <= limited.f1 <= 1.0
+
+
+def test_user_study_simulation():
+    task = load_task("spouses", scale=0.05, seed=0)
+    result = simulate_user_study(task, num_participants=3, hand_label_budget=100, seed=0)
+    assert len(result.participants) == 3
+    assert all(3 <= p.num_lfs <= 14 for p in result.participants)
+    assert 0.0 <= result.mean_snorkel_f1 <= 1.0
+    grouped = scores_by_factor(result, "education")
+    assert sum(len(v) for v in grouped.values()) == 3
+    pooled = result.pooled_lfs()
+    assert len(pooled) == sum(p.num_lfs for p in result.participants)
+    assert len({lf.name for lf in pooled}) == len(pooled)
+
+
+def test_participant_demographics():
+    profiles = generate_participants(14, seed=0)
+    assert len(profiles) == 14
+    assert all(0.0 <= profile.skill <= 1.0 for profile in profiles)

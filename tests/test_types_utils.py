@@ -1,0 +1,63 @@
+"""Tests for core types, RNG helpers, and text utilities."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    ABSTAIN,
+    NEGATIVE,
+    POSITIVE,
+    labels_to_probs,
+    probs_to_labels,
+    validate_ground_truth,
+    validate_label_matrix,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.textutils import contains_any, ngrams, split_sentences, tokenize, window
+
+
+def test_label_constants():
+    assert ABSTAIN == 0 and POSITIVE == 1 and NEGATIVE == -1
+
+
+def test_validate_label_matrix_rejects_bad_values():
+    with pytest.raises(ValueError):
+        validate_label_matrix(np.array([[2, 0]]))
+    with pytest.raises(ValueError):
+        validate_label_matrix(np.array([1, 0, -1]))
+
+
+def test_validate_ground_truth_rejects_abstain():
+    with pytest.raises(ValueError):
+        validate_ground_truth([1, 0, -1])
+
+
+def test_probs_labels_roundtrip():
+    probs = np.array([0.9, 0.1, 0.5])
+    labels = probs_to_labels(probs, tie_value=NEGATIVE)
+    assert labels.tolist() == [1, -1, -1]
+    assert labels_to_probs([1, -1]).tolist() == [1.0, 0.0]
+
+
+def test_ensure_rng_passthrough_and_seeding():
+    rng = np.random.default_rng(0)
+    assert ensure_rng(rng) is rng
+    assert ensure_rng(5).integers(100) == ensure_rng(5).integers(100)
+
+
+def test_spawn_rngs_independent_streams():
+    children = spawn_rngs(0, 3)
+    draws = [child.integers(1_000_000) for child in children]
+    assert len(set(draws)) == 3
+
+
+def test_tokenize_and_sentences():
+    assert tokenize("a-b c") == ["a", "-", "b", "c"]
+    assert split_sentences("One. Two.") == ["One.", "Two."]
+
+
+def test_ngrams_and_window():
+    assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+    left, right = window(["a", "b", "c", "d"], 1, 3, 2)
+    assert left == ["a"] and right == ["d"]
+    assert contains_any(["The", "Drug"], ["drug"])
