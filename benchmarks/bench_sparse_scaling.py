@@ -1,0 +1,122 @@
+"""Dense vs sparse label-model scaling: fit time and peak memory.
+
+The generative model's EM estimator does O(m·n) work per epoch on dense
+storage but only O(nnz) on the CSR backend.  At the low coverages real LF
+suites produce (a few percent), the sparse path should therefore win by
+roughly the inverse coverage.  This bench generates identical vote sets in
+both storages (same seed, same draws), fits both, verifies the probabilistic
+labels agree to 1e-10, and records the time and peak-memory ratio at several
+row counts.
+
+``run_scaling`` is importable — ``scripts/run_benchmarks.py`` calls it to
+write the ``BENCH_sparse.json`` perf snapshot that future PRs compare
+against.
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_label_matrix
+from repro.labelmodel.generative import GenerativeModel
+
+#: (num_points, num_lfs, coverage) grid; the last entry is the acceptance
+#: configuration (50k rows x 100 LFs at 2% coverage).
+DEFAULT_CONFIGS = (
+    (10_000, 50, 0.02),
+    (50_000, 100, 0.02),
+)
+
+FIT_EPOCHS = 12
+
+
+def _timed_fit(label_matrix, epochs: int, seed: int):
+    start = time.perf_counter()
+    model = GenerativeModel(epochs=epochs, seed=seed).fit(label_matrix)
+    return model, time.perf_counter() - start
+
+
+def _peak_fit_memory(label_matrix, seed: int) -> int:
+    """Peak traced allocation of a short fit (peak is epoch-independent)."""
+    tracemalloc.start()
+    GenerativeModel(epochs=2, seed=seed).fit(label_matrix)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(peak)
+
+
+def run_scaling(configs=DEFAULT_CONFIGS, epochs=FIT_EPOCHS, seed=0):
+    """Fit dense and sparse storage on identical matrices; return one record each.
+
+    Each record carries the configuration, both fit times (tracemalloc off),
+    both peak memories (separate short fits with tracemalloc on), the
+    time/memory ratios, and the max absolute difference of the probabilistic
+    labels between the two backends.
+    """
+    records = []
+    for num_points, num_lfs, coverage in configs:
+        data = generate_label_matrix(
+            num_points=num_points,
+            num_lfs=num_lfs,
+            accuracy=0.75,
+            propensity=coverage,
+            seed=seed,
+        )
+        dense = data.label_matrix
+        sparse = dense.to_sparse()
+
+        dense_model, dense_seconds = _timed_fit(dense, epochs, seed)
+        sparse_model, sparse_seconds = _timed_fit(sparse, epochs, seed)
+        max_prob_diff = float(
+            np.abs(dense_model.predict_proba(dense) - sparse_model.predict_proba(sparse)).max()
+        )
+        dense_peak = _peak_fit_memory(dense, seed)
+        sparse_peak = _peak_fit_memory(sparse, seed)
+
+        records.append(
+            {
+                "num_points": num_points,
+                "num_lfs": num_lfs,
+                "coverage": coverage,
+                "nnz": int(sparse.storage.nnz),
+                "epochs": epochs,
+                "dense_seconds": dense_seconds,
+                "sparse_seconds": sparse_seconds,
+                "speedup": dense_seconds / max(sparse_seconds, 1e-12),
+                "dense_peak_bytes": dense_peak,
+                "sparse_peak_bytes": sparse_peak,
+                "memory_ratio": dense_peak / max(sparse_peak, 1),
+                "max_prob_diff": max_prob_diff,
+            }
+        )
+    return records
+
+
+def format_records(records) -> str:
+    header = (
+        f"{'rows':>8} {'LFs':>5} {'cov':>5} {'dense s':>9} {'sparse s':>9} "
+        f"{'speedup':>8} {'dense MB':>9} {'sparse MB':>10} {'mem x':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r['num_points']:>8} {r['num_lfs']:>5} {r['coverage']:>5.2f} "
+            f"{r['dense_seconds']:>9.3f} {r['sparse_seconds']:>9.3f} {r['speedup']:>8.1f} "
+            f"{r['dense_peak_bytes'] / 1e6:>9.1f} {r['sparse_peak_bytes'] / 1e6:>10.1f} "
+            f"{r['memory_ratio']:>6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_sparse_scaling(run_once):
+    records = run_once(run_scaling)
+    print("\n[Sparse scaling]\n" + format_records(records))
+    for record in records:
+        # Identical probabilistic labels from both storages.
+        assert record["max_prob_diff"] < 1e-10
+    # Acceptance: >= 3x fit-time improvement at 50k rows x 100 LFs x 2% coverage.
+    largest = records[-1]
+    assert largest["num_points"] == 50_000
+    assert largest["speedup"] >= 3.0, f"sparse speedup only {largest['speedup']:.1f}x"
+    assert largest["memory_ratio"] > 1.0

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Execute the benchmark suite and write a perf snapshot for trajectory tracking.
+
+Runs the ``benchmarks/bench_*.py`` pytest suite (the paper-artifact harness)
+and then the dense-vs-sparse scaling measurement from
+``benchmarks/bench_sparse_scaling.py``, writing the latter to a JSON snapshot
+(default ``BENCH_sparse.json`` in the repository root) so future PRs have a
+baseline to compare fit-time and peak-memory numbers against.
+
+Usage::
+
+    python scripts/run_benchmarks.py                 # suite + snapshot
+    python scripts/run_benchmarks.py --skip-suite    # snapshot only
+    python scripts/run_benchmarks.py --output /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _load_scaling_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_sparse_scaling", REPO_ROOT / "benchmarks" / "bench_sparse_scaling.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_suite() -> int:
+    """Run the full ``benchmarks/`` pytest collection; return its exit code."""
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", str(REPO_ROOT / "benchmarks"), "-q"],
+        cwd=REPO_ROOT,
+    )
+
+
+def write_snapshot(output: Path) -> dict:
+    """Measure dense-vs-sparse scaling and write the JSON snapshot."""
+    import numpy as np
+
+    from repro.labeling.sparse import HAVE_SCIPY
+
+    bench = _load_scaling_module()
+    records = bench.run_scaling()
+    snapshot = {
+        "benchmark": "bench_sparse_scaling",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy_backend": HAVE_SCIPY,
+        "records": records,
+    }
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(bench.format_records(records))
+    print(f"\nwrote {output}")
+    return snapshot
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sparse.json",
+        help="snapshot path (default: BENCH_sparse.json in the repo root)",
+    )
+    parser.add_argument(
+        "--skip-suite",
+        action="store_true",
+        help="skip the pytest benchmark suite, only write the scaling snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    if str(SRC) not in sys.path:
+        sys.path.insert(0, str(SRC))
+
+    exit_code = 0
+    if not args.skip_suite:
+        exit_code = run_suite()
+    write_snapshot(args.output)
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

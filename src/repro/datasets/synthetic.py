@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.exceptions import DatasetError
 from repro.labeling.matrix import LabelMatrix
+from repro.labeling.sparse import SparseLabelMatrix
 from repro.types import NEGATIVE, POSITIVE
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -39,6 +40,7 @@ def generate_label_matrix(
     propensity: float | Sequence[float] = 0.1,
     class_balance: float = 0.5,
     seed: SeedLike = 0,
+    sparse: bool = False,
 ) -> SyntheticMatrixResult:
     """Generate an independent-LF label matrix (the Figure 4 setting).
 
@@ -55,6 +57,11 @@ def generate_label_matrix(
         ``p_l``; 10% in the Figure 4 simulation).
     class_balance:
         Fraction of positive gold labels.
+    sparse:
+        When ``True`` the non-abstain votes are accumulated as triples and
+        the returned matrix uses CSR storage — the dense ``(m, n)`` array is
+        never allocated, so very large low-coverage matrices fit in memory.
+        The same seed emits the same votes in both modes.
     """
     if num_points <= 0 or num_lfs <= 0:
         raise DatasetError(f"num_points and num_lfs must be positive, got {num_points}, {num_lfs}")
@@ -64,13 +71,33 @@ def generate_label_matrix(
     accuracies = _broadcast("accuracy", accuracy, num_lfs)
     propensities = _broadcast("propensity", propensity, num_lfs)
     gold = np.where(rng.random(num_points) < class_balance, POSITIVE, NEGATIVE).astype(np.int64)
-    matrix = np.zeros((num_points, num_lfs), dtype=np.int64)
-    for j in range(num_lfs):
-        votes = rng.random(num_points) < propensities[j]
-        correct = rng.random(num_points) < accuracies[j]
-        matrix[votes, j] = np.where(correct[votes], gold[votes], -gold[votes])
+    if sparse:
+        row_chunks: list[np.ndarray] = []
+        col_chunks: list[np.ndarray] = []
+        val_chunks: list[np.ndarray] = []
+        for j in range(num_lfs):
+            votes = rng.random(num_points) < propensities[j]
+            correct = rng.random(num_points) < accuracies[j]
+            rows = np.flatnonzero(votes)
+            row_chunks.append(rows)
+            col_chunks.append(np.full(rows.size, j, dtype=np.int64))
+            val_chunks.append(np.where(correct[rows], gold[rows], -gold[rows]))
+        storage = SparseLabelMatrix.from_triples(
+            np.concatenate(row_chunks) if row_chunks else [],
+            np.concatenate(col_chunks) if col_chunks else [],
+            np.concatenate(val_chunks) if val_chunks else [],
+            (num_points, num_lfs),
+        )
+        label_matrix = LabelMatrix(storage)
+    else:
+        matrix = np.zeros((num_points, num_lfs), dtype=np.int64)
+        for j in range(num_lfs):
+            votes = rng.random(num_points) < propensities[j]
+            correct = rng.random(num_points) < accuracies[j]
+            matrix[votes, j] = np.where(correct[votes], gold[votes], -gold[votes])
+        label_matrix = LabelMatrix(matrix)
     return SyntheticMatrixResult(
-        label_matrix=LabelMatrix(matrix),
+        label_matrix=label_matrix,
         gold_labels=gold,
         lf_accuracies=accuracies,
         lf_propensities=propensities,
@@ -87,6 +114,7 @@ def generate_correlated_label_matrix(
     copy_probability: float = 0.9,
     class_balance: float = 0.5,
     seed: SeedLike = 0,
+    sparse: bool = False,
 ) -> SyntheticMatrixResult:
     """Generate a matrix with planted correlated LF families (Figure 5-left).
 
@@ -127,8 +155,11 @@ def generate_correlated_label_matrix(
 
     matrix = np.column_stack(columns) if columns else np.zeros((num_points, 0), dtype=np.int64)
     num_lfs = matrix.shape[1]
+    label_matrix = LabelMatrix(matrix)
+    if sparse:
+        label_matrix = label_matrix.to_sparse()
     return SyntheticMatrixResult(
-        label_matrix=LabelMatrix(matrix),
+        label_matrix=label_matrix,
         gold_labels=gold,
         lf_accuracies=np.full(num_lfs, accuracy),
         lf_propensities=np.full(num_lfs, propensity),
@@ -143,6 +174,7 @@ def generate_misspecification_example(
     correlated_accuracy: float = 0.5,
     independent_accuracy: float = 0.99,
     seed: SeedLike = 0,
+    sparse: bool = False,
 ) -> SyntheticMatrixResult:
     """The catastrophic-mis-specification scenario of paper Example 3.1.
 
@@ -167,8 +199,11 @@ def generate_misspecification_example(
     accuracies = np.array(
         [correlated_accuracy] * num_correlated + [independent_accuracy] * num_independent
     )
+    label_matrix = LabelMatrix(matrix)
+    if sparse:
+        label_matrix = label_matrix.to_sparse()
     return SyntheticMatrixResult(
-        label_matrix=LabelMatrix(matrix),
+        label_matrix=label_matrix,
         gold_labels=gold,
         lf_accuracies=accuracies,
         lf_propensities=np.ones(num_correlated + num_independent),

@@ -5,6 +5,13 @@ This package reproduces the paper's "flexible interface for sources"
 (patterns, dictionaries, distant supervision from ontologies, weak
 classifiers), labeling-function generators, an applier producing the label
 matrix Λ, and analysis utilities (coverage / overlap / conflict / accuracy).
+
+Label matrices come with two storage backends.  The default is a dense
+integer array; ``LabelMatrix.to_sparse()`` (or ``LFApplier.apply(...,
+sparse=True)``) switches to :class:`repro.labeling.sparse.SparseLabelMatrix`,
+a CSR-style store of only the non-abstain entries.  Every consumer dispatches
+on the backend automatically — dense call sites keep working unchanged, while
+the label-model hot paths consume the sparse storage without densifying.
 """
 
 from repro.labeling.lf import LabelingFunction, labeling_function
@@ -16,11 +23,14 @@ from repro.labeling.declarative import (
     weak_classifier_lf,
 )
 from repro.labeling.generators import OntologyLFGenerator, CrowdWorkerLFGenerator
-from repro.labeling.applier import LFApplier
+from repro.labeling.applier import ApplyReport, LFApplier
 from repro.labeling.matrix import LabelMatrix
+from repro.labeling.sparse import SparseLabelMatrix
 from repro.labeling.analysis import LFAnalysis
 
 __all__ = [
+    "ApplyReport",
+    "SparseLabelMatrix",
     "LabelingFunction",
     "labeling_function",
     "lf_search",

@@ -18,6 +18,7 @@ import numpy as np
 from repro.exceptions import LabelingError
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
+from repro.labeling.sparse import SparseLabelMatrix
 from repro.types import ABSTAIN
 
 
@@ -40,6 +41,11 @@ class ApplyReport:
     num_lfs: int = 0
     num_chunks: int = 0
     errors: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_errors(self) -> int:
+        """Total number of suppressed labeling-function exceptions."""
+        return sum(self.errors.values())
 
 
 class LFApplier:
@@ -82,26 +88,55 @@ class LFApplier:
         """Column names of the produced label matrix."""
         return [lf.name for lf in self.lfs]
 
-    def apply(self, candidates: Sequence) -> LabelMatrix:
-        """Apply every LF to every candidate and return the label matrix Λ."""
+    def apply(self, candidates: Sequence, sparse: bool = False) -> LabelMatrix:
+        """Apply every LF to every candidate and return the label matrix Λ.
+
+        With ``sparse=True`` the non-abstain outputs are accumulated as
+        ``(row, col, value)`` triples and the returned matrix uses the CSR
+        storage backend — the dense ``(m, n)`` array is never materialized,
+        so memory scales with the number of emitted labels rather than with
+        ``m·n``.  The labels themselves are identical in both modes.
+        """
         candidates = list(candidates)
         report = ApplyReport(num_candidates=len(candidates), num_lfs=len(self.lfs))
-        matrix = np.full((len(candidates), len(self.lfs)), ABSTAIN, dtype=np.int64)
+        if sparse:
+            rows: list[int] = []
+            cols: list[int] = []
+            vals: list[int] = []
+        else:
+            matrix = np.full((len(candidates), len(self.lfs)), ABSTAIN, dtype=np.int64)
         for chunk_start in range(0, len(candidates), self.chunk_size):
             chunk = candidates[chunk_start : chunk_start + self.chunk_size]
             report.num_chunks += 1
             for offset, candidate in enumerate(chunk):
                 row = chunk_start + offset
                 for column, lf in enumerate(self.lfs):
-                    matrix[row, column] = self._apply_one(lf, candidate, report)
+                    label = self._apply_one(lf, candidate, report)
+                    if sparse:
+                        if label != ABSTAIN:
+                            rows.append(row)
+                            cols.append(column)
+                            vals.append(label)
+                    else:
+                        matrix[row, column] = label
         self.last_report = report
         cardinality = max((lf.cardinality for lf in self.lfs), default=2)
+        if sparse:
+            storage = SparseLabelMatrix.from_triples(
+                rows, cols, vals, (len(candidates), len(self.lfs))
+            )
+            return LabelMatrix(storage, lf_names=self.lf_names, cardinality=cardinality)
         return LabelMatrix(matrix, lf_names=self.lf_names, cardinality=cardinality)
 
     def _apply_one(self, lf: LabelingFunction, candidate, report: ApplyReport) -> int:
+        # Catch every Exception, not just LabelingError: user LFs are black
+        # boxes and may raise anything (KeyError, AttributeError, ...).  A
+        # fault-tolerant run converts all of them to abstentions and counts
+        # them; KeyboardInterrupt/SystemExit are not Exception subclasses and
+        # still propagate.
         try:
             return lf(candidate)
-        except LabelingError:
+        except Exception:
             if not self.fault_tolerant:
                 raise
             report.errors[lf.name] = report.errors.get(lf.name, 0) + 1

@@ -1,19 +1,52 @@
 """The label matrix Λ: labeling-function outputs over a candidate set.
 
-``LabelMatrix`` is a thin, validated wrapper around an integer numpy array of
-shape ``(num_candidates, num_lfs)`` with named columns, plus the summary
-quantities the paper's analysis and optimizer rely on — most importantly the
-label density ``d_Λ`` (mean number of non-abstaining labels per data point).
+``LabelMatrix`` is a thin, validated wrapper around the labeling-function
+output matrix of shape ``(num_candidates, num_lfs)`` with named columns, plus
+the summary quantities the paper's analysis and optimizer rely on — most
+importantly the label density ``d_Λ`` (mean number of non-abstaining labels
+per data point).
+
+Two storage backends are supported and dispatched on transparently:
+
+* **dense** — an integer numpy array, the default and the right choice for
+  small or high-coverage matrices;
+* **sparse** — a :class:`repro.labeling.sparse.SparseLabelMatrix` holding only
+  the non-abstain entries in CSR form, the right choice for the low-coverage
+  matrices real LF suites produce.
+
+``to_sparse()`` / ``to_dense()`` convert between the two; every statistic on
+this class (``label_density``, ``coverage``, ``lf_coverage``,
+``class_balance``, ``vote_counts``, …) has a sparse-aware implementation, and
+the label-model hot paths consume the sparse storage without densifying.
+Accessing ``.values`` on a sparse-backed matrix materializes a dense copy —
+it exists for compatibility, not for hot paths.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import LabelingError
+from repro.labeling.sparse import HAVE_SCIPY, SparseLabelMatrix, _scipy_sparse
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE, validate_label_matrix
+
+
+def _validate_sparse_labels(storage: SparseLabelMatrix, cardinality: int) -> None:
+    """Check that the stored (non-abstain) values fit the task's vocabulary."""
+    if storage.nnz == 0:
+        return
+    values = np.unique(storage.data)
+    if cardinality == 2:
+        allowed = {NEGATIVE, POSITIVE}
+    else:
+        allowed = set(range(1, cardinality + 1))
+    unexpected = [int(v) for v in values if int(v) not in allowed]
+    if unexpected:
+        raise LabelingError(
+            f"sparse label matrix contains values {unexpected} outside {sorted(allowed)}"
+        )
 
 
 class LabelMatrix:
@@ -21,49 +54,123 @@ class LabelMatrix:
 
     def __init__(
         self,
-        values: np.ndarray,
+        values: Union[np.ndarray, SparseLabelMatrix],
         lf_names: Optional[Sequence[str]] = None,
         cardinality: int = 2,
     ) -> None:
-        self.values = validate_label_matrix(values, cardinality=cardinality)
+        if isinstance(values, SparseLabelMatrix):
+            _validate_sparse_labels(values, cardinality)
+            self._sparse: Optional[SparseLabelMatrix] = values
+            self._dense: Optional[np.ndarray] = None
+        elif HAVE_SCIPY and _scipy_sparse is not None and _scipy_sparse.issparse(values):
+            storage = SparseLabelMatrix.from_scipy(values)
+            _validate_sparse_labels(storage, cardinality)
+            self._sparse = storage
+            self._dense = None
+        else:
+            self._dense = validate_label_matrix(values, cardinality=cardinality)
+            self._sparse = None
         self.cardinality = cardinality
         if lf_names is None:
-            lf_names = [f"lf_{j}" for j in range(self.values.shape[1])]
-        if len(lf_names) != self.values.shape[1]:
+            lf_names = [f"lf_{j}" for j in range(self.shape[1])]
+        if len(lf_names) != self.shape[1]:
             raise LabelingError(
-                f"got {len(lf_names)} LF names for a matrix with {self.values.shape[1]} columns"
+                f"got {len(lf_names)} LF names for a matrix with {self.shape[1]} columns"
             )
         self.lf_names = list(lf_names)
+
+    # ----------------------------------------------------------------- storage
+    @property
+    def is_sparse(self) -> bool:
+        """Whether this matrix is stored sparsely (non-abstain entries only)."""
+        return self._sparse is not None
+
+    @property
+    def storage(self) -> Union[np.ndarray, SparseLabelMatrix]:
+        """The backing storage object (ndarray or :class:`SparseLabelMatrix`)."""
+        return self._sparse if self._sparse is not None else self._dense
+
+    @property
+    def values(self) -> np.ndarray:
+        """The dense integer array.
+
+        For sparse storage this materializes a dense copy on every access;
+        prefer :attr:`storage` (and the sparse-aware statistics on this class)
+        in performance-sensitive code.
+        """
+        if self._dense is not None:
+            return self._dense
+        return self._sparse.to_dense()
+
+    def to_sparse(self) -> "LabelMatrix":
+        """This matrix with sparse (CSR) storage (self if already sparse)."""
+        if self.is_sparse:
+            return self
+        return LabelMatrix(
+            SparseLabelMatrix.from_dense(self._dense),
+            lf_names=self.lf_names,
+            cardinality=self.cardinality,
+        )
+
+    def to_dense(self) -> "LabelMatrix":
+        """This matrix with dense storage (self if already dense)."""
+        if not self.is_sparse:
+            return self
+        return LabelMatrix(
+            self._sparse.to_dense(), lf_names=self.lf_names, cardinality=self.cardinality
+        )
+
+    @classmethod
+    def from_sparse(
+        cls,
+        storage: SparseLabelMatrix,
+        lf_names: Optional[Sequence[str]] = None,
+        cardinality: int = 2,
+    ) -> "LabelMatrix":
+        """Wrap an existing :class:`SparseLabelMatrix` (or scipy sparse matrix)."""
+        if not isinstance(storage, SparseLabelMatrix):
+            storage = SparseLabelMatrix.from_scipy(storage)
+        return cls(storage, lf_names=lf_names, cardinality=cardinality)
 
     # ------------------------------------------------------------------ basics
     @property
     def shape(self) -> tuple[int, int]:
         """``(num_candidates, num_lfs)``."""
-        return self.values.shape  # type: ignore[return-value]
+        if self._dense is not None:
+            return self._dense.shape  # type: ignore[return-value]
+        return self._sparse.shape
 
     @property
     def num_candidates(self) -> int:
         """Number of data points (rows)."""
-        return self.values.shape[0]
+        return self.shape[0]
 
     @property
     def num_lfs(self) -> int:
         """Number of labeling functions (columns)."""
-        return self.values.shape[1]
+        return self.shape[1]
 
     def __getitem__(self, item):
         return self.values[item]
 
     def column(self, lf_name: str) -> np.ndarray:
-        """Return the label vector of the LF called ``lf_name``."""
+        """Return the (dense) label vector of the LF called ``lf_name``."""
         try:
             index = self.lf_names.index(lf_name)
         except ValueError:
             raise LabelingError(f"no labeling function named {lf_name!r}") from None
-        return self.values[:, index]
+        if self._dense is not None:
+            return self._dense[:, index]
+        rows, vals = self._sparse.column(index)
+        column = np.full(self.num_candidates, ABSTAIN, dtype=np.int64)
+        column[rows] = vals
+        return column
 
     def select_lfs(self, names_or_indices: Iterable) -> "LabelMatrix":
-        """Return a new matrix restricted to the given LFs (by name or index)."""
+        """Return a new matrix restricted to the given LFs (by name or index).
+
+        The storage backend (dense or sparse) is preserved.
+        """
         indices = []
         for item in names_or_indices:
             if isinstance(item, str):
@@ -72,55 +179,77 @@ class LabelMatrix:
                 indices.append(self.lf_names.index(item))
             else:
                 indices.append(int(item))
+        if self._dense is not None:
+            selected: Union[np.ndarray, SparseLabelMatrix] = self._dense[:, indices]
+        else:
+            selected = self._sparse.select_columns(indices)
         return LabelMatrix(
-            self.values[:, indices],
+            selected,
             lf_names=[self.lf_names[i] for i in indices],
             cardinality=self.cardinality,
         )
 
     def select_rows(self, row_indices: Sequence[int] | np.ndarray) -> "LabelMatrix":
-        """Return a new matrix restricted to the given rows."""
-        return LabelMatrix(
-            self.values[np.asarray(row_indices)],
-            lf_names=self.lf_names,
-            cardinality=self.cardinality,
-        )
+        """Return a new matrix restricted to the given rows (storage preserved)."""
+        row_indices = np.asarray(row_indices)
+        if self._dense is not None:
+            selected: Union[np.ndarray, SparseLabelMatrix] = self._dense[row_indices]
+        else:
+            selected = self._sparse.select_rows(row_indices)
+        return LabelMatrix(selected, lf_names=self.lf_names, cardinality=self.cardinality)
 
     # --------------------------------------------------------------- statistics
     @property
     def non_abstain_mask(self) -> np.ndarray:
-        """Boolean mask of non-abstaining entries."""
-        return self.values != ABSTAIN
+        """Boolean mask of non-abstaining entries (dense, ``(m, n)``)."""
+        if self._dense is not None:
+            return self._dense != ABSTAIN
+        mask = np.zeros(self.shape, dtype=bool)
+        mask[self._sparse.entry_rows(), self._sparse.indices] = True
+        return mask
 
     def label_density(self) -> float:
         """Mean number of non-abstaining labels per data point (paper's d_Λ)."""
         if self.num_candidates == 0:
             return 0.0
+        if self._sparse is not None:
+            return float(self._sparse.nnz / self.num_candidates)
         return float(self.non_abstain_mask.sum(axis=1).mean())
 
     def coverage(self) -> float:
         """Fraction of data points with at least one non-abstaining label."""
         if self.num_candidates == 0:
             return 0.0
+        if self._sparse is not None:
+            return float((self._sparse.row_nnz() > 0).mean())
         return float((self.non_abstain_mask.sum(axis=1) > 0).mean())
 
     def lf_coverage(self) -> np.ndarray:
         """Per-LF fraction of data points it labels."""
         if self.num_candidates == 0:
             return np.zeros(self.num_lfs)
+        if self._sparse is not None:
+            return self._sparse.col_nnz() / self.num_candidates
         return self.non_abstain_mask.mean(axis=0)
 
     def lf_polarity(self) -> list[list[int]]:
         """Per-LF sorted list of distinct non-abstain labels it emits."""
         polarities = []
         for j in range(self.num_lfs):
-            column = self.values[:, j]
-            polarities.append(sorted(int(v) for v in np.unique(column[column != ABSTAIN])))
+            if self._sparse is not None:
+                _, vals = self._sparse.column(j)
+                polarities.append(sorted(int(v) for v in np.unique(vals)))
+            else:
+                column = self._dense[:, j]
+                polarities.append(sorted(int(v) for v in np.unique(column[column != ABSTAIN])))
         return polarities
 
     def class_balance(self) -> dict[int, float]:
         """Distribution of emitted (non-abstain) labels across the matrix."""
-        non_abstain = self.values[self.non_abstain_mask]
+        if self._sparse is not None:
+            non_abstain = self._sparse.data
+        else:
+            non_abstain = self._dense[self._dense != ABSTAIN]
         if non_abstain.size == 0:
             return {}
         labels, counts = np.unique(non_abstain, return_counts=True)
@@ -129,15 +258,32 @@ class LabelMatrix:
 
     def vote_counts(self, label: int) -> np.ndarray:
         """Per-row counts of LFs voting exactly ``label`` (the paper's c_y(Λ_i))."""
-        return (self.values == label).sum(axis=1)
+        if self._sparse is not None:
+            return self._sparse.count_per_row(label)
+        return (self._dense == label).sum(axis=1)
+
+    def covered_rows(self) -> np.ndarray:
+        """Boolean mask of rows with at least one non-abstaining label."""
+        if self._sparse is not None:
+            return self._sparse.row_nnz() > 0
+        return (self._dense != ABSTAIN).any(axis=1)
+
+    def row_sums(self) -> np.ndarray:
+        """Per-row sum of the entries (the unweighted vote score ``f_1(Λ_i)``)."""
+        if self._sparse is not None:
+            return self._sparse.row_sums()
+        return self._dense.sum(axis=1).astype(float)
 
     # ----------------------------------------------------------------- exports
     def to_array(self) -> np.ndarray:
-        """Return a copy of the underlying integer array."""
-        return self.values.copy()
+        """Return a (dense) copy of the underlying integer array."""
+        if self._dense is not None:
+            return self._dense.copy()
+        return self._sparse.to_dense()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        backend = "sparse" if self.is_sparse else "dense"
         return (
-            f"LabelMatrix(shape={self.shape}, density={self.label_density():.2f}, "
-            f"coverage={self.coverage():.2f})"
+            f"LabelMatrix(shape={self.shape}, storage={backend}, "
+            f"density={self.label_density():.2f}, coverage={self.coverage():.2f})"
         )

@@ -1,0 +1,339 @@
+"""Sparse (CSR-style) storage of label matrices.
+
+Real labeling-function suites have low coverage: most entries of Λ are the
+abstain value, so dense ``(m, n)`` storage wastes both memory and FLOPs on
+zeros.  :class:`SparseLabelMatrix` stores only the non-abstain entries in
+compressed-sparse-row form — ``indptr`` / ``indices`` / ``data`` exactly as in
+``scipy.sparse.csr_matrix`` — plus a cached column-major (CSC) view for the
+column-sliced access patterns of the label model and structure learner.
+
+The canonical representation is three numpy arrays, so the backend works
+without SciPy; when :mod:`scipy.sparse` is importable the heavy conversions
+and matvecs are routed through it (``to_scipy`` shares the arrays, no copy).
+All label-model hot paths (:mod:`repro.labelmodel.generative`,
+:mod:`repro.labelmodel.gibbs`, :mod:`repro.labelmodel.structure`) consume this
+storage directly without densifying.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.types import ABSTAIN
+
+try:  # pragma: no cover - exercised implicitly on scipy-equipped machines
+    import scipy.sparse as _scipy_sparse
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - the pure-numpy fallback
+    _scipy_sparse = None
+    HAVE_SCIPY = False
+
+#: Set to True (e.g. by tests) to force the pure-numpy code paths even when
+#: scipy is installed, so both backends stay covered.
+FORCE_NUMPY_FALLBACK = False
+
+
+def _use_scipy() -> bool:
+    return HAVE_SCIPY and not FORCE_NUMPY_FALLBACK
+
+
+def _ranges_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]`` vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+
+
+class SparseLabelMatrix:
+    """CSR storage of the non-abstain entries of a label matrix Λ.
+
+    Parameters
+    ----------
+    indptr, indices, data:
+        Standard CSR arrays: row ``i``'s entries live at positions
+        ``indptr[i]:indptr[i + 1]``, with column ids ``indices`` and label
+        values ``data`` (never ``ABSTAIN``; column ids strictly increasing
+        within each row).
+    shape:
+        ``(num_candidates, num_lfs)``.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+        self._csc_cache: Optional[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+        self._entry_rows: Optional[np.ndarray] = None
+
+    def _validate(self) -> None:
+        m, n = self.shape
+        if self.indptr.shape != (m + 1,):
+            raise LabelingError(
+                f"indptr must have length {m + 1} for {m} rows, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise LabelingError("indptr must start at 0 and be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise LabelingError(
+                f"indices/data must have length {nnz}, got {self.indices.shape}/{self.data.shape}"
+            )
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise LabelingError(f"column indices out of range for {n} labeling functions")
+        if np.any(self.data == ABSTAIN):
+            raise LabelingError("sparse label storage must not contain abstain entries")
+
+    # ------------------------------------------------------------- construction
+    @classmethod
+    def from_dense(cls, values: np.ndarray) -> "SparseLabelMatrix":
+        """Compress a dense label matrix (abstains dropped)."""
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise LabelingError(f"label matrix must be 2-dimensional, got shape {values.shape}")
+        rows, cols = np.nonzero(values != ABSTAIN)
+        data = values[rows, cols].astype(np.int64)
+        indptr = np.zeros(values.shape[0] + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=values.shape[0]), out=indptr[1:])
+        return cls(indptr, cols.astype(np.int64), data, values.shape)
+
+    @classmethod
+    def from_triples(
+        cls,
+        rows: Sequence[int] | np.ndarray,
+        cols: Sequence[int] | np.ndarray,
+        values: Sequence[int] | np.ndarray,
+        shape: tuple[int, int],
+    ) -> "SparseLabelMatrix":
+        """Build from ``(row, col, value)`` triples (any order; abstains dropped)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if not (rows.shape == cols.shape == values.shape) or rows.ndim != 1:
+            raise LabelingError("rows, cols and values must be 1-D arrays of equal length")
+        m, n = int(shape[0]), int(shape[1])
+        keep = values != ABSTAIN
+        rows, cols, values = rows[keep], cols[keep], values[keep]
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= n:
+                raise LabelingError(f"triples out of range for shape {(m, n)}")
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        if rows.size > 1:
+            duplicate = (np.diff(rows) == 0) & (np.diff(cols) == 0)
+            if np.any(duplicate):
+                where = int(np.flatnonzero(duplicate)[0])
+                raise LabelingError(
+                    f"duplicate entry at (row={int(rows[where])}, col={int(cols[where])})"
+                )
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=m), out=indptr[1:])
+        return cls(indptr, cols, values, (m, n))
+
+    @classmethod
+    def from_scipy(cls, matrix) -> "SparseLabelMatrix":
+        """Convert any scipy sparse matrix (zeros pruned away)."""
+        if not HAVE_SCIPY:  # pragma: no cover - only reachable without scipy
+            raise LabelingError("scipy is not available in this environment")
+        csr = matrix.tocsr().astype(np.int64)
+        csr.sum_duplicates()
+        csr.eliminate_zeros()
+        csr.sort_indices()
+        return cls(csr.indptr, csr.indices, csr.data, csr.shape)
+
+    def to_scipy(self):
+        """View as a ``scipy.sparse.csr_matrix`` (shares the underlying arrays)."""
+        if not HAVE_SCIPY:  # pragma: no cover - only reachable without scipy
+            raise LabelingError("scipy is not available in this environment")
+        return _scipy_sparse.csr_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense ``(m, n)`` integer matrix (abstains as 0)."""
+        dense = np.full(self.shape, ABSTAIN, dtype=np.int64)
+        dense[self.entry_rows(), self.indices] = self.data
+        return dense
+
+    # ------------------------------------------------------------------- basics
+    @property
+    def nnz(self) -> int:
+        """Number of stored (non-abstain) entries."""
+        return int(self.indptr[-1])
+
+    def entry_rows(self) -> np.ndarray:
+        """Row id of every stored entry, in CSR order (cached)."""
+        if self._entry_rows is None:
+            self._entry_rows = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._entry_rows
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row count of non-abstain entries."""
+        return np.diff(self.indptr)
+
+    def col_nnz(self) -> np.ndarray:
+        """Per-column count of non-abstain entries."""
+        return np.bincount(self.indices, minlength=self.shape[1]).astype(np.int64)
+
+    # ---------------------------------------------------------------- CSC view
+    def csc(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Column-major view: ``(col_indptr, rows, values)``.
+
+        Column ``j``'s entries live at ``col_indptr[j]:col_indptr[j + 1]``,
+        with row ids sorted ascending.  The view is computed once and cached.
+        """
+        col_indptr, rows, values, _ = self._csc_full()
+        return col_indptr, rows, values
+
+    def _csc_full(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._csc_cache is None:
+            order = np.argsort(self.indices, kind="stable")
+            col_indptr = np.zeros(self.shape[1] + 1, dtype=np.int64)
+            np.cumsum(self.col_nnz(), out=col_indptr[1:])
+            self._csc_cache = (
+                col_indptr,
+                self.entry_rows()[order],
+                self.data[order],
+                order,
+            )
+        return self._csc_cache
+
+    def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Non-abstain entries of column ``j`` as ``(row_ids, values)``."""
+        col_indptr, rows, values = self.csc()
+        window = slice(int(col_indptr[j]), int(col_indptr[j + 1]))
+        return rows[window], values[window]
+
+    def with_csc_data(self, new_values: np.ndarray) -> "SparseLabelMatrix":
+        """Same sparsity pattern with new entry values given in CSC order."""
+        col_indptr, rows, _, order = self._csc_full()
+        new_values = np.asarray(new_values, dtype=np.int64)
+        if new_values.shape != (self.nnz,):
+            raise LabelingError(
+                f"expected {self.nnz} values, got shape {new_values.shape}"
+            )
+        csr_data = np.empty_like(new_values)
+        csr_data[order] = new_values
+        result = SparseLabelMatrix(self.indptr, self.indices, csr_data, self.shape)
+        # The pattern is unchanged, so the CSC view carries over — pre-seed
+        # the cache to spare the next consumer the O(nnz log nnz) argsort.
+        result._csc_cache = (col_indptr, rows, new_values, order)
+        result._entry_rows = self._entry_rows
+        return result
+
+    # ------------------------------------------------------------- linear algebra
+    def matvec(self, column_weights: np.ndarray) -> np.ndarray:
+        """Per-row sums ``Σ_j data_{i,j} · w_j`` (the sparse ``Λ @ w``)."""
+        column_weights = np.asarray(column_weights, dtype=float)
+        if column_weights.shape != (self.shape[1],):
+            raise LabelingError(
+                f"expected {self.shape[1]} weights, got shape {column_weights.shape}"
+            )
+        if _use_scipy():
+            return self.to_scipy() @ column_weights
+        return np.bincount(
+            self.entry_rows(),
+            weights=self.data * column_weights[self.indices],
+            minlength=self.shape[0],
+        )
+
+    def row_sums(self) -> np.ndarray:
+        """Per-row sum of the stored entries (the unweighted vote ``f_1``)."""
+        return np.bincount(
+            self.entry_rows(), weights=self.data, minlength=self.shape[0]
+        ).astype(float)
+
+    def count_per_row(self, value: int) -> np.ndarray:
+        """Per-row count of entries equal to ``value``."""
+        mask = self.data == value
+        return np.bincount(self.entry_rows()[mask], minlength=self.shape[0])
+
+    def count_per_col(self, value: int) -> np.ndarray:
+        """Per-column count of entries equal to ``value``."""
+        mask = self.data == value
+        return np.bincount(self.indices[mask], minlength=self.shape[1])
+
+    # ------------------------------------------------------------------ slicing
+    @staticmethod
+    def _normalize_indices(indices, length: int) -> np.ndarray:
+        """Index list from either integer indices or a boolean mask."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            if indices.shape != (length,):
+                raise LabelingError(
+                    f"boolean index mask must have length {length}, got shape {indices.shape}"
+                )
+            return np.flatnonzero(indices)
+        return indices.astype(np.int64)
+
+    def select_rows(self, row_indices: Sequence[int] | np.ndarray) -> "SparseLabelMatrix":
+        """Restrict (and reorder) to the given rows (indices or boolean mask)."""
+        row_indices = self._normalize_indices(row_indices, self.shape[0])
+        if _use_scipy():
+            return SparseLabelMatrix.from_scipy(self.to_scipy()[row_indices])
+        starts = self.indptr[row_indices]
+        counts = self.indptr[row_indices + 1] - starts
+        gather = _ranges_gather(starts, counts)
+        indptr = np.zeros(row_indices.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return SparseLabelMatrix(
+            indptr, self.indices[gather], self.data[gather], (row_indices.size, self.shape[1])
+        )
+
+    def select_columns(self, col_indices: Sequence[int] | np.ndarray) -> "SparseLabelMatrix":
+        """Restrict (and reorder) to the given columns (indices or boolean mask)."""
+        col_indices = self._normalize_indices(col_indices, self.shape[1])
+        if _use_scipy():
+            return SparseLabelMatrix.from_scipy(self.to_scipy()[:, col_indices])
+        keep_positions = []
+        new_cols = []
+        for new_j, old_j in enumerate(col_indices):
+            positions = np.flatnonzero(self.indices == old_j)
+            keep_positions.append(positions)
+            new_cols.append(np.full(positions.size, new_j, dtype=np.int64))
+        positions = np.concatenate(keep_positions) if keep_positions else np.empty(0, np.int64)
+        cols = np.concatenate(new_cols) if new_cols else np.empty(0, np.int64)
+        return SparseLabelMatrix.from_triples(
+            self.entry_rows()[positions],
+            cols,
+            self.data[positions],
+            (self.shape[0], col_indices.size),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        m, n = self.shape
+        density = self.nnz / (m * n) if m and n else 0.0
+        return f"SparseLabelMatrix(shape={self.shape}, nnz={self.nnz}, density={density:.4f})"
+
+
+def as_sparse_storage(label_matrix) -> Optional[SparseLabelMatrix]:
+    """Return the :class:`SparseLabelMatrix` behind ``label_matrix``, if any.
+
+    Accepts a sparse-backed :class:`repro.labeling.matrix.LabelMatrix`, a raw
+    :class:`SparseLabelMatrix`, or a scipy sparse matrix; returns ``None`` for
+    dense inputs so callers can fall through to their dense implementation.
+    """
+    from repro.labeling.matrix import LabelMatrix  # local import: avoid a cycle
+
+    if isinstance(label_matrix, SparseLabelMatrix):
+        return label_matrix
+    if isinstance(label_matrix, LabelMatrix):
+        return label_matrix.storage if label_matrix.is_sparse else None
+    if HAVE_SCIPY and _scipy_sparse.issparse(label_matrix):
+        return SparseLabelMatrix.from_scipy(label_matrix)
+    return None

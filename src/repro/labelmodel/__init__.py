@@ -20,6 +20,15 @@ This package is the reproduction of the paper's core technical contribution
 * :mod:`repro.labelmodel.optimizer` — the Algorithm-1 modeling-strategy
   optimizer,
 * :mod:`repro.labelmodel.theory` — the low/high-density bounds of Section 3.1.
+
+Every estimator here accepts both dense label matrices and the CSR backend
+(:class:`repro.labeling.sparse.SparseLabelMatrix`, or a sparse-backed
+:class:`repro.labeling.LabelMatrix`), dispatching on the storage
+automatically.  The hot paths — EM in :mod:`generative`, the Gibbs sweeps in
+:mod:`gibbs`, and the node-wise regressions in :mod:`structure` — consume the
+sparse storage without densifying, so fit cost scales with the number of
+emitted labels (O(nnz)) rather than with ``m·n``; both storages produce
+numerically identical results.
 """
 
 from repro.labelmodel.majority import MajorityVoter, WeightedMajorityVoter

@@ -25,6 +25,12 @@ correlation factors.  Two estimators are provided:
   LFs.
 
 After training, the probabilistic labels are ``Ỹ_i = p_ŵ(y_i = +1 | Λ_i)``.
+
+Both storage backends of :class:`repro.labeling.LabelMatrix` are supported:
+dense inputs run the vectorized dense estimator, CSR inputs
+(:class:`repro.labeling.sparse.SparseLabelMatrix`) run the same EM updates as
+sparse matvecs and per-column masked reductions over the non-abstain entries
+— O(nnz) per epoch instead of O(m·n), with numerically identical output.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import numpy as np
 from repro.discriminative.adam import AdamOptimizer
 from repro.exceptions import LabelModelError, NotFittedError
 from repro.labeling.matrix import LabelMatrix
+from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage
 from repro.labelmodel.factor_graph import FactorGraphSpec
 from repro.labelmodel.gibbs import GibbsSampler
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE, probs_to_labels
@@ -89,9 +96,16 @@ class GenerativeModel:
         parameterized.
     class_balance:
         Optional known positive-class fraction.  When given, the class-prior
-        weight is fixed at ``0.5·logit(class_balance)``; when ``None`` EM
-        re-estimates the balance each iteration (for CD the prior stays 0
-        unless a balance is supplied).
+        weight is fixed at ``0.5·logit(class_balance)`` and applied to every
+        row's posterior.  When ``None`` EM re-estimates the balance each
+        iteration from the mean posterior (damped and clipped away from 0/1)
+        and records the final value in ``class_prior_weight_``; the estimated
+        prior calibrates only the rows with *no* votes — covered rows' vote
+        scores already reflect the empirical balance, and shifting them by an
+        explicit prior double-counts it (estimating from prior-shifted
+        posteriors even runs away to a degenerate all-one-class solution on
+        imbalanced tasks).  For CD the prior stays 0 unless a balance is
+        supplied.
     non_adversarial:
         Clamp LF accuracies at ≥ 50% (the paper's standing assumption
         ``w*_j > 0``).  A labeling function can be learned to be useless but
@@ -163,18 +177,41 @@ class GenerativeModel:
         label_matrix: LabelMatrix | np.ndarray,
         correlations: Iterable[tuple[int, int]] = (),
     ) -> "GenerativeModel":
-        """Fit the model to a label matrix, optionally with correlation pairs ``C``."""
-        matrix = _as_array(label_matrix)
-        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
-            raise LabelModelError(f"label matrix must be non-empty 2-D, got shape {matrix.shape}")
-        spec = FactorGraphSpec(num_lfs=matrix.shape[1], correlations=correlations)
-        if self.method == "em":
-            weights, class_prior = self._fit_em(spec, matrix)
+        """Fit the model to a label matrix, optionally with correlation pairs ``C``.
+
+        Accepts dense arrays, dense- or sparse-backed :class:`LabelMatrix`
+        wrappers, raw :class:`SparseLabelMatrix` storage, and scipy sparse
+        matrices.  Sparse inputs are trained through sparse matvecs and
+        masked reductions over the non-abstain entries only — the dense
+        ``(m, n)`` matrix is never materialized.
+        """
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            shape = sparse.shape
         else:
-            weights, class_prior = self._fit_cd(spec, matrix)
+            matrix = _as_array(label_matrix)
+            if matrix.ndim != 2:
+                raise LabelModelError(
+                    f"label matrix must be non-empty 2-D, got shape {matrix.shape}"
+                )
+            shape = matrix.shape
+        if shape[0] == 0 or shape[1] == 0:
+            raise LabelModelError(f"label matrix must be non-empty 2-D, got shape {shape}")
+        spec = FactorGraphSpec(num_lfs=shape[1], correlations=correlations)
+        if self.method == "em":
+            if sparse is not None:
+                weights, class_prior = self._fit_em_sparse(spec, sparse)
+            else:
+                weights, class_prior = self._fit_em(spec, matrix)
+        else:
+            weights, class_prior = self._fit_cd(spec, sparse if sparse is not None else matrix)
 
         if self.learn_propensity:
-            coverage = np.clip((matrix != ABSTAIN).mean(axis=0), 1e-6, 1 - 1e-6)
+            if sparse is not None:
+                empirical = sparse.col_nnz() / shape[0]
+            else:
+                empirical = (matrix != ABSTAIN).mean(axis=0)
+            coverage = np.clip(empirical, 1e-6, 1 - 1e-6)
             weights[spec.layout.propensity_slice] = 0.5 * np.log(coverage / (1.0 - coverage))
 
         self.spec = spec
@@ -201,38 +238,40 @@ class GenerativeModel:
         vote_counts = np.maximum(voted.sum(axis=0), 1)
         discounts = self._correlation_discounts(spec, matrix)
         discounted = matrix.astype(float) / discounts
+        covered = voted.any(axis=1)
 
         accuracies = np.full(num_lfs, self.accuracy_init)
-        if self.class_balance is not None:
-            prior_weight = 0.5 * float(np.log(self.class_balance / (1.0 - self.class_balance)))
-        else:
-            prior_weight = 0.0
+        prior_weight = self._initial_prior_weight()
+        estimate_balance = self.class_balance is None
+        balance: Optional[float] = None
 
         for _ in range(self.epochs):
             weights = 0.5 * np.log(accuracies / (1.0 - accuracies))
             scores = (discounted * weights).sum(axis=1)
-            posteriors = sigmoid(2.0 * (scores + prior_weight))
+            if estimate_balance:
+                # Estimate the balance from the prior-free (evidence-only)
+                # posterior over the covered rows: feeding the prior back
+                # into its own estimate is a positive-feedback loop that
+                # collapses to 0 or 1 on imbalanced data, and uncovered rows
+                # (posterior exactly 0.5) would only dilute the estimate.
+                # The M-step keeps the prior-free posteriors for the same
+                # reason.
+                posteriors = sigmoid(2.0 * scores)
+                balance = self._damped_balance(balance, posteriors, covered)
+                prior_weight = 0.5 * float(np.log(balance / (1.0 - balance)))
+            else:
+                posteriors = sigmoid(2.0 * (scores + prior_weight))
 
             # M-step: expected accuracy of each LF on the rows where it votes,
             # smoothed toward the prior accuracy.
             agrees_positive = (matrix == POSITIVE) * posteriors[:, None]
             agrees_negative = (matrix == NEGATIVE) * (1.0 - posteriors[:, None])
             expected_correct = (agrees_positive + agrees_negative).sum(axis=0)
-            new_accuracies = (expected_correct + self.smoothing * self.accuracy_init) / (
-                vote_counts + self.smoothing
-            )
-            new_accuracies = np.clip(new_accuracies, 0.05, self.max_accuracy)
-            if self.non_adversarial:
-                new_accuracies = np.maximum(new_accuracies, 0.5)
-            new_accuracies = self.damping * accuracies + (1.0 - self.damping) * new_accuracies
+            new_accuracies = self._accuracy_update(accuracies, expected_correct, vote_counts)
 
             delta = float(np.abs(new_accuracies - accuracies).sum())
             accuracies = new_accuracies
-            history.epochs += 1
-            history.weight_deltas.append(delta)
-            history.mean_accuracy_weights.append(
-                float(0.5 * np.log(accuracies / (1.0 - accuracies)).mean())
-            )
+            self._record_epoch(history, accuracies, delta)
             if delta < 1e-10:
                 break
 
@@ -248,10 +287,122 @@ class GenerativeModel:
                 agreement = 0.5
             else:
                 agreement = float((matrix[both, j] == matrix[both, k]).mean())
-            agreement = float(np.clip(agreement, 1e-3, 1 - 1e-3))
-            weights[2 * spec.num_lfs + index] = 0.5 * np.log(agreement / (1.0 - agreement))
+            weights[2 * spec.num_lfs + index] = self._agreement_weight(agreement)
         self.history = history
         return weights, prior_weight
+
+    def _fit_em_sparse(
+        self, spec: FactorGraphSpec, sparse: SparseLabelMatrix
+    ) -> tuple[np.ndarray, float]:
+        """The EM estimator over CSR storage: identical numerics, O(nnz) work.
+
+        Every reduction of the dense estimator becomes a masked reduction
+        over the stored (non-abstain) entries: the posterior scores are a
+        sparse matvec with the per-entry correlation discounts folded into
+        the entry values, and the M-step agreement sums are per-column
+        ``bincount`` accumulations.
+        """
+        history = TrainingHistory()
+        num_rows, num_lfs = sparse.shape
+        col_indptr, entry_rows, entry_vals = sparse.csc()
+        entry_cols = np.repeat(np.arange(num_lfs, dtype=np.int64), np.diff(col_indptr))
+        vote_counts = np.maximum(np.diff(col_indptr), 1)
+        discounts = self._correlation_discounts_sparse(spec, sparse)
+        discounted_vals = entry_vals.astype(float) / discounts
+        entry_positive = entry_vals == POSITIVE
+        covered = sparse.row_nnz() > 0
+
+        accuracies = np.full(num_lfs, self.accuracy_init)
+        prior_weight = self._initial_prior_weight()
+        estimate_balance = self.class_balance is None
+        balance: Optional[float] = None
+
+        for _ in range(self.epochs):
+            weights = 0.5 * np.log(accuracies / (1.0 - accuracies))
+            scores = np.bincount(
+                entry_rows, weights=discounted_vals * weights[entry_cols], minlength=num_rows
+            )
+            if estimate_balance:
+                posteriors = sigmoid(2.0 * scores)
+                balance = self._damped_balance(balance, posteriors, covered)
+                prior_weight = 0.5 * float(np.log(balance / (1.0 - balance)))
+            else:
+                posteriors = sigmoid(2.0 * (scores + prior_weight))
+
+            row_posteriors = posteriors[entry_rows]
+            agreement = np.where(entry_positive, row_posteriors, 1.0 - row_posteriors)
+            expected_correct = np.bincount(entry_cols, weights=agreement, minlength=num_lfs)
+            new_accuracies = self._accuracy_update(accuracies, expected_correct, vote_counts)
+
+            delta = float(np.abs(new_accuracies - accuracies).sum())
+            accuracies = new_accuracies
+            self._record_epoch(history, accuracies, delta)
+            if delta < 1e-10:
+                break
+
+        weights = spec.initial_weights(accuracy_init=self.accuracy_init)
+        weights[spec.layout.accuracy_slice] = 0.5 * np.log(accuracies / (1.0 - accuracies))
+        for index, (j, k) in enumerate(spec.correlations):
+            rows_j, vals_j = sparse.column(j)
+            rows_k, vals_k = sparse.column(k)
+            _, in_j, in_k = np.intersect1d(
+                rows_j, rows_k, assume_unique=True, return_indices=True
+            )
+            if in_j.size == 0:
+                agreement = 0.5
+            else:
+                agreement = float((vals_j[in_j] == vals_k[in_k]).mean())
+            weights[2 * spec.num_lfs + index] = self._agreement_weight(agreement)
+        self.history = history
+        return weights, prior_weight
+
+    # ------------------------------------------------------------- EM helpers
+    def _initial_prior_weight(self) -> float:
+        if self.class_balance is not None:
+            return 0.5 * float(np.log(self.class_balance / (1.0 - self.class_balance)))
+        return 0.0
+
+    def _damped_balance(
+        self, previous: Optional[float], posteriors: np.ndarray, covered: np.ndarray
+    ) -> float:
+        """Damped per-iteration class-balance update, clipped away from 0/1.
+
+        The estimate is the mean posterior over the covered rows — rows with
+        no votes have a prior-free posterior of exactly 0.5 and carry no
+        balance evidence.
+        """
+        if covered.any():
+            estimate = float(np.clip(posteriors[covered].mean(), 1e-3, 1.0 - 1e-3))
+        else:
+            estimate = 0.5
+        if previous is None:
+            return estimate
+        return self.damping * previous + (1.0 - self.damping) * estimate
+
+    def _accuracy_update(
+        self, accuracies: np.ndarray, expected_correct: np.ndarray, vote_counts: np.ndarray
+    ) -> np.ndarray:
+        """Smoothed, clipped, damped accuracy re-estimate shared by both backends."""
+        new_accuracies = (expected_correct + self.smoothing * self.accuracy_init) / (
+            vote_counts + self.smoothing
+        )
+        new_accuracies = np.clip(new_accuracies, 0.05, self.max_accuracy)
+        if self.non_adversarial:
+            new_accuracies = np.maximum(new_accuracies, 0.5)
+        return self.damping * accuracies + (1.0 - self.damping) * new_accuracies
+
+    @staticmethod
+    def _record_epoch(history: TrainingHistory, accuracies: np.ndarray, delta: float) -> None:
+        history.epochs += 1
+        history.weight_deltas.append(delta)
+        history.mean_accuracy_weights.append(
+            float(0.5 * np.log(accuracies / (1.0 - accuracies)).mean())
+        )
+
+    @staticmethod
+    def _agreement_weight(agreement: float) -> float:
+        agreement = float(np.clip(agreement, 1e-3, 1 - 1e-3))
+        return 0.5 * float(np.log(agreement / (1.0 - agreement)))
 
     @staticmethod
     def _correlation_discounts(spec: FactorGraphSpec, matrix: np.ndarray) -> np.ndarray:
@@ -272,9 +423,35 @@ class GenerativeModel:
             discounts[same, k] += 1.0
         return discounts
 
+    @staticmethod
+    def _correlation_discounts_sparse(
+        spec: FactorGraphSpec, sparse: SparseLabelMatrix
+    ) -> np.ndarray:
+        """The same discounts ``d_{i,j}``, one value per stored entry (CSC order)."""
+        discounts = np.ones(sparse.nnz)
+        if not spec.correlations:
+            return discounts
+        col_indptr, _, _ = sparse.csc()
+        for j, k in spec.correlations:
+            rows_j, vals_j = sparse.column(j)
+            rows_k, vals_k = sparse.column(k)
+            _, in_j, in_k = np.intersect1d(
+                rows_j, rows_k, assume_unique=True, return_indices=True
+            )
+            same = vals_j[in_j] == vals_k[in_k]
+            discounts[int(col_indptr[j]) + in_j[same]] += 1.0
+            discounts[int(col_indptr[k]) + in_k[same]] += 1.0
+        return discounts
+
     # --------------------------------------------------------------------- CD
-    def _fit_cd(self, spec: FactorGraphSpec, matrix: np.ndarray) -> tuple[np.ndarray, float]:
-        """The paper's SGD + Gibbs (contrastive divergence) estimator."""
+    def _fit_cd(
+        self, spec: FactorGraphSpec, matrix: np.ndarray | SparseLabelMatrix
+    ) -> tuple[np.ndarray, float]:
+        """The paper's SGD + Gibbs (contrastive divergence) estimator.
+
+        Sparse inputs stay sparse: each minibatch is a CSR row slice, and the
+        Gibbs sampler operates on its non-abstain entries only.
+        """
         rng = ensure_rng(self.seed)
         sampler = GibbsSampler(spec, seed=rng)
         weights = spec.initial_weights(accuracy_init=self.accuracy_init)
@@ -293,7 +470,10 @@ class GenerativeModel:
             epoch_delta = 0.0
             for start in range(0, num_rows, batch_size):
                 batch_rows = permutation[start : start + batch_size]
-                batch = matrix[batch_rows]
+                if isinstance(matrix, SparseLabelMatrix):
+                    batch: np.ndarray | SparseLabelMatrix = matrix.select_rows(batch_rows)
+                else:
+                    batch = matrix[batch_rows]
                 gradient = self._cd_batch_gradient(spec, sampler, weights, batch, class_prior)
                 gradient -= self.reg_strength * (weights - prior_weights)
                 # The estimator conditions on the abstention pattern, so the
@@ -318,13 +498,16 @@ class GenerativeModel:
         spec: FactorGraphSpec,
         sampler: GibbsSampler,
         weights: np.ndarray,
-        batch: np.ndarray,
+        batch: np.ndarray | SparseLabelMatrix,
         class_prior: float,
     ) -> np.ndarray:
         """Ascent direction ``E_data[φ] - E_model[φ]`` for one minibatch."""
         posterior_positive = sampler.label_posteriors(weights, batch, class_prior)
-        phi_positive = spec.factor_matrix(batch, np.full(batch.shape[0], POSITIVE))
-        phi_negative = spec.factor_matrix(batch, np.full(batch.shape[0], NEGATIVE))
+        # Factor vectors are inherently dense in the batch dimension; a
+        # minibatch-sized densification is bounded by the batch size.
+        batch_dense = batch.to_dense() if isinstance(batch, SparseLabelMatrix) else batch
+        phi_positive = spec.factor_matrix(batch_dense, np.full(batch.shape[0], POSITIVE))
+        phi_negative = spec.factor_matrix(batch_dense, np.full(batch.shape[0], NEGATIVE))
         data_phase = (
             posterior_positive[:, None] * phi_positive
             + (1.0 - posterior_positive)[:, None] * phi_negative
@@ -332,6 +515,8 @@ class GenerativeModel:
         sampled_matrix, sampled_y = sampler.sample_joint(
             weights, batch, sweeps=self.cd_sweeps, class_prior_weight=class_prior
         )
+        if isinstance(sampled_matrix, SparseLabelMatrix):
+            sampled_matrix = sampled_matrix.to_dense()
         model_phase = spec.factor_matrix(sampled_matrix, sampled_y).mean(axis=0)
         return data_phase - model_phase
 
@@ -358,20 +543,60 @@ class GenerativeModel:
         return np.asarray(log_odds_to_accuracy(self.accuracy_weights))
 
     def predict_proba(self, label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
-        """Probabilistic training labels ``Ỹ_i = p_ŵ(y_i = +1 | Λ_i)``."""
+        """Probabilistic training labels ``Ỹ_i = p_ŵ(y_i = +1 | Λ_i)``.
+
+        Sparse inputs are scored with a sparse matvec (correlation discounts
+        folded into the entry values) — no densification.  A user-supplied
+        class balance shifts every row's posterior; an EM-estimated balance
+        shifts only the rows with no votes (see the ``class_balance``
+        parameter documentation).
+        """
         spec, weights = self._require_fitted()
+        accuracy_weights = weights[spec.layout.accuracy_slice]
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            if sparse.shape[1] != spec.num_lfs:
+                raise LabelModelError(
+                    f"label matrix has {sparse.shape[1]} LFs, model was fit with {spec.num_lfs}"
+                )
+            if self.method == "em" and spec.correlations:
+                col_indptr, entry_rows, entry_vals = sparse.csc()
+                entry_cols = np.repeat(
+                    np.arange(spec.num_lfs, dtype=np.int64), np.diff(col_indptr)
+                )
+                discounts = self._correlation_discounts_sparse(spec, sparse)
+                scores = np.bincount(
+                    entry_rows,
+                    weights=(entry_vals / discounts) * accuracy_weights[entry_cols],
+                    minlength=sparse.shape[0],
+                )
+            else:
+                scores = sparse.matvec(accuracy_weights)
+            return self._posterior_from_scores(scores, covered=sparse.row_nnz() > 0)
         matrix = _as_array(label_matrix)
         if matrix.shape[1] != spec.num_lfs:
             raise LabelModelError(
                 f"label matrix has {matrix.shape[1]} LFs, model was fit with {spec.num_lfs}"
             )
-        accuracy_weights = weights[spec.layout.accuracy_slice]
         if self.method == "em" and spec.correlations:
             discounts = self._correlation_discounts(spec, matrix)
             scores = ((matrix.astype(float) / discounts) * accuracy_weights).sum(axis=1)
         else:
             scores = matrix.astype(float) @ accuracy_weights
-        return sigmoid(2.0 * (scores + self.class_prior_weight_))
+        return self._posterior_from_scores(scores, covered=(matrix != ABSTAIN).any(axis=1))
+
+    def _posterior_from_scores(self, scores: np.ndarray, covered: np.ndarray) -> np.ndarray:
+        """Posterior with the class prior applied per its provenance.
+
+        A supplied balance is part of the model and shifts every row; an
+        estimated balance only fills in the no-evidence rows, whose posterior
+        would otherwise be an uninformative 0.5.
+        """
+        if self.class_balance is None:
+            prior = np.where(covered, 0.0, self.class_prior_weight_)
+        else:
+            prior = self.class_prior_weight_
+        return sigmoid(2.0 * (scores + prior))
 
     def predict(
         self, label_matrix: LabelMatrix | np.ndarray, tie_value: int = NEGATIVE

@@ -6,20 +6,32 @@ divergence", using the Numbskull NUMBA sampler.  This module provides the
 pure-numpy equivalent: block-Gibbs updates over the latent labels ``y_i``
 and, for the model-expectation (negative) phase of the gradient, over the
 labeling-function outputs ``Λ_{i,j}`` themselves.
+
+Both dense arrays and :class:`repro.labeling.sparse.SparseLabelMatrix`
+storage are supported.  The LF-output resampling operates only on the
+non-abstain entries of each column (their positions are precomputed once per
+call), so a sweep costs O(nnz) rather than O(m·n); sparse inputs are never
+densified, and ``label_posteriors`` reduces to a sparse matvec.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage
 from repro.labelmodel.factor_graph import FactorGraphSpec
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE
 from repro.utils.mathutils import sigmoid
 from repro.utils.rng import SeedLike, ensure_rng
 
-_LF_VALUES = np.array([NEGATIVE, ABSTAIN, POSITIVE], dtype=np.int64)
+MatrixLike = Union[np.ndarray, SparseLabelMatrix]
+
+
+def _signed_indicator(values: np.ndarray) -> np.ndarray:
+    """``1{v = +1} - 1{v = -1}`` as floats (abstains contribute 0)."""
+    return (values == POSITIVE).astype(float) - (values == NEGATIVE).astype(float)
 
 
 class GibbsSampler:
@@ -37,7 +49,7 @@ class GibbsSampler:
     def label_posteriors(
         self,
         weights: np.ndarray,
-        label_matrix: np.ndarray,
+        label_matrix: MatrixLike,
         class_prior_weight: float = 0.0,
     ) -> np.ndarray:
         """Exact posterior ``P(y_i = +1 | Λ_i, w)`` for every row.
@@ -47,15 +59,20 @@ class GibbsSampler:
         class-prior weight ``w_0``):
         ``P(y_i = +1 | Λ_i) = σ(2 (w_0 + Σ_j w_acc_j Λ_{i,j}))`` (paper
         Appendix A.4; the prior term is an extension for imbalanced tasks).
+        For sparse storage the score is a sparse matvec.
         """
         _, accuracy_weights, _ = self.spec.split_weights(weights)
-        scores = np.asarray(label_matrix, dtype=float) @ accuracy_weights
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            scores = sparse.matvec(accuracy_weights)
+        else:
+            scores = np.asarray(label_matrix, dtype=float) @ accuracy_weights
         return sigmoid(2.0 * (scores + class_prior_weight))
 
     def sample_labels(
         self,
         weights: np.ndarray,
-        label_matrix: np.ndarray,
+        label_matrix: MatrixLike,
         class_prior_weight: float = 0.0,
     ) -> np.ndarray:
         """Draw ``y_i ~ P(y_i | Λ_i, w)`` for every row."""
@@ -67,11 +84,11 @@ class GibbsSampler:
     def sample_lf_outputs(
         self,
         weights: np.ndarray,
-        label_matrix: np.ndarray,
+        label_matrix: MatrixLike,
         y: np.ndarray,
         sweeps: int = 1,
         pattern_mask: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+    ) -> MatrixLike:
         """Resample the non-abstaining ``Λ_{i,j}`` values given ``y`` and the rest.
 
         The estimator conditions on the *abstention pattern* of the observed
@@ -86,65 +103,183 @@ class GibbsSampler:
         Entries where the pattern says "abstains" stay abstaining.  Used for
         the model-expectation phase of contrastive-divergence training; the
         chain starts from the observed label matrix.
+
+        Each column update touches only the rows where that column votes (the
+        two-value conditional reduces to a sigmoid of the logit difference),
+        so a sweep is O(nnz).  Sparse inputs return sparse outputs with the
+        same sparsity pattern.
         """
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            return self._sample_lf_outputs_sparse(weights, sparse, y, sweeps)
         _, accuracy, _ = self.spec.split_weights(weights)
         weights = np.asarray(weights, dtype=float)
         sampled = np.array(label_matrix, dtype=np.int64, copy=True)
         if pattern_mask is None:
             pattern_mask = sampled != ABSTAIN
         y = np.asarray(y)
-        m = sampled.shape[0]
+        vote_rows = [np.flatnonzero(pattern_mask[:, j]) for j in range(self.spec.num_lfs)]
         for _ in range(sweeps):
             for j in range(self.spec.num_lfs):
-                votes = pattern_mask[:, j]
-                if not np.any(votes):
+                rows = vote_rows[j]
+                if rows.size == 0:
                     continue
-                # Candidate values: NEGATIVE (column 0) and POSITIVE (column 1).
-                logits = np.zeros((m, 2))
-                logits[:, 0] += accuracy[j] * (y == NEGATIVE)
-                logits[:, 1] += accuracy[j] * (y == POSITIVE)
+                logit_diff = accuracy[j] * _signed_indicator(y[rows])
                 for partner, weight_index in self.spec.neighbors(j):
-                    partner_values = sampled[:, partner]
-                    logits[:, 0] += weights[weight_index] * (partner_values == NEGATIVE)
-                    logits[:, 1] += weights[weight_index] * (partner_values == POSITIVE)
-                probability_positive = _row_softmax(logits)[:, 1]
+                    logit_diff += weights[weight_index] * _signed_indicator(
+                        sampled[rows, partner]
+                    )
+                probability_positive = sigmoid(logit_diff)
                 draws = np.where(
-                    self.rng.random(m) < probability_positive, POSITIVE, NEGATIVE
+                    self.rng.random(rows.size) < probability_positive, POSITIVE, NEGATIVE
                 ).astype(np.int64)
-                sampled[votes, j] = draws[votes]
+                sampled[rows, j] = draws
         return sampled
+
+    def _column_alignments(
+        self, col_indptr: np.ndarray, entry_rows: np.ndarray
+    ) -> list[list[tuple[int, np.ndarray, np.ndarray]]]:
+        """Per column, where its vote rows intersect each correlated partner's.
+
+        Returns, for every column ``j`` and each of its modeled partners, the
+        partner's weight index, the positions within ``j``'s CSC slice where
+        both vote, and the matching absolute CSC positions of the partner's
+        entries.  Depends only on the sparsity pattern, so it is computed
+        once per chain and reused across sweeps.
+        """
+        alignments: list[list[tuple[int, np.ndarray, np.ndarray]]] = []
+        for j in range(self.spec.num_lfs):
+            rows_j = entry_rows[col_indptr[j] : col_indptr[j + 1]]
+            per_column = []
+            for partner, weight_index in self.spec.neighbors(j):
+                rows_p = entry_rows[col_indptr[partner] : col_indptr[partner + 1]]
+                _, in_j, in_p = np.intersect1d(
+                    rows_j, rows_p, assume_unique=True, return_indices=True
+                )
+                per_column.append((weight_index, in_j, int(col_indptr[partner]) + in_p))
+            alignments.append(per_column)
+        return alignments
+
+    def _resample_columns_sparse(
+        self,
+        accuracy: np.ndarray,
+        weights: np.ndarray,
+        col_indptr: np.ndarray,
+        entry_rows: np.ndarray,
+        data: np.ndarray,
+        y: np.ndarray,
+        alignments: list[list[tuple[int, np.ndarray, np.ndarray]]],
+    ) -> None:
+        """One sweep of column-wise resampling, mutating ``data`` in place."""
+        for j in range(self.spec.num_lfs):
+            start, stop = int(col_indptr[j]), int(col_indptr[j + 1])
+            if start == stop:
+                continue
+            rows = entry_rows[start:stop]
+            logit_diff = accuracy[j] * _signed_indicator(y[rows])
+            for weight_index, in_j, partner_positions in alignments[j]:
+                partner_values = np.zeros(rows.size, dtype=np.int64)
+                partner_values[in_j] = data[partner_positions]
+                logit_diff += weights[weight_index] * _signed_indicator(partner_values)
+            probability_positive = sigmoid(logit_diff)
+            draws = np.where(
+                self.rng.random(rows.size) < probability_positive, POSITIVE, NEGATIVE
+            ).astype(np.int64)
+            data[start:stop] = draws
+
+    def _sample_lf_outputs_sparse(
+        self,
+        weights: np.ndarray,
+        sparse: SparseLabelMatrix,
+        y: np.ndarray,
+        sweeps: int,
+    ) -> SparseLabelMatrix:
+        """Column-wise resampling over CSC entries; the pattern never changes."""
+        _, accuracy, _ = self.spec.split_weights(weights)
+        weights = np.asarray(weights, dtype=float)
+        y = np.asarray(y)
+        col_indptr, entry_rows, entry_vals = sparse.csc()
+        data = entry_vals.copy()
+        alignments = self._column_alignments(col_indptr, entry_rows)
+        for _ in range(sweeps):
+            self._resample_columns_sparse(
+                accuracy, weights, col_indptr, entry_rows, data, y, alignments
+            )
+        return sparse.with_csc_data(data)
 
     def sample_joint(
         self,
         weights: np.ndarray,
-        label_matrix: np.ndarray,
+        label_matrix: MatrixLike,
         sweeps: int = 1,
         initial_y: Optional[np.ndarray] = None,
         class_prior_weight: float = 0.0,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[MatrixLike, np.ndarray]:
         """Run ``sweeps`` rounds of block-Gibbs over ``(Y, Λ_values)`` starting at Λ.
 
         The abstention pattern of the observed matrix is held fixed (see
         :meth:`sample_lf_outputs`).  Returns the final ``(Λ_sample, y_sample)``
-        pair.
+        pair; sparse inputs yield a sparse sample with the same pattern.
         """
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            return self._sample_joint_sparse(
+                weights, sparse, sweeps, initial_y, class_prior_weight
+            )
         observed = np.asarray(label_matrix, dtype=np.int64)
         pattern_mask = observed != ABSTAIN
-        current_matrix = observed.copy()
+        current = observed.copy()
         if initial_y is None:
-            y = self.sample_labels(weights, current_matrix, class_prior_weight)
+            y = self.sample_labels(weights, current, class_prior_weight)
         else:
             y = np.array(initial_y, dtype=np.int64, copy=True)
         for _ in range(sweeps):
-            current_matrix = self.sample_lf_outputs(
-                weights, current_matrix, y, sweeps=1, pattern_mask=pattern_mask
+            current = self.sample_lf_outputs(
+                weights, current, y, sweeps=1, pattern_mask=pattern_mask
             )
-            y = self.sample_labels(weights, current_matrix, class_prior_weight)
-        return current_matrix, y
+            y = self.sample_labels(weights, current, class_prior_weight)
+        return current, y
 
+    def _sample_joint_sparse(
+        self,
+        weights: np.ndarray,
+        sparse: SparseLabelMatrix,
+        sweeps: int,
+        initial_y: Optional[np.ndarray],
+        class_prior_weight: float,
+    ) -> tuple[SparseLabelMatrix, np.ndarray]:
+        """The block-Gibbs chain over CSC entries, with one-time setup.
 
-def _row_softmax(logits: np.ndarray) -> np.ndarray:
-    """Row-wise softmax with max subtraction for stability."""
-    shifted = logits - logits.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+        The CSC view, per-entry column ids, and correlated-pair alignments
+        depend only on the (fixed) abstention pattern, so they are computed
+        once for the whole chain rather than per sweep.
+        """
+        _, accuracy, _ = self.spec.split_weights(weights)
+        weights = np.asarray(weights, dtype=float)
+        col_indptr, entry_rows, entry_vals = sparse.csc()
+        entry_cols = np.repeat(
+            np.arange(self.spec.num_lfs, dtype=np.int64), np.diff(col_indptr)
+        )
+        data = entry_vals.copy()
+        alignments = self._column_alignments(col_indptr, entry_rows)
+        num_rows = sparse.shape[0]
+
+        def draw_labels() -> np.ndarray:
+            scores = np.bincount(
+                entry_rows, weights=data * accuracy[entry_cols], minlength=num_rows
+            )
+            posteriors = sigmoid(2.0 * (scores + class_prior_weight))
+            return np.where(
+                self.rng.random(num_rows) < posteriors, POSITIVE, NEGATIVE
+            ).astype(np.int64)
+
+        if initial_y is None:
+            y = draw_labels()
+        else:
+            y = np.array(initial_y, dtype=np.int64, copy=True)
+        for _ in range(sweeps):
+            self._resample_columns_sparse(
+                accuracy, weights, col_indptr, entry_rows, data, y, alignments
+            )
+            y = draw_labels()
+        return sparse.with_csc_data(data), y

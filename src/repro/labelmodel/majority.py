@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.exceptions import LabelModelError
 from repro.labeling.matrix import LabelMatrix
+from repro.labeling.sparse import as_sparse_storage
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE
 from repro.utils.mathutils import sigmoid
 
@@ -32,7 +33,10 @@ class MajorityVoter:
     """
 
     def vote_scores(self, label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
-        """The raw vote sums ``f_1(Λ_i)``."""
+        """The raw vote sums ``f_1(Λ_i)`` (sparse inputs stay sparse)."""
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            return sparse.row_sums()
         return _as_array(label_matrix).sum(axis=1).astype(float)
 
     def predict_proba(self, label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
@@ -43,11 +47,16 @@ class MajorityVoter:
         which reproduces the "unweighted average of LF outputs" the paper's
         Table 5 baseline trains on.
         """
-        values = _as_array(label_matrix)
-        positive = (values == POSITIVE).sum(axis=1).astype(float)
-        negative = (values == NEGATIVE).sum(axis=1).astype(float)
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            positive = sparse.count_per_row(POSITIVE).astype(float)
+            negative = sparse.count_per_row(NEGATIVE).astype(float)
+        else:
+            values = _as_array(label_matrix)
+            positive = (values == POSITIVE).sum(axis=1).astype(float)
+            negative = (values == NEGATIVE).sum(axis=1).astype(float)
         total = positive + negative
-        probs = np.full(values.shape[0], 0.5)
+        probs = np.full(positive.shape[0], 0.5)
         voted = total > 0
         probs[voted] = positive[voted] / total[voted]
         return probs
@@ -75,7 +84,15 @@ class WeightedMajorityVoter:
             raise LabelModelError(f"weights must be 1-dimensional, got shape {self.weights.shape}")
 
     def vote_scores(self, label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
-        """The weighted vote sums ``f_w(Λ_i)``."""
+        """The weighted vote sums ``f_w(Λ_i)`` (sparse matvec for sparse inputs)."""
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            if sparse.shape[1] != self.weights.shape[0]:
+                raise LabelModelError(
+                    f"label matrix has {sparse.shape[1]} LFs but "
+                    f"{self.weights.shape[0]} weights given"
+                )
+            return sparse.matvec(self.weights)
         values = _as_array(label_matrix)
         if values.shape[1] != self.weights.shape[0]:
             raise LabelModelError(
@@ -116,10 +133,16 @@ class MultiClassMajorityVoter:
 
     def predict_proba(self, label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
         """Per-class probabilities proportional to vote counts (uniform when unvoted)."""
-        values = _as_array(label_matrix)
-        counts = np.zeros((values.shape[0], self.cardinality), dtype=float)
-        for klass in range(1, self.cardinality + 1):
-            counts[:, klass - 1] = (values == klass).sum(axis=1)
+        sparse = as_sparse_storage(label_matrix)
+        num_rows = sparse.shape[0] if sparse is not None else _as_array(label_matrix).shape[0]
+        counts = np.zeros((num_rows, self.cardinality), dtype=float)
+        if sparse is not None:
+            for klass in range(1, self.cardinality + 1):
+                counts[:, klass - 1] = sparse.count_per_row(klass)
+        else:
+            values = _as_array(label_matrix)
+            for klass in range(1, self.cardinality + 1):
+                counts[:, klass - 1] = (values == klass).sum(axis=1)
         totals = counts.sum(axis=1, keepdims=True)
         probs = np.full_like(counts, 1.0 / self.cardinality)
         voted = totals[:, 0] > 0

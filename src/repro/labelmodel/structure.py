@@ -8,13 +8,21 @@ implements the node-wise formulation of that estimator:
 for every labeling function ``j`` we fit an ℓ1-regularized logistic
 regression predicting the sign of ``Λ_{·,j}`` (restricted to rows where LF
 ``j`` votes) from the votes of all other labeling functions **plus a
-majority-vote proxy for the latent label**.  Controlling for the label proxy
-means a large coefficient on LF ``k`` indicates dependence between ``j`` and
-``k`` *beyond what the shared true label explains* — exactly the
-"double-counting" correlations the generative model needs to know about.
-Node-wise ℓ1 logistic regression is the standard consistent estimator for
-Ising/Markov-network structure (Ravikumar et al.), so this is a faithful,
-pure-numpy substitute for the pseudolikelihood SGD in the original system.
+majority-vote proxy for the latent label**.  The proxy for node ``j``
+excludes LF ``j``'s own vote (``sign(Σ_{k≠j} Λ_{i,k})``) — including it
+would leak the regression target into a feature and distort the dependency
+scores.  Controlling for the label proxy means a large coefficient on LF
+``k`` indicates dependence between ``j`` and ``k`` *beyond what the shared
+true label explains* — exactly the "double-counting" correlations the
+generative model needs to know about.  Node-wise ℓ1 logistic regression is
+the standard consistent estimator for Ising/Markov-network structure
+(Ravikumar et al.), so this is a faithful, pure-numpy substitute for the
+pseudolikelihood SGD in the original system.
+
+Sparse-backed label matrices are fitted from CSC column slices: each node's
+design matrix is assembled from the non-abstain entries of the other columns
+restricted to the rows where the node votes, so memory stays O(votes_j · n)
+per node and the full dense Λ is never materialized.
 
 The selection threshold ε plays the paper's role exactly: a pair ``(j, k)``
 is selected when ``max(|w_{j←k}|, |w_{k←j}|) ≥ ε``, and sweeping ε produces
@@ -30,6 +38,7 @@ import numpy as np
 
 from repro.exceptions import LabelModelError, NotFittedError
 from repro.labeling.matrix import LabelMatrix
+from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage
 from repro.types import ABSTAIN
 from repro.utils.mathutils import sigmoid
 from repro.utils.rng import SeedLike, ensure_rng
@@ -70,6 +79,9 @@ class StructureLearner:
     min_votes:
         Nodes with fewer than this many non-abstaining rows are skipped
         (their dependency weights stay zero) — there is no signal to fit.
+    seed:
+        Seed for the randomized spectral-norm (power-iteration) estimate of
+        each node's Lipschitz constant.
     """
 
     def __init__(
@@ -92,12 +104,15 @@ class StructureLearner:
     # ------------------------------------------------------------------ fitting
     def fit(self, label_matrix: LabelMatrix | np.ndarray) -> "StructureLearner":
         """Estimate the (n, n) matrix of absolute dependency weights."""
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            return self._fit_sparse(sparse)
         matrix = _as_array(label_matrix).astype(float)
         m, n = matrix.shape
         if n < 2:
             self.dependency_weights_ = np.zeros((n, n))
             return self
-        mv_proxy = np.sign(matrix.sum(axis=1))
+        row_totals = matrix.sum(axis=1)
         weights = np.zeros((n, n))
         for j in range(n):
             voted = matrix[:, j] != ABSTAIN
@@ -105,10 +120,49 @@ class StructureLearner:
                 continue
             target = (matrix[voted, j] > 0).astype(float)
             others = [k for k in range(n) if k != j]
+            # The label proxy excludes LF j's own vote; otherwise the target
+            # leaks into the features and distorts the dependency scores.
+            mv_proxy = np.sign(row_totals[voted] - matrix[voted, j])
             # Feature order: other LFs, then the label proxy, then the bias.
             features = np.column_stack(
-                [matrix[voted][:, others], mv_proxy[voted], np.ones(int(voted.sum()))]
+                [matrix[voted][:, others], mv_proxy, np.ones(int(voted.sum()))]
             )
+            coefficients = self._l1_logistic(features, target, num_penalized=len(others))
+            weights[j, others] = np.abs(coefficients[: len(others)])
+        self.dependency_weights_ = weights
+        return self
+
+    def _fit_sparse(self, sparse: SparseLabelMatrix) -> "StructureLearner":
+        """Node-wise regressions assembled from CSC column slices.
+
+        Produces the same dependency weights as the dense path: each node's
+        design matrix holds the same values, merely gathered from the stored
+        entries instead of sliced out of a dense array.
+        """
+        m, n = sparse.shape
+        if n < 2:
+            self.dependency_weights_ = np.zeros((n, n))
+            return self
+        col_indptr, entry_rows, entry_vals = sparse.csc()
+        row_totals = sparse.row_sums()
+        weights = np.zeros((n, n))
+        for j in range(n):
+            rows_j = entry_rows[col_indptr[j] : col_indptr[j + 1]]
+            vals_j = entry_vals[col_indptr[j] : col_indptr[j + 1]]
+            if rows_j.size < self.min_votes:
+                continue
+            target = (vals_j > 0).astype(float)
+            others = [k for k in range(n) if k != j]
+            design = np.zeros((rows_j.size, n))
+            for k in others:
+                rows_k = entry_rows[col_indptr[k] : col_indptr[k + 1]]
+                vals_k = entry_vals[col_indptr[k] : col_indptr[k + 1]]
+                _, in_j, in_k = np.intersect1d(
+                    rows_j, rows_k, assume_unique=True, return_indices=True
+                )
+                design[in_j, k] = vals_k[in_k]
+            mv_proxy = np.sign(row_totals[rows_j] - vals_j)
+            features = np.column_stack([design[:, others], mv_proxy, np.ones(rows_j.size)])
             coefficients = self._l1_logistic(features, target, num_penalized=len(others))
             weights[j, others] = np.abs(coefficients[: len(others)])
         self.dependency_weights_ = weights
@@ -123,7 +177,7 @@ class StructureLearner:
         """
         m, d = features.shape
         coefficients = np.zeros(d)
-        lipschitz = 0.25 * self._spectral_norm_squared(features) / m
+        lipschitz = 0.25 * self._spectral_norm_squared(features, seed=self.seed) / m
         step = 1.0 / max(lipschitz, 1e-8)
         penalty = np.zeros(d)
         penalty[:num_penalized] = self.l1_strength
@@ -139,9 +193,16 @@ class StructureLearner:
         return coefficients
 
     @staticmethod
-    def _spectral_norm_squared(features: np.ndarray, iterations: int = 20) -> float:
-        """Estimate ``λ_max(XᵀX)`` with a few power iterations."""
-        rng = np.random.default_rng(0)
+    def _spectral_norm_squared(
+        features: np.ndarray, iterations: int = 20, seed: SeedLike = 0
+    ) -> float:
+        """Estimate ``λ_max(XᵀX)`` with a few power iterations.
+
+        The starting vector comes from the learner's configured ``seed`` (an
+        integer seed yields the same start on every call, keeping repeated
+        fits deterministic).
+        """
+        rng = ensure_rng(seed)
         vector = rng.standard_normal(features.shape[1])
         vector /= np.linalg.norm(vector) + 1e-12
         for _ in range(iterations):

@@ -46,6 +46,11 @@ class PipelineConfig:
     use_optimizer: bool = True
     force_strategy: Optional[str] = None  # "MV" or "GM" to bypass the optimizer
     learn_correlations: bool = True
+    #: Store Λ sparsely (CSR of the non-abstain entries) and run the label
+    #: modeling stage through the sparse hot paths.  Labels and probabilistic
+    #: outputs are identical to the dense run; memory and fit time scale with
+    #: the number of emitted labels instead of with m·n.
+    sparse_labels: bool = False
     advantage_tolerance: float = 0.01
     generative_epochs: int = 20
     generative_step_size: float = 0.05
@@ -117,8 +122,8 @@ class SnorkelPipeline:
         applier = LFApplier(lfs)
         train_candidates = task.split_candidates("train")
         test_candidates = task.split_candidates("test")
-        label_matrix = applier.apply(train_candidates)
-        test_matrix = applier.apply(test_candidates)
+        label_matrix = applier.apply(train_candidates, sparse=self.config.sparse_labels)
+        test_matrix = applier.apply(test_candidates, sparse=self.config.sparse_labels)
         timings["lf_application"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -136,7 +141,7 @@ class SnorkelPipeline:
 
         start = time.perf_counter()
         discriminative_model, discriminative_report = self._discriminative_stage(
-            task, train_candidates, test_candidates, training_probs
+            task, train_candidates, test_candidates, training_probs, label_matrix
         )
         timings["discriminative_training"] = time.perf_counter() - start
 
@@ -191,6 +196,7 @@ class SnorkelPipeline:
         train_candidates: Sequence[Candidate],
         test_candidates: Sequence[Candidate],
         training_probs: np.ndarray,
+        label_matrix: LabelMatrix,
     ) -> tuple[NoiseAwareClassifier, ScoreReport]:
         """Featurize, train the end model on Ỹ, and evaluate on the test split."""
         config = self.config
@@ -200,10 +206,15 @@ class SnorkelPipeline:
         if config.keep_uncovered:
             keep = np.arange(len(train_candidates))
         else:
-            # Drop candidates no LF covered (probability exactly 0.5 carries no
-            # supervision signal); the paper's end models similarly train on
-            # the covered set.
-            keep = np.flatnonzero(~np.isclose(training_probs, 0.5))
+            # Drop candidates no LF covered, plus covered rows whose
+            # probability is exactly 0.5 (ties carry no supervision signal);
+            # the paper's end models similarly train on the covered set.
+            # Coverage is taken from Λ itself — an estimated class balance
+            # gives uncovered rows a non-0.5 prior probability, which is not
+            # supervision signal either.
+            keep = np.flatnonzero(
+                label_matrix.covered_rows() & ~np.isclose(training_probs, 0.5)
+            )
             if keep.size == 0:
                 keep = np.arange(len(train_candidates))
 

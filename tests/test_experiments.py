@@ -17,6 +17,15 @@ def test_fig4_small_run():
     assert fig4_advantage.format_table(points)
 
 
+def test_fig4_sparse_path_matches_dense():
+    dense = fig4_advantage.run(num_points=200, lf_counts=(2, 10, 50), epochs=5)
+    sparse = fig4_advantage.run(num_points=200, lf_counts=(2, 10, 50), epochs=5, sparse=True)
+    for dense_point, sparse_point in zip(dense, sparse):
+        assert sparse_point.label_density == dense_point.label_density
+        assert abs(sparse_point.learned_advantage - dense_point.learned_advantage) < 1e-10
+        assert abs(sparse_point.optimizer_bound - dense_point.optimizer_bound) < 1e-10
+
+
 def test_table1_small_run():
     rows = table1_advantage.run(tasks=(("cdr", 0.05), ("chem", 0.05)), epochs=5)
     assert {row.task for row in rows} == {"cdr", "chem"}

@@ -132,6 +132,53 @@ def test_applier_fault_tolerant_records_errors():
     assert applier.last_report.errors["bad"] == 1
 
 
+class _RawKeyErrorLF:
+    """A duck-typed LF that raises a raw KeyError (no LabelingError wrapping)."""
+
+    name = "raw_keyerror"
+    cardinality = 2
+
+    def __call__(self, candidate):
+        return {}["missing"]
+
+
+def test_applier_fault_tolerant_catches_arbitrary_exceptions():
+    # Regression: fault_tolerant only caught LabelingError, so a user LF
+    # raising KeyError/AttributeError aborted the whole run.
+    good = pattern_lf("causes", label=POSITIVE)
+    applier = LFApplier([_RawKeyErrorLF(), good], fault_tolerant=True)
+    candidates = [make_candidate(["mag", "causes", "pre"]), make_candidate(["a", "b"])]
+    matrix = applier.apply(candidates)
+    assert matrix.values[:, 0].tolist() == [ABSTAIN, ABSTAIN]
+    assert matrix.values[0, 1] == POSITIVE
+    assert applier.last_report.errors["raw_keyerror"] == 2
+    assert applier.last_report.num_errors == 2
+
+
+def test_applier_not_fault_tolerant_reraises_arbitrary_exceptions():
+    applier = LFApplier([_RawKeyErrorLF()], fault_tolerant=False)
+    with pytest.raises(KeyError):
+        applier.apply([make_candidate(["a", "b"])])
+
+
+def test_applier_sparse_mode_matches_dense():
+    lfs = [
+        pattern_lf("causes", label=POSITIVE),
+        pattern_lf("treats", label=NEGATIVE),
+        pattern_lf("nowhere", label=POSITIVE),
+    ]
+    candidates = [
+        make_candidate(["mag", "causes", "pre"]),
+        make_candidate(["mag", "treats", "pre"]),
+        make_candidate(["mag", "and", "pre"]),
+    ]
+    dense = LFApplier(lfs).apply(candidates)
+    sparse = LFApplier(lfs).apply(candidates, sparse=True)
+    assert sparse.is_sparse
+    assert np.array_equal(sparse.values, dense.values)
+    assert sparse.lf_names == dense.lf_names
+
+
 def test_label_matrix_statistics():
     matrix = LabelMatrix(np.array([[1, 0], [-1, 1], [0, 0]]))
     assert matrix.label_density() == pytest.approx(1.0)

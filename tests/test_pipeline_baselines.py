@@ -30,6 +30,22 @@ def test_pipeline_end_to_end(small_cdr):
     assert set(result.timings) == {"lf_application", "label_modeling", "discriminative_training"}
 
 
+def test_pipeline_sparse_labels_matches_dense(small_cdr):
+    dense_config = PipelineConfig(generative_epochs=5, discriminative_epochs=10, seed=0)
+    sparse_config = PipelineConfig(
+        generative_epochs=5, discriminative_epochs=10, seed=0, sparse_labels=True
+    )
+    dense_result = SnorkelPipeline(config=dense_config).run(small_cdr)
+    sparse_result = SnorkelPipeline(config=sparse_config).run(small_cdr)
+    assert sparse_result.label_matrix.is_sparse
+    assert np.allclose(
+        sparse_result.training_probs, dense_result.training_probs, atol=1e-10
+    )
+    assert sparse_result.generative_f1 == pytest.approx(dense_result.generative_f1)
+    assert sparse_result.strategy.strategy == dense_result.strategy.strategy
+    assert sparse_result.strategy.correlations == dense_result.strategy.correlations
+
+
 def test_pipeline_force_mv_strategy(small_cdr):
     config = PipelineConfig(force_strategy="MV", discriminative_epochs=5, seed=0)
     result = SnorkelPipeline(config=config).run(small_cdr)
