@@ -1,0 +1,78 @@
+"""Gibbs-sampler throughput: dense vs sparse storage (ROADMAP bench item).
+
+Times the two hot entry points of :class:`repro.labelmodel.gibbs.GibbsSampler`
+— ``label_posteriors`` and a short ``sample_joint`` chain — on identical
+matrices in dense and CSR storage.  At low coverage the sparse path operates
+on O(nnz) entries per sweep instead of O(m·n), so it should win by roughly
+the inverse coverage.  ``run_gibbs_benchmark`` is importable and feeds the
+``gibbs`` section of the ``BENCH_*.json`` snapshot.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_label_matrix
+from repro.labelmodel.factor_graph import FactorGraphSpec
+from repro.labelmodel.gibbs import GibbsSampler
+
+DEFAULT_CONFIG = (20_000, 50, 0.05)  # (num_points, num_lfs, coverage)
+
+
+def run_gibbs_benchmark(config=DEFAULT_CONFIG, sweeps: int = 2, seed: int = 0):
+    """Time dense vs sparse Gibbs operations on one identical matrix."""
+    num_points, num_lfs, coverage = config
+    data = generate_label_matrix(
+        num_points=num_points, num_lfs=num_lfs, propensity=coverage, seed=seed
+    )
+    dense = data.label_matrix
+    sparse = dense.to_sparse()
+    spec = FactorGraphSpec(num_lfs)
+    weights = spec.initial_weights()
+
+    start = time.perf_counter()
+    dense_posteriors = GibbsSampler(spec, seed=seed).label_posteriors(weights, dense.values)
+    dense_posterior_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    sparse_posteriors = GibbsSampler(spec, seed=seed).label_posteriors(weights, sparse.storage)
+    sparse_posterior_seconds = time.perf_counter() - start
+    max_posterior_diff = float(np.abs(dense_posteriors - sparse_posteriors).max())
+
+    start = time.perf_counter()
+    GibbsSampler(spec, seed=seed).sample_joint(weights, dense.values, sweeps=sweeps)
+    dense_joint_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    GibbsSampler(spec, seed=seed).sample_joint(weights, sparse.storage, sweeps=sweeps)
+    sparse_joint_seconds = time.perf_counter() - start
+
+    return {
+        "num_points": num_points,
+        "num_lfs": num_lfs,
+        "coverage": coverage,
+        "nnz": int(sparse.storage.nnz),
+        "sweeps": sweeps,
+        "dense_posterior_seconds": dense_posterior_seconds,
+        "sparse_posterior_seconds": sparse_posterior_seconds,
+        "dense_joint_seconds": dense_joint_seconds,
+        "sparse_joint_seconds": sparse_joint_seconds,
+        "joint_speedup": dense_joint_seconds / max(sparse_joint_seconds, 1e-12),
+        "max_posterior_diff": max_posterior_diff,
+    }
+
+
+def format_record(record) -> str:
+    return (
+        f"{record['num_points']} x {record['num_lfs']} at {record['coverage']:.0%}: "
+        f"posteriors {record['dense_posterior_seconds']:.3f}s dense / "
+        f"{record['sparse_posterior_seconds']:.3f}s sparse; "
+        f"joint chain {record['dense_joint_seconds']:.3f}s dense / "
+        f"{record['sparse_joint_seconds']:.3f}s sparse "
+        f"({record['joint_speedup']:.1f}x)"
+    )
+
+
+def test_gibbs_timing(run_once):
+    record = run_once(run_gibbs_benchmark)
+    print("\n[Gibbs timing] " + format_record(record))
+    assert record["max_posterior_diff"] < 1e-10
+    assert record["joint_speedup"] > 1.0, record

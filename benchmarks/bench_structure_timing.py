@@ -3,7 +3,9 @@
 Verifies the qualitative claim that fitting the generative model with the
 elbow-point correlation set is substantially cheaper than fitting it with the
 full (low-threshold) correlation set, while structure learning itself is a
-one-off cost.
+one-off cost.  ``run_structure_benchmark`` is importable and feeds the
+``structure_learning`` section of the ``BENCH_*.json`` snapshot written by
+``scripts/run_benchmarks.py``.
 """
 
 import time
@@ -13,18 +15,54 @@ from repro.labelmodel.generative import GenerativeModel
 from repro.labelmodel.structure import StructureLearner
 
 
-def test_structure_timing(run_once):
+def run_structure_benchmark(
+    num_points: int = 600,
+    num_independent: int = 8,
+    num_groups: int = 6,
+    group_size: int = 3,
+    epochs: int = 8,
+    seed: int = 0,
+):
+    """Time structure learning plus model fits with few vs many correlations."""
     data = generate_correlated_label_matrix(
-        num_points=600, num_independent=8, num_groups=6, group_size=3, seed=0
+        num_points=num_points,
+        num_independent=num_independent,
+        num_groups=num_groups,
+        group_size=group_size,
+        seed=seed,
     )
-    learner = run_once(StructureLearner().fit, data.label_matrix)
+    start = time.perf_counter()
+    learner = StructureLearner().fit(data.label_matrix)
+    structure_seconds = time.perf_counter() - start
     few = learner.select(0.2)
     many = learner.select(0.005)
     start = time.perf_counter()
-    GenerativeModel(epochs=8).fit(data.label_matrix, correlations=few)
-    few_time = time.perf_counter() - start
+    GenerativeModel(epochs=epochs).fit(data.label_matrix, correlations=few)
+    few_seconds = time.perf_counter() - start
     start = time.perf_counter()
-    GenerativeModel(epochs=8).fit(data.label_matrix, correlations=many)
-    many_time = time.perf_counter() - start
-    print(f"\n[Structure timing] |C|={len(few)} -> {few_time:.3f}s ; |C|={len(many)} -> {many_time:.3f}s")
-    assert len(many) >= len(few)
+    GenerativeModel(epochs=epochs).fit(data.label_matrix, correlations=many)
+    many_seconds = time.perf_counter() - start
+    return {
+        "num_points": num_points,
+        "num_lfs": data.label_matrix.num_lfs,
+        "epochs": epochs,
+        "structure_seconds": structure_seconds,
+        "few_correlations": len(few),
+        "many_correlations": len(many),
+        "few_fit_seconds": few_seconds,
+        "many_fit_seconds": many_seconds,
+    }
+
+
+def format_record(record) -> str:
+    return (
+        f"structure fit {record['structure_seconds']:.3f}s; "
+        f"|C|={record['few_correlations']} -> {record['few_fit_seconds']:.3f}s ; "
+        f"|C|={record['many_correlations']} -> {record['many_fit_seconds']:.3f}s"
+    )
+
+
+def test_structure_timing(run_once):
+    record = run_once(run_structure_benchmark)
+    print("\n[Structure timing] " + format_record(record))
+    assert record["many_correlations"] >= record["few_correlations"]

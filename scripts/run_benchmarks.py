@@ -2,16 +2,28 @@
 """Execute the benchmark suite and write a perf snapshot for trajectory tracking.
 
 Runs the ``benchmarks/bench_*.py`` pytest suite (the paper-artifact harness)
-and then the dense-vs-sparse scaling measurement from
-``benchmarks/bench_sparse_scaling.py``, writing the latter to a JSON snapshot
-(default ``BENCH_sparse.json`` in the repository root) so future PRs have a
-baseline to compare fit-time and peak-memory numbers against.
+and then the importable perf measurements, writing one multi-section JSON
+snapshot (default ``BENCH_sparse.json`` in the repository root):
+
+* ``sparse_scaling`` — dense vs sparse label-model fits
+  (``benchmarks/bench_sparse_scaling.py``);
+* ``applier_throughput`` — sequential vs threads vs processes LF execution
+  on streamed candidates (``benchmarks/bench_applier_engine.py``);
+* ``gibbs`` — dense vs sparse Gibbs-sampler timings
+  (``benchmarks/bench_gibbs_timing.py``);
+* ``structure_learning`` — structure-learning plus correlation-count fit
+  costs (``benchmarks/bench_structure_timing.py``).
+
+``--compare`` re-measures and checks every ``*_seconds`` metric against the
+committed snapshot, failing (exit code 1) on a more-than-``--threshold``-fold
+slowdown — the regression gate future perf PRs run against.
 
 Usage::
 
     python scripts/run_benchmarks.py                 # suite + snapshot
     python scripts/run_benchmarks.py --skip-suite    # snapshot only
     python scripts/run_benchmarks.py --output /tmp/bench.json
+    python scripts/run_benchmarks.py --compare       # regression gate
 """
 
 from __future__ import annotations
@@ -27,10 +39,18 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
+#: Metric keys compared by ``--compare`` (every key with this suffix).
+TIMING_SUFFIX = "_seconds"
 
-def _load_scaling_module():
+#: Baselines below this are padded up to it before applying the threshold:
+#: single-digit-millisecond measurements routinely jitter by more than 2x
+#: (cache state, first-call dispatch), which is noise, not regression.
+MIN_COMPARE_SECONDS = 0.05
+
+
+def _load_bench_module(name: str):
     spec = importlib.util.spec_from_file_location(
-        "bench_sparse_scaling", REPO_ROOT / "benchmarks" / "bench_sparse_scaling.py"
+        name, REPO_ROOT / "benchmarks" / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
@@ -38,32 +58,120 @@ def _load_scaling_module():
 
 
 def run_suite() -> int:
-    """Run the full ``benchmarks/`` pytest collection; return its exit code."""
+    """Run the full ``benchmarks/`` pytest collection; return its exit code.
+
+    ``bench_*.py`` does not match pytest's default ``python_files`` pattern,
+    so the collection override is passed explicitly (keeping the tier-1
+    ``pytest tests/`` collection untouched).
+    """
     return subprocess.call(
-        [sys.executable, "-m", "pytest", str(REPO_ROOT / "benchmarks"), "-q"],
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(REPO_ROOT / "benchmarks"),
+            "-q",
+            "-o",
+            "python_files=bench_*.py",
+        ],
         cwd=REPO_ROOT,
     )
 
 
-def write_snapshot(output: Path) -> dict:
-    """Measure dense-vs-sparse scaling and write the JSON snapshot."""
+def measure() -> dict:
+    """Run every importable perf measurement; return the snapshot document."""
     import numpy as np
 
     from repro.labeling.sparse import HAVE_SCIPY
 
-    bench = _load_scaling_module()
-    records = bench.run_scaling()
-    snapshot = {
-        "benchmark": "bench_sparse_scaling",
+    scaling = _load_bench_module("bench_sparse_scaling")
+    applier = _load_bench_module("bench_applier_engine")
+    gibbs = _load_bench_module("bench_gibbs_timing")
+    structure = _load_bench_module("bench_structure_timing")
+
+    print("[sparse_scaling]")
+    scaling_records = scaling.run_scaling()
+    print(scaling.format_records(scaling_records))
+    print("\n[applier_throughput]")
+    applier_records = applier.run_applier_throughput()
+    print(applier.format_records(applier_records))
+    print("\n[gibbs]")
+    gibbs_record = gibbs.run_gibbs_benchmark()
+    print(gibbs.format_record(gibbs_record))
+    print("\n[structure_learning]")
+    structure_record = structure.run_structure_benchmark()
+    print(structure.format_record(structure_record))
+
+    return {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "scipy_backend": HAVE_SCIPY,
-        "records": records,
+        "benchmarks": {
+            "sparse_scaling": {"records": scaling_records},
+            "applier_throughput": {"records": applier_records},
+            "gibbs": {"record": gibbs_record},
+            "structure_learning": {"record": structure_record},
+        },
     }
+
+
+def write_snapshot(output: Path) -> dict:
+    """Measure everything and write the JSON snapshot."""
+    snapshot = measure()
     output.write_text(json.dumps(snapshot, indent=2) + "\n")
-    print(bench.format_records(records))
     print(f"\nwrote {output}")
     return snapshot
+
+
+def _flatten_timings(node, path: str = "") -> dict[str, float]:
+    """All ``*_seconds`` metrics in a snapshot, keyed by their JSON path."""
+    timings: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else str(key)
+            if key.endswith(TIMING_SUFFIX) and isinstance(value, (int, float)):
+                timings[child] = float(value)
+            else:
+                timings.update(_flatten_timings(value, child))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            timings.update(_flatten_timings(value, f"{path}[{index}]"))
+    return timings
+
+
+def compare_snapshots(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Return one regression message per metric slower than ``threshold``-fold."""
+    baseline_timings = _flatten_timings(baseline)
+    current_timings = _flatten_timings(current)
+    regressions = []
+    for path, base_value in sorted(baseline_timings.items()):
+        if path not in current_timings or base_value <= 0:
+            continue
+        ratio = current_timings[path] / max(base_value, MIN_COMPARE_SECONDS)
+        if ratio > threshold:
+            regressions.append(
+                f"{path}: {current_timings[path]:.3f}s vs baseline "
+                f"{base_value:.3f}s ({ratio:.1f}x > {threshold:.1f}x)"
+            )
+    return regressions
+
+
+def run_compare(snapshot_path: Path, threshold: float) -> int:
+    """Re-measure and gate against the committed snapshot."""
+    if not snapshot_path.exists():
+        print(f"no baseline snapshot at {snapshot_path}; run without --compare first")
+        return 2
+    baseline = json.loads(snapshot_path.read_text())
+    current = measure()
+    regressions = compare_snapshots(baseline, current, threshold)
+    compared = len(set(_flatten_timings(baseline)) & set(_flatten_timings(current)))
+    if regressions:
+        print(f"\n{len(regressions)} timing regression(s) vs {snapshot_path}:")
+        for message in regressions:
+            print(f"  {message}")
+        return 1
+    print(f"\nno >{threshold:.1f}x regressions across {compared} timings vs {snapshot_path}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -77,12 +185,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-suite",
         action="store_true",
-        help="skip the pytest benchmark suite, only write the scaling snapshot",
+        help="skip the pytest benchmark suite, only write the perf snapshot",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="re-measure and fail on regressions vs the snapshot at --output "
+        "(does not overwrite it)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="slowdown factor that counts as a regression (default: 2.0)",
     )
     args = parser.parse_args(argv)
 
     if str(SRC) not in sys.path:
         sys.path.insert(0, str(SRC))
+
+    if args.compare:
+        return run_compare(args.output, args.threshold)
 
     exit_code = 0
     if not args.skip_suite:

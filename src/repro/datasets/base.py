@@ -87,6 +87,19 @@ class TaskDataset:
         except KeyError:
             raise DatasetError(f"task {self.name!r} has no split {split!r}") from None
 
+    def stream_candidates(self, split: str):
+        """Yield one split's candidates one at a time.
+
+        The streaming entry point for the labeling execution engine: feed
+        this generator to :meth:`repro.labeling.applier.LFApplier.apply` and
+        the candidate list is consumed chunk by chunk rather than handed
+        over as one materialized sequence.  (Task datasets hold their
+        candidates in memory today, but consumers written against this
+        iterator keep working when a split is backed by out-of-core
+        storage.)
+        """
+        yield from self.split_candidates(split)
+
     def split_gold(self, split: str) -> np.ndarray:
         """Gold labels of one split."""
         try:

@@ -6,19 +6,28 @@ with fixed accuracy and propensity) and Figure 5-left (labeling functions
 with planted correlated families), plus a mis-specification scenario
 reproducing Example 3.1 (a block of perfectly correlated LFs next to
 independent ones).
+
+For the labeling execution engine there is also a *streaming* front-end:
+:func:`stream_synthetic_candidates` yields lightweight picklable candidates
+one at a time (each carrying its precomputed vote row, drawn from a
+per-candidate RNG so the stream is deterministic and order-independent), and
+:func:`synthetic_vote_lfs` builds the matching LF suite.  Feeding the stream
+to :class:`repro.labeling.applier.LFApplier` reproduces the same votes under
+every executor backend without ever materializing the candidate list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import DatasetError
+from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labeling.sparse import SparseLabelMatrix
-from repro.types import NEGATIVE, POSITIVE
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -209,6 +218,97 @@ def generate_misspecification_example(
         lf_propensities=np.ones(num_correlated + num_independent),
         correlated_pairs=correlated_pairs,
     )
+
+
+# ------------------------------------------------------------------ streaming
+@dataclass(frozen=True)
+class SyntheticCandidate:
+    """One streamed synthetic candidate: its gold label and vote row.
+
+    Frozen and made of plain ints/tuples so chunks of candidates cross
+    process boundaries (the engine's ``processes`` backend pickles them).
+    """
+
+    uid: int
+    gold: int
+    votes: tuple[int, ...]
+
+
+class _VoteReader:
+    """Picklable LF body reading one column of a candidate's vote row."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __call__(self, candidate: SyntheticCandidate) -> int:
+        return int(candidate.votes[self.index])
+
+
+def synthetic_vote_lfs(num_lfs: int) -> list[LabelingFunction]:
+    """The LF suite matching :func:`stream_synthetic_candidates` vote rows."""
+    if num_lfs <= 0:
+        raise DatasetError(f"num_lfs must be positive, got {num_lfs}")
+    return [
+        LabelingFunction(f"synth_vote_{j}", _VoteReader(j), source_type="synthetic")
+        for j in range(num_lfs)
+    ]
+
+
+def _candidate_rng(seed: int, uid: int) -> np.random.Generator:
+    return np.random.default_rng((int(seed), int(uid)))
+
+
+def stream_synthetic_candidates(
+    num_points: int = 1000,
+    num_lfs: int = 10,
+    accuracy: float | Sequence[float] = 0.75,
+    propensity: float | Sequence[float] = 0.1,
+    class_balance: float = 0.5,
+    seed: int = 0,
+) -> Iterator[SyntheticCandidate]:
+    """Lazily generate independent-LF candidates (the Figure 4 setting).
+
+    Each candidate's draws come from its own ``(seed, uid)``-keyed RNG, so
+    the stream is reproducible, independent of consumption order, and uses
+    O(1) memory — votes are not drawn column-major as in
+    :func:`generate_label_matrix`, so the two front-ends emit different (but
+    identically distributed) vote sets for the same seed.
+    """
+    if num_points < 0:
+        raise DatasetError(f"num_points must be non-negative, got {num_points}")
+    if not 0.0 < class_balance < 1.0:
+        raise DatasetError(f"class_balance must lie in (0, 1), got {class_balance}")
+    accuracies = _broadcast("accuracy", accuracy, num_lfs)
+    propensities = _broadcast("propensity", propensity, num_lfs)
+    for uid in range(num_points):
+        rng = _candidate_rng(seed, uid)
+        gold = POSITIVE if rng.random() < class_balance else NEGATIVE
+        votes = []
+        for j in range(num_lfs):
+            if rng.random() < propensities[j]:
+                correct = rng.random() < accuracies[j]
+                votes.append(gold if correct else -gold)
+            else:
+                votes.append(ABSTAIN)
+        yield SyntheticCandidate(uid=uid, gold=gold, votes=tuple(votes))
+
+
+def synthetic_stream_gold(
+    num_points: int,
+    class_balance: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gold labels of :func:`stream_synthetic_candidates`, O(m) memory.
+
+    Recomputes each candidate's first RNG draw without building the
+    candidates, so a streaming engine run can be evaluated against gold
+    after the stream has been consumed.
+    """
+    gold = np.empty(num_points, dtype=np.int64)
+    for uid in range(num_points):
+        rng = _candidate_rng(seed, uid)
+        gold[uid] = POSITIVE if rng.random() < class_balance else NEGATIVE
+    return gold
 
 
 def _broadcast(name: str, value: float | Sequence[float], length: int) -> np.ndarray:

@@ -13,9 +13,12 @@ from repro.discriminative.featurizers import HashingVectorizer, RelationFeaturiz
 from repro.discriminative.logistic import NoiseAwareLogisticRegression
 from repro.discriminative.mlp import NoiseAwareMLP
 from repro.discriminative.image import ImageFeatureClassifier
+from repro.discriminative.sparse_features import CSRFeatureMatrix, as_float_features
 
 __all__ = [
     "AdamOptimizer",
+    "CSRFeatureMatrix",
+    "as_float_features",
     "HashingVectorizer",
     "RelationFeaturizer",
     "NoiseAwareLogisticRegression",

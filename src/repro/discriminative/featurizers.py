@@ -8,16 +8,23 @@ sentence plus relation-specific features (words between the argument spans,
 window words, argument order and distance), which preserves the property the
 paper relies on: features that co-occur with LF-covered candidates also
 appear on uncovered candidates, letting the end model raise recall.
+
+Both featurizers offer a batch-sparse path (``transform(..., sparse=True)``)
+returning a :class:`repro.discriminative.sparse_features.CSRFeatureMatrix`
+with exactly the same values as the dense output — a candidate touches only
+a few hash buckets, so the dense ``(m, num_features)`` allocation is pure
+waste at scale.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence, Union
 
 import numpy as np
 
 from repro.context.candidates import Candidate
+from repro.discriminative.sparse_features import CSRFeatureMatrix
 from repro.exceptions import ConfigurationError
 from repro.utils.textutils import ngrams, normalize
 
@@ -56,9 +63,8 @@ class HashingVectorizer:
         self.ngram_range = ngram_range
         self.signed = signed
 
-    def transform_tokens(self, tokens: Sequence[str], prefix: str = "") -> np.ndarray:
-        """Featurize a single token sequence into a dense vector."""
-        vector = np.zeros(self.num_features)
+    def token_entries(self, tokens: Sequence[str], prefix: str = "") -> Iterator[tuple[int, float]]:
+        """Yield every ``(hash bucket, sign)`` pair one token sequence emits."""
         normalized = [normalize(token) for token in tokens]
         low, high = self.ngram_range
         for n in range(low, high + 1):
@@ -67,15 +73,35 @@ class HashingVectorizer:
                 value = _stable_hash(key)
                 index = value % self.num_features
                 sign = 1.0 if not self.signed or (value >> 63) & 1 == 0 else -1.0
-                vector[index] += sign
+                yield index, sign
+
+    def transform_tokens(self, tokens: Sequence[str], prefix: str = "") -> np.ndarray:
+        """Featurize a single token sequence into a dense vector."""
+        vector = np.zeros(self.num_features)
+        for index, sign in self.token_entries(tokens, prefix):
+            vector[index] += sign
         return vector
 
-    def transform(self, token_sequences: Iterable[Sequence[str]]) -> np.ndarray:
-        """Featurize many token sequences into a ``(len, num_features)`` matrix."""
-        rows = [self.transform_tokens(tokens) for tokens in token_sequences]
-        if not rows:
+    def transform(
+        self, token_sequences: Iterable[Sequence[str]], sparse: bool = False
+    ) -> Union[np.ndarray, CSRFeatureMatrix]:
+        """Featurize many token sequences into a ``(len, num_features)`` matrix.
+
+        With ``sparse=True`` only the touched hash buckets are stored (CSR);
+        the values are identical to the dense output.
+        """
+        if sparse:
+            rows: list[dict[int, float]] = []
+            for tokens in token_sequences:
+                entries: dict[int, float] = {}
+                for index, sign in self.token_entries(tokens):
+                    entries[index] = entries.get(index, 0.0) + sign
+                rows.append({k: v for k, v in entries.items() if v != 0.0})
+            return CSRFeatureMatrix.from_row_entries(rows, self.num_features)
+        dense_rows = [self.transform_tokens(tokens) for tokens in token_sequences]
+        if not dense_rows:
             return np.zeros((0, self.num_features))
-        return np.vstack(rows)
+        return np.vstack(dense_rows)
 
 
 class RelationFeaturizer:
@@ -102,32 +128,60 @@ class RelationFeaturizer:
         """Dimensionality of the produced feature vectors."""
         return self.num_features + 5
 
+    def _scopes(self, candidate: Candidate) -> tuple[tuple[float, Sequence[str], str], ...]:
+        """The hashed token scopes with their weights (the btw scope counts double)."""
+        return (
+            (1.0, candidate.sentence.words, "sent:"),
+            (2.0, candidate.words_between(), "btw:"),
+            (1.0, candidate.window_left(self.window_size), "left:"),
+            (1.0, candidate.window_right(self.window_size), "right:"),
+            (1.0, candidate.span1.text.split(), "arg1:"),
+            (1.0, candidate.span2.text.split(), "arg2:"),
+        )
+
+    def _structural(self, candidate: Candidate) -> tuple[float, ...]:
+        return (
+            1.0 if candidate.span1_precedes_span2() else -1.0,
+            float(candidate.token_distance()),
+            float(candidate.span1.length),
+            float(candidate.span2.length),
+            float(len(candidate.sentence.words)),
+        )
+
     def transform_candidate(self, candidate: Candidate) -> np.ndarray:
         """Featurize one candidate."""
         hashed = np.zeros(self.num_features)
-        hashed += self.vectorizer.transform_tokens(candidate.sentence.words, prefix="sent:")
-        hashed += 2.0 * self.vectorizer.transform_tokens(candidate.words_between(), prefix="btw:")
-        hashed += self.vectorizer.transform_tokens(
-            candidate.window_left(self.window_size), prefix="left:"
-        )
-        hashed += self.vectorizer.transform_tokens(
-            candidate.window_right(self.window_size), prefix="right:"
-        )
-        hashed += self.vectorizer.transform_tokens(candidate.span1.text.split(), prefix="arg1:")
-        hashed += self.vectorizer.transform_tokens(candidate.span2.text.split(), prefix="arg2:")
-        structural = np.array(
-            [
-                1.0 if candidate.span1_precedes_span2() else -1.0,
-                float(candidate.token_distance()),
-                float(candidate.span1.length),
-                float(candidate.span2.length),
-                float(len(candidate.sentence.words)),
-            ]
-        )
-        return np.concatenate([hashed, structural])
+        for scale, tokens, prefix in self._scopes(candidate):
+            hashed += scale * self.vectorizer.transform_tokens(tokens, prefix=prefix)
+        return np.concatenate([hashed, np.array(self._structural(candidate))])
 
-    def transform(self, candidates: Sequence[Candidate]) -> np.ndarray:
-        """Featurize a list of candidates into a dense matrix."""
+    def candidate_entries(self, candidate: Candidate) -> dict[int, float]:
+        """One candidate's sparse feature row as a ``{column: value}`` mapping."""
+        entries: dict[int, float] = {}
+        for scale, tokens, prefix in self._scopes(candidate):
+            for index, sign in self.vectorizer.token_entries(tokens, prefix):
+                entries[index] = entries.get(index, 0.0) + scale * sign
+        entries = {k: v for k, v in entries.items() if v != 0.0}
+        for offset, value in enumerate(self._structural(candidate)):
+            if value != 0.0:
+                entries[self.num_features + offset] = value
+        return entries
+
+    def transform(
+        self, candidates: Sequence[Candidate], sparse: bool = False
+    ) -> Union[np.ndarray, CSRFeatureMatrix]:
+        """Featurize a list of candidates into a feature matrix.
+
+        With ``sparse=True`` the result is a
+        :class:`~repro.discriminative.sparse_features.CSRFeatureMatrix`
+        holding only the touched columns — the values are identical to the
+        dense output, and the end models consume it without densifying.
+        """
+        if sparse:
+            return CSRFeatureMatrix.from_row_entries(
+                [self.candidate_entries(candidate) for candidate in candidates],
+                self.output_dim,
+            )
         if not candidates:
             return np.zeros((0, self.output_dim))
         return np.vstack([self.transform_candidate(candidate) for candidate in candidates])

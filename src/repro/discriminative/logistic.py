@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.discriminative.adam import AdamOptimizer
 from repro.discriminative.base import NoiseAwareClassifier, as_soft_labels
+from repro.discriminative.sparse_features import as_float_features
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.mathutils import sigmoid
 from repro.utils.rng import SeedLike, ensure_rng
@@ -69,8 +70,10 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
         soft_labels: Sequence[float] | np.ndarray,
         sample_weights: Optional[np.ndarray] = None,
     ) -> "NoiseAwareLogisticRegression":
-        """Train on a dense feature matrix and probabilistic labels."""
-        features = np.asarray(features, dtype=float)
+        """Train on a feature matrix (dense, scipy sparse, or
+        :class:`~repro.discriminative.sparse_features.CSRFeatureMatrix`) and
+        probabilistic labels; sparse inputs train without densifying."""
+        features = as_float_features(features)
         soft = as_soft_labels(soft_labels)
         if features.ndim != 2 or features.shape[0] != soft.shape[0]:
             raise ConfigurationError(
@@ -144,5 +147,5 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
         """Positive-class probabilities for a feature matrix."""
         if self.weights is None:
             raise NotFittedError("NoiseAwareLogisticRegression must be fit before predicting")
-        features = np.asarray(features, dtype=float)
+        features = as_float_features(features)
         return np.asarray(sigmoid(features @ self.weights + self.bias))

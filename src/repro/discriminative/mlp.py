@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.discriminative.adam import AdamOptimizer
+from repro.discriminative.sparse_features import as_dense_features
 from repro.discriminative.base import NoiseAwareClassifier, as_soft_labels
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.mathutils import sigmoid
@@ -65,7 +66,7 @@ class NoiseAwareMLP(NoiseAwareClassifier):
         sample_weights: Optional[np.ndarray] = None,
     ) -> "NoiseAwareMLP":
         """Train the network on features and probabilistic labels."""
-        features = np.asarray(features, dtype=float)
+        features = as_dense_features(features)
         soft = as_soft_labels(soft_labels)
         if features.ndim != 2 or features.shape[0] != soft.shape[0]:
             raise ConfigurationError(
@@ -153,7 +154,7 @@ class NoiseAwareMLP(NoiseAwareClassifier):
         """Positive-class probabilities for a feature matrix."""
         if self._layers is None:
             raise NotFittedError("NoiseAwareMLP must be fit before predicting")
-        hidden = np.asarray(features, dtype=float)
+        hidden = as_dense_features(features)
         for index, (weight, bias) in enumerate(self._layers):
             linear = hidden @ weight + bias
             hidden = linear if index == len(self._layers) - 1 else np.maximum(linear, 0.0)

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.discriminative.adam import AdamOptimizer
+from repro.discriminative.sparse_features import as_dense_features
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.mathutils import softmax
 from repro.utils.rng import SeedLike, ensure_rng
@@ -60,7 +61,7 @@ class NoiseAwareSoftmaxRegression:
         vector of hard class labels in ``1..num_classes`` (converted to
         one-hot distributions).
         """
-        features = np.asarray(features, dtype=float)
+        features = as_dense_features(features)
         targets = self._as_distributions(soft_labels, features.shape[0])
         rng = ensure_rng(self.seed)
         num_examples, num_features = features.shape
@@ -118,7 +119,7 @@ class NoiseAwareSoftmaxRegression:
         """Per-class probabilities for a feature matrix."""
         if self.weights is None or self.bias is None:
             raise NotFittedError("NoiseAwareSoftmaxRegression must be fit before predicting")
-        features = np.asarray(features, dtype=float)
+        features = as_dense_features(features)
         return softmax(features @ self.weights + self.bias, axis=1)
 
     def predict(self, features: np.ndarray) -> np.ndarray:

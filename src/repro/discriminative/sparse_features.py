@@ -1,0 +1,221 @@
+"""Sparse (CSR) storage of discriminative feature matrices.
+
+Hashed bag-of-n-gram features are naturally sparse — a candidate touches a
+few hundred of the ``num_features`` hash buckets — yet the featurizers
+historically materialized dense ``(m, num_features)`` float arrays.
+:class:`CSRFeatureMatrix` is the float analogue of
+:class:`repro.labeling.sparse.SparseLabelMatrix`: canonical numpy
+``indptr`` / ``indices`` / ``data`` arrays, scipy-routed linear algebra when
+:mod:`scipy.sparse` is importable, and pure-numpy fallbacks otherwise (the
+same ``FORCE_NUMPY_FALLBACK`` switch covers both modules).
+
+The class implements exactly the operations the noise-aware end models use —
+row selection (``X[rows]``), matrix-vector products (``X @ w``), and
+transposed products (``X.T @ v``) — so
+:class:`repro.discriminative.logistic.NoiseAwareLogisticRegression` trains on
+sparse features without densifying anything beyond one minibatch's scores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.labeling.sparse import HAVE_SCIPY, _ranges_gather, _scipy_sparse, _use_scipy
+
+
+class CSRFeatureMatrix:
+    """CSR storage of a float feature matrix.
+
+    Parameters
+    ----------
+    indptr, indices, data:
+        Standard CSR arrays; column ids strictly increasing within each row.
+    shape:
+        ``(num_examples, num_features)``.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        m, n = self.shape
+        if self.indptr.shape != (m + 1,):
+            raise ConfigurationError(
+                f"indptr must have length {m + 1} for {m} rows, got {self.indptr.shape}"
+            )
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise ConfigurationError(
+                f"indices/data must have length {nnz}, got {self.indices.shape}/{self.data.shape}"
+            )
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise ConfigurationError(f"column indices out of range for {n} features")
+
+    # ------------------------------------------------------------- construction
+    @classmethod
+    def from_row_entries(
+        cls, rows: Sequence[Mapping[int, float]], num_features: int
+    ) -> "CSRFeatureMatrix":
+        """Build from one ``{column: value}`` mapping per example."""
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        indices_blocks: list[np.ndarray] = []
+        data_blocks: list[np.ndarray] = []
+        for i, entries in enumerate(rows):
+            cols = np.fromiter(sorted(entries), dtype=np.int64, count=len(entries))
+            indices_blocks.append(cols)
+            data_blocks.append(np.array([entries[int(c)] for c in cols], dtype=np.float64))
+            indptr[i + 1] = indptr[i] + cols.size
+        empty_i, empty_d = np.empty(0, np.int64), np.empty(0, np.float64)
+        return cls(
+            indptr,
+            np.concatenate(indices_blocks) if indices_blocks else empty_i,
+            np.concatenate(data_blocks) if data_blocks else empty_d,
+            (len(rows), num_features),
+        )
+
+    @classmethod
+    def from_dense(cls, values: np.ndarray) -> "CSRFeatureMatrix":
+        """Compress a dense float matrix (zeros dropped)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ConfigurationError(f"feature matrix must be 2-D, got shape {values.shape}")
+        rows, cols = np.nonzero(values != 0.0)
+        indptr = np.zeros(values.shape[0] + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=values.shape[0]), out=indptr[1:])
+        return cls(indptr, cols.astype(np.int64), values[rows, cols], values.shape)
+
+    def to_scipy(self):
+        """View as ``scipy.sparse.csr_matrix`` (shares the underlying arrays)."""
+        if not HAVE_SCIPY:  # pragma: no cover - only reachable without scipy
+            raise ConfigurationError("scipy is not available in this environment")
+        return _scipy_sparse.csr_matrix((self.data, self.indices, self.indptr), shape=self.shape)
+
+    def toarray(self) -> np.ndarray:
+        """Materialize the dense ``(m, num_features)`` float matrix."""
+        dense = np.zeros(self.shape)
+        dense[self._entry_rows(), self.indices] = self.data
+        return dense
+
+    # ------------------------------------------------------------------- basics
+    ndim = 2
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    def _entry_rows(self) -> np.ndarray:
+        return np.repeat(np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr))
+
+    # ------------------------------------------------------------------ algebra
+    def __getitem__(self, row_indices) -> "CSRFeatureMatrix":
+        """Restrict (and reorder) to the given rows (indices or boolean mask)."""
+        row_indices = np.asarray(row_indices)
+        if row_indices.dtype == bool:
+            row_indices = np.flatnonzero(row_indices)
+        else:
+            row_indices = row_indices.astype(np.int64)
+        if _use_scipy():
+            selected = self.to_scipy()[row_indices]
+            return CSRFeatureMatrix(selected.indptr, selected.indices, selected.data, selected.shape)
+        starts = self.indptr[row_indices]
+        counts = self.indptr[row_indices + 1] - starts
+        gather = _ranges_gather(starts, counts)
+        indptr = np.zeros(row_indices.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRFeatureMatrix(
+            indptr, self.indices[gather], self.data[gather], (row_indices.size, self.shape[1])
+        )
+
+    def __matmul__(self, weights: np.ndarray) -> np.ndarray:
+        """``X @ w`` — per-example weighted feature sums."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.shape[1],):
+            raise ConfigurationError(
+                f"expected {self.shape[1]} weights, got shape {weights.shape}"
+            )
+        if _use_scipy():
+            return self.to_scipy() @ weights
+        return np.bincount(
+            self._entry_rows(), weights=self.data * weights[self.indices], minlength=self.shape[0]
+        )
+
+    def rmatvec(self, values: np.ndarray) -> np.ndarray:
+        """``X.T @ v`` — per-feature sums weighted by per-example values."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.shape[0],):
+            raise ConfigurationError(
+                f"expected {self.shape[0]} values, got shape {values.shape}"
+            )
+        if _use_scipy():
+            return self.to_scipy().T @ values
+        return np.bincount(
+            self.indices, weights=self.data * values[self._entry_rows()], minlength=self.shape[1]
+        )
+
+    @property
+    def T(self) -> "_TransposedFeatureMatrix":
+        """Transposed view supporting ``X.T @ v`` (no data movement)."""
+        return _TransposedFeatureMatrix(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        m, n = self.shape
+        density = self.nnz / (m * n) if m and n else 0.0
+        return f"CSRFeatureMatrix(shape={self.shape}, nnz={self.nnz}, density={density:.4f})"
+
+
+class _TransposedFeatureMatrix:
+    """Lightweight ``X.T`` wrapper: only ``@ vector`` is supported."""
+
+    def __init__(self, base: CSRFeatureMatrix) -> None:
+        self._base = base
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._base.shape[1], self._base.shape[0])
+
+    def __matmul__(self, values: np.ndarray) -> np.ndarray:
+        return self._base.rmatvec(values)
+
+
+FeatureMatrixLike = Union[np.ndarray, CSRFeatureMatrix]
+
+
+def as_float_features(features) -> FeatureMatrixLike:
+    """Normalize a feature-matrix argument for the end models.
+
+    Dense inputs become float ndarrays (the historical behavior); a
+    :class:`CSRFeatureMatrix` or scipy sparse matrix passes through in CSR
+    form, so the minibatch loop's ``X[rows]`` / ``X @ w`` / ``X.T @ v``
+    operations run sparsely.
+    """
+    if isinstance(features, CSRFeatureMatrix):
+        return features
+    if HAVE_SCIPY and _scipy_sparse is not None and _scipy_sparse.issparse(features):
+        csr = features.tocsr().astype(np.float64)
+        return CSRFeatureMatrix(csr.indptr, csr.indices, csr.data, csr.shape)
+    return np.asarray(features, dtype=float)
+
+
+def as_dense_features(features) -> np.ndarray:
+    """A dense float feature matrix, densifying sparse inputs.
+
+    For end models whose math has no sparse path (the MLP's hidden layers,
+    the softmax classifier): sparse inputs still *work* — they are
+    materialized up front — rather than failing inside ``np.asarray``.
+    """
+    if isinstance(features, CSRFeatureMatrix):
+        return features.toarray()
+    if HAVE_SCIPY and _scipy_sparse is not None and _scipy_sparse.issparse(features):
+        return np.asarray(features.todense(), dtype=float)
+    return np.asarray(features, dtype=float)

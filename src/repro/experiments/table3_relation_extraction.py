@@ -50,8 +50,16 @@ def run(
     seed: int = 0,
     generative_epochs: int = 10,
     discriminative_epochs: int = 30,
+    applier_backend: str = "sequential",
+    applier_workers: Optional[int] = 1,
 ) -> list[Table3Row]:
-    """Run the four systems on each task and collect test-split score reports."""
+    """Run the four systems on each task and collect test-split score reports.
+
+    ``applier_backend`` / ``applier_workers`` select the labeling execution
+    engine's executor (see :mod:`repro.labeling.engine`); the label matrices
+    — and therefore every score in the table — are identical across
+    backends.
+    """
     rows = []
     for task_name, scale in tasks:
         task = load_task(task_name, scale=scale, seed=seed)
@@ -59,6 +67,8 @@ def run(
             generative_epochs=generative_epochs,
             discriminative_epochs=discriminative_epochs,
             learn_correlations=False,
+            applier_backend=applier_backend,
+            applier_workers=applier_workers,
             seed=seed,
         )
         result = SnorkelPipeline(config=config).run(task)

@@ -12,6 +12,12 @@ sparse=True)``) switches to :class:`repro.labeling.sparse.SparseLabelMatrix`,
 a CSR-style store of only the non-abstain entries.  Every consumer dispatches
 on the backend automatically — dense call sites keep working unchanged, while
 the label-model hot paths consume the sparse storage without densifying.
+
+LF application itself runs on the :mod:`repro.labeling.engine` execution
+engine: an execution plan (chunking policy) drives pluggable executors
+(``sequential`` / ``threads`` / ``processes``) whose per-chunk CSR triple
+blocks are merged deterministically, so ``LFApplier.apply`` streams over any
+candidate iterable without materializing it.
 """
 
 from repro.labeling.lf import LabelingFunction, labeling_function
@@ -24,12 +30,15 @@ from repro.labeling.declarative import (
 )
 from repro.labeling.generators import OntologyLFGenerator, CrowdWorkerLFGenerator
 from repro.labeling.applier import ApplyReport, LFApplier
+from repro.labeling.engine import ExecutionPlan, run_plan
 from repro.labeling.matrix import LabelMatrix
 from repro.labeling.sparse import SparseLabelMatrix
 from repro.labeling.analysis import LFAnalysis
 
 __all__ = [
     "ApplyReport",
+    "ExecutionPlan",
+    "run_plan",
     "SparseLabelMatrix",
     "LabelingFunction",
     "labeling_function",

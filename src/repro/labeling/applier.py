@@ -1,11 +1,27 @@
 """Applying labeling functions over candidates to produce the label matrix Λ.
 
 Snorkel's execution model applies LFs in an embarrassingly parallel fashion:
-the master process hands candidate keys to workers, each worker materializes
-its candidates and runs the LFs, and labels are returned to the master.  The
-:class:`LFApplier` reproduces this structure with deterministic chunking (a
-stand-in for worker partitioning) and an optional fault policy controlling
-whether an LF exception aborts the run or is recorded as an abstention.
+the master process hands candidate partitions to workers, each worker runs
+the LF suite over its partition, and the emitted labels are merged back at
+the master.  This module is the thin facade over the real implementation,
+the :mod:`repro.labeling.engine` package, which factors that model into
+three pieces:
+
+* an **execution plan** (:class:`repro.labeling.engine.ExecutionPlan`) fixing
+  the chunking policy, the executor backend, the worker count, and the fault
+  policy;
+* pluggable **executors** — ``sequential`` (in-process loop), ``threads``,
+  and ``processes`` (both via ``concurrent.futures``) — that schedule chunks
+  with a bounded in-flight window;
+* a per-chunk **accumulator** that collects each worker's non-abstain labels
+  as CSR triple blocks and merges them deterministically at the end.
+
+Because chunks are drawn lazily from the input, ``apply`` accepts *any*
+iterable of candidates — a list, a generator, a database cursor — and never
+materializes the full candidate list; with ``sparse=True`` the dense
+``(m, n)`` array is never materialized either, so memory is bounded by the
+emitted labels plus the in-flight window.  Results are bit-identical across
+backends and input types: same labels, same error counts, same matrix.
 """
 
 from __future__ import annotations
@@ -16,6 +32,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import LabelingError
+from repro.labeling.engine import ExecutionPlan, run_plan
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labeling.sparse import SparseLabelMatrix
@@ -34,18 +51,32 @@ class ApplyReport:
         Number of candidate chunks processed (the "worker partitions").
     errors:
         Mapping ``lf name -> number of suppressed exceptions`` (only populated
-        when ``fault_tolerant=True``).
+        when ``fault_tolerant=True``), merged across workers in chunk order.
+    backend:
+        Executor backend that ran the chunks.
+    num_workers:
+        Worker count the executor used (1 for the sequential backend).
+    chunk_seconds:
+        Per-chunk wall-clock seconds, in chunk order (not completion order).
     """
 
     num_candidates: int = 0
     num_lfs: int = 0
     num_chunks: int = 0
     errors: dict[str, int] = field(default_factory=dict)
+    backend: str = "sequential"
+    num_workers: int = 1
+    chunk_seconds: list[float] = field(default_factory=list)
 
     @property
     def num_errors(self) -> int:
         """Total number of suppressed labeling-function exceptions."""
         return sum(self.errors.values())
+
+    @property
+    def total_chunk_seconds(self) -> float:
+        """Summed per-chunk work time (exceeds wall clock under parallelism)."""
+        return float(sum(self.chunk_seconds))
 
 
 class LFApplier:
@@ -55,13 +86,21 @@ class LFApplier:
     ----------
     lfs:
         Labeling functions to apply; their order fixes the column order of Λ.
+        All LFs must agree on cardinality — mixed-cardinality suites raise
+        :class:`LabelingError` at construction.
     fault_tolerant:
         When ``True``, exceptions raised by an LF on a candidate are counted
         and converted to abstentions instead of aborting the run.
     chunk_size:
-        Number of candidates per execution chunk.  Chunking mirrors the
-        paper's parallel execution model and keeps per-chunk progress
-        reporting cheap; results are independent of the chunk size.
+        Number of candidates per execution chunk (worker partition).  Results
+        are independent of the chunk size.
+    backend:
+        Executor backend: ``"sequential"`` (default), ``"threads"``, or
+        ``"processes"``.  See :mod:`repro.labeling.engine` for the tradeoffs;
+        the process backend requires picklable candidates.
+    num_workers:
+        Worker count for the pool backends (``None`` = one per available
+        CPU); ignored by the sequential backend.
     """
 
     def __init__(
@@ -69,6 +108,8 @@ class LFApplier:
         lfs: Sequence[LabelingFunction],
         fault_tolerant: bool = False,
         chunk_size: int = 1024,
+        backend: str = "sequential",
+        num_workers: Optional[int] = 1,
     ) -> None:
         if not lfs:
             raise LabelingError("LFApplier requires at least one labeling function")
@@ -76,11 +117,26 @@ class LFApplier:
         duplicates = {name for name in names if names.count(name) > 1}
         if duplicates:
             raise LabelingError(f"duplicate labeling function names: {sorted(duplicates)}")
-        if chunk_size <= 0:
-            raise LabelingError(f"chunk_size must be positive, got {chunk_size}")
+        cardinalities = sorted({lf.cardinality for lf in lfs})
+        if len(cardinalities) > 1:
+            raise LabelingError(
+                f"labeling functions disagree on cardinality: {cardinalities}; "
+                "an LF suite must label one task"
+            )
+        # Eager validation of chunk_size / backend / num_workers; the plan is
+        # rebuilt from the (public, mutable) attributes on every apply.
+        ExecutionPlan(
+            chunk_size=chunk_size,
+            backend=backend,
+            num_workers=num_workers,
+            fault_tolerant=fault_tolerant,
+        )
         self.lfs = list(lfs)
+        self.cardinality = cardinalities[0]
         self.fault_tolerant = fault_tolerant
         self.chunk_size = chunk_size
+        self.backend = backend
+        self.num_workers = num_workers
         self.last_report: Optional[ApplyReport] = None
 
     @property
@@ -88,56 +144,57 @@ class LFApplier:
         """Column names of the produced label matrix."""
         return [lf.name for lf in self.lfs]
 
-    def apply(self, candidates: Sequence, sparse: bool = False) -> LabelMatrix:
+    def apply(self, candidates: Iterable, sparse: bool = False) -> LabelMatrix:
         """Apply every LF to every candidate and return the label matrix Λ.
 
-        With ``sparse=True`` the non-abstain outputs are accumulated as
-        ``(row, col, value)`` triples and the returned matrix uses the CSR
-        storage backend — the dense ``(m, n)`` array is never materialized,
-        so memory scales with the number of emitted labels rather than with
-        ``m·n``.  The labels themselves are identical in both modes.
+        ``candidates`` may be any iterable; generators are consumed chunk by
+        chunk and the full candidate list is never materialized.  With
+        ``sparse=True`` the non-abstain outputs are accumulated as CSR triple
+        blocks and the returned matrix uses the CSR storage backend — the
+        dense ``(m, n)`` array is never materialized, so memory scales with
+        the number of emitted labels rather than with ``m·n``.  The labels
+        themselves are identical in both modes and across all backends.
         """
-        candidates = list(candidates)
-        report = ApplyReport(num_candidates=len(candidates), num_lfs=len(self.lfs))
-        if sparse:
-            rows: list[int] = []
-            cols: list[int] = []
-            vals: list[int] = []
-        else:
-            matrix = np.full((len(candidates), len(self.lfs)), ABSTAIN, dtype=np.int64)
-        for chunk_start in range(0, len(candidates), self.chunk_size):
-            chunk = candidates[chunk_start : chunk_start + self.chunk_size]
-            report.num_chunks += 1
-            for offset, candidate in enumerate(chunk):
-                row = chunk_start + offset
-                for column, lf in enumerate(self.lfs):
-                    label = self._apply_one(lf, candidate, report)
-                    if sparse:
-                        if label != ABSTAIN:
-                            rows.append(row)
-                            cols.append(column)
-                            vals.append(label)
-                    else:
-                        matrix[row, column] = label
-        self.last_report = report
-        cardinality = max((lf.cardinality for lf in self.lfs), default=2)
+        dense_sink: Optional[np.ndarray] = None
+        transform = None
+        if not sparse and isinstance(candidates, Sequence):
+            # Dense output with a known row count: scatter each chunk's
+            # triples into the result as it arrives and release them, so the
+            # run never holds the full triple set next to the dense matrix
+            # (at high coverage the triples are 3x the matrix itself).
+            dense_sink = np.full(
+                (len(candidates), len(self.lfs)), ABSTAIN, dtype=np.int64
+            )
+
+            def transform(result):
+                dense_sink[result.row_offsets + result.start_row, result.cols] = result.values
+                return result.stripped()
+
+        plan = ExecutionPlan(
+            chunk_size=self.chunk_size,
+            backend=self.backend,
+            num_workers=self.num_workers,
+            fault_tolerant=self.fault_tolerant,
+        )
+        result = run_plan(self.lfs, candidates, plan, transform=transform)
+        self.last_report = ApplyReport(
+            num_candidates=result.num_candidates,
+            num_lfs=len(self.lfs),
+            num_chunks=result.num_chunks,
+            errors=result.errors,
+            backend=result.backend,
+            num_workers=result.num_workers,
+            chunk_seconds=result.chunk_seconds,
+        )
+        shape = (result.num_candidates, len(self.lfs))
         if sparse:
             storage = SparseLabelMatrix.from_triples(
-                rows, cols, vals, (len(candidates), len(self.lfs))
+                result.rows, result.cols, result.values, shape
             )
-            return LabelMatrix(storage, lf_names=self.lf_names, cardinality=cardinality)
-        return LabelMatrix(matrix, lf_names=self.lf_names, cardinality=cardinality)
-
-    def _apply_one(self, lf: LabelingFunction, candidate, report: ApplyReport) -> int:
-        # Catch every Exception, not just LabelingError: user LFs are black
-        # boxes and may raise anything (KeyError, AttributeError, ...).  A
-        # fault-tolerant run converts all of them to abstentions and counts
-        # them; KeyboardInterrupt/SystemExit are not Exception subclasses and
-        # still propagate.
-        try:
-            return lf(candidate)
-        except Exception:
-            if not self.fault_tolerant:
-                raise
-            report.errors[lf.name] = report.errors.get(lf.name, 0) + 1
-            return ABSTAIN
+            return LabelMatrix(storage, lf_names=self.lf_names, cardinality=self.cardinality)
+        if dense_sink is not None:
+            matrix = dense_sink
+        else:
+            matrix = np.full(shape, ABSTAIN, dtype=np.int64)
+            matrix[result.rows, result.cols] = result.values
+        return LabelMatrix(matrix, lf_names=self.lf_names, cardinality=self.cardinality)

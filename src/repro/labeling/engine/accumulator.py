@@ -1,0 +1,159 @@
+"""Per-chunk labeling results and their out-of-core CSR accumulation.
+
+Workers never touch the global label matrix: :func:`apply_chunk` runs the LF
+suite over one chunk and returns a :class:`ChunkResult` holding the chunk's
+non-abstain entries as *local* ``(row_offset, col, value)`` triple arrays plus
+its suppressed-error counts and wall-clock time.  The master feeds every
+result (in whatever completion order the executor produces) into a
+:class:`CSRAccumulator`, which re-sorts by chunk index and concatenates the
+triple blocks with their global row offsets applied — a merge that is O(nnz)
+and independent of executor scheduling, so the final matrix and error report
+are deterministic for every backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.types import ABSTAIN
+
+
+@dataclass
+class ChunkResult:
+    """Labels emitted by one chunk, in chunk-local coordinates."""
+
+    index: int
+    start_row: int
+    num_candidates: int
+    row_offsets: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    errors: dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def stripped(self) -> "ChunkResult":
+        """Copy without the triple arrays (statistics only).
+
+        For :class:`CSRAccumulator` ``transform`` consumers that scatter the
+        triples elsewhere on arrival and only need the merge's bookkeeping.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        return replace(self, row_offsets=empty, cols=empty, values=empty)
+
+
+def apply_chunk(
+    lfs: Sequence,
+    fault_tolerant: bool,
+    index: int,
+    start_row: int,
+    candidates: Sequence,
+) -> ChunkResult:
+    """Run every LF over one chunk of candidates (the worker kernel)."""
+    start = time.perf_counter()
+    row_offsets: list[int] = []
+    cols: list[int] = []
+    values: list[int] = []
+    errors: dict[str, int] = {}
+    for offset, candidate in enumerate(candidates):
+        for column, lf in enumerate(lfs):
+            # Catch every Exception, not just LabelingError: user LFs are
+            # black boxes and may raise anything (KeyError, AttributeError,
+            # ...).  KeyboardInterrupt/SystemExit are not Exception
+            # subclasses and still propagate.
+            try:
+                label = lf(candidate)
+            except Exception:
+                if not fault_tolerant:
+                    raise
+                errors[lf.name] = errors.get(lf.name, 0) + 1
+                label = ABSTAIN
+            if label != ABSTAIN:
+                row_offsets.append(offset)
+                cols.append(column)
+                values.append(label)
+    return ChunkResult(
+        index=index,
+        start_row=start_row,
+        num_candidates=len(candidates),
+        row_offsets=np.asarray(row_offsets, dtype=np.int64),
+        cols=np.asarray(cols, dtype=np.int64),
+        values=np.asarray(values, dtype=np.int64),
+        errors=errors,
+        seconds=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class MergedTriples:
+    """The accumulator's output: global CSR triples plus run statistics."""
+
+    num_candidates: int
+    num_chunks: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    errors: dict[str, int]
+    chunk_seconds: list[float]
+
+
+class CSRAccumulator:
+    """Collects :class:`ChunkResult` blocks and merges them deterministically.
+
+    Blocks may arrive in any order (pool executors complete out of order);
+    the merge sorts by chunk index, applies each block's global row offset,
+    and sums error counts in chunk order, so every backend produces the same
+    triples, the same error totals, and the same per-chunk timing sequence.
+    Memory is O(nnz) — the candidate chunks themselves are released as soon
+    as their triples are extracted.
+
+    ``transform``, when given, is applied to every block on arrival (always
+    in the master thread/process) and its return value is stored instead —
+    consumers that scatter a block's triples into their own structure can
+    return a stripped block to release the triple arrays immediately, e.g.
+    the applier's dense path, which would otherwise hold triples *and* the
+    dense matrix at full coverage.
+    """
+
+    def __init__(self, transform: Optional[Callable[[ChunkResult], ChunkResult]] = None) -> None:
+        self._results: dict[int, ChunkResult] = {}
+        self._transform = transform
+
+    def add(self, result: ChunkResult) -> None:
+        """Record one chunk's output."""
+        if result.index in self._results:
+            raise LabelingError(f"chunk {result.index} accumulated twice")
+        if self._transform is not None:
+            result = self._transform(result)
+        self._results[result.index] = result
+
+    def merge(self) -> MergedTriples:
+        """Combine all blocks into globally indexed CSR triples."""
+        ordered = [self._results[index] for index in sorted(self._results)]
+        expected_row = 0
+        for result in ordered:
+            if result.start_row != expected_row:
+                raise LabelingError(
+                    f"chunk {result.index} starts at row {result.start_row}, "
+                    f"expected {expected_row} (missing or duplicated chunk?)"
+                )
+            expected_row += result.num_candidates
+        rows = [result.row_offsets + result.start_row for result in ordered]
+        errors: dict[str, int] = {}
+        for result in ordered:
+            for name, count in result.errors.items():
+                errors[name] = errors.get(name, 0) + count
+        empty = np.empty(0, dtype=np.int64)
+        return MergedTriples(
+            num_candidates=expected_row,
+            num_chunks=len(ordered),
+            rows=np.concatenate(rows) if rows else empty,
+            cols=np.concatenate([r.cols for r in ordered]) if ordered else empty,
+            values=np.concatenate([r.values for r in ordered]) if ordered else empty,
+            errors=errors,
+            chunk_seconds=[result.seconds for result in ordered],
+        )

@@ -1,0 +1,228 @@
+"""Pluggable chunk executors and the engine's top-level ``run_plan``.
+
+Three executors implement the same contract — consume a lazy chunk stream,
+run :func:`repro.labeling.engine.accumulator.apply_chunk` on each unit, and
+feed every result into a :class:`CSRAccumulator`:
+
+* :class:`SequentialExecutor` — the in-process loop (no pool overhead);
+* :class:`ThreadPoolChunkExecutor` — ``concurrent.futures`` threads, the
+  right choice for latency-bound LFs (I/O, external services) where workers
+  overlap waiting rather than computation;
+* :class:`ProcessPoolChunkExecutor` — ``concurrent.futures`` processes for
+  CPU-bound LF suites.  The LF list travels to the workers through the pool
+  initializer (with the ``fork`` start method it is inherited by memory and
+  never pickled, so closures work); the candidate chunks go through the task
+  queue and must be picklable.
+
+The pool executors use windowed submission: at most ``plan.pending_limit()``
+chunks are in flight, so a generator-fed run keeps bounded memory no matter
+how large the stream is — chunks are drawn from the iterator only as workers
+free up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.labeling.engine.accumulator import (
+    ChunkResult,
+    CSRAccumulator,
+    MergedTriples,
+    apply_chunk,
+)
+from repro.labeling.engine.plan import Chunk, ExecutionPlan, iter_chunks
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine run produced (triples + execution statistics)."""
+
+    num_candidates: int
+    num_chunks: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    errors: dict[str, int]
+    chunk_seconds: list[float]
+    backend: str
+    num_workers: int
+
+
+class SequentialExecutor:
+    """Runs chunks one after another in the calling process."""
+
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        lfs: Sequence,
+        chunks: Iterator[Chunk],
+        accumulator: CSRAccumulator,
+    ) -> None:
+        for chunk in chunks:
+            accumulator.add(
+                apply_chunk(lfs, plan.fault_tolerant, chunk.index, chunk.start_row, chunk.candidates)
+            )
+
+
+def _windowed_submit(
+    pool: Executor,
+    submit: Callable[[Chunk], Future],
+    chunks: Iterator[Chunk],
+    accumulator: CSRAccumulator,
+    limit: int,
+) -> None:
+    """Submit chunks with a bounded in-flight window; merge as they complete.
+
+    On the first chunk failure the remaining stream is abandoned and queued
+    work is cancelled, so a non-fault-tolerant run aborts promptly.
+    """
+    pending: set[Future] = set()
+    try:
+        for chunk in chunks:
+            while len(pending) >= limit:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    accumulator.add(future.result())
+            pending.add(submit(chunk))
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                accumulator.add(future.result())
+    finally:
+        for future in pending:
+            future.cancel()
+
+
+class ThreadPoolChunkExecutor:
+    """Executes chunks on a ``ThreadPoolExecutor``."""
+
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        lfs: Sequence,
+        chunks: Iterator[Chunk],
+        accumulator: CSRAccumulator,
+    ) -> None:
+        with ThreadPoolExecutor(max_workers=plan.effective_workers()) as pool:
+            _windowed_submit(
+                pool,
+                lambda chunk: pool.submit(
+                    apply_chunk,
+                    lfs,
+                    plan.fault_tolerant,
+                    chunk.index,
+                    chunk.start_row,
+                    chunk.candidates,
+                ),
+                chunks,
+                accumulator,
+                plan.pending_limit(),
+            )
+
+
+# Worker-process state, populated once per worker by the pool initializer so
+# the LF suite is not re-pickled with every chunk.
+_PROCESS_LFS: Sequence = ()
+_PROCESS_FAULT_TOLERANT = False
+
+
+def _process_worker_init(lfs: Sequence, fault_tolerant: bool) -> None:
+    global _PROCESS_LFS, _PROCESS_FAULT_TOLERANT
+    _PROCESS_LFS = lfs
+    _PROCESS_FAULT_TOLERANT = fault_tolerant
+
+
+def _process_chunk_entry(index: int, start_row: int, candidates: list) -> ChunkResult:
+    return apply_chunk(_PROCESS_LFS, _PROCESS_FAULT_TOLERANT, index, start_row, candidates)
+
+
+class ProcessPoolChunkExecutor:
+    """Executes chunks on a ``ProcessPoolExecutor``.
+
+    Prefers the ``fork`` start method (Linux): worker initializer arguments
+    are inherited by memory, so LFs built from closures or lambdas work
+    unchanged.  Under ``spawn`` (macOS / Windows) the LF list itself must be
+    picklable.
+    """
+
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        lfs: Sequence,
+        chunks: Iterator[Chunk],
+        accumulator: CSRAccumulator,
+    ) -> None:
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=plan.effective_workers(),
+            mp_context=context,
+            initializer=_process_worker_init,
+            initargs=(lfs, plan.fault_tolerant),
+        ) as pool:
+            _windowed_submit(
+                pool,
+                lambda chunk: pool.submit(
+                    _process_chunk_entry, chunk.index, chunk.start_row, chunk.candidates
+                ),
+                chunks,
+                accumulator,
+                plan.pending_limit(),
+            )
+
+
+_EXECUTORS = {
+    "sequential": SequentialExecutor,
+    "threads": ThreadPoolChunkExecutor,
+    "processes": ProcessPoolChunkExecutor,
+}
+
+
+def get_executor(backend: str):
+    """Instantiate the executor implementing ``backend``."""
+    try:
+        return _EXECUTORS[backend]()
+    except KeyError:
+        raise LabelingError(
+            f"unknown executor backend {backend!r}; expected one of {sorted(_EXECUTORS)}"
+        ) from None
+
+
+def run_plan(
+    lfs: Sequence,
+    candidates: Iterable,
+    plan: ExecutionPlan,
+    transform: Callable[[ChunkResult], ChunkResult] | None = None,
+) -> EngineResult:
+    """Execute the LF suite over a candidate iterable under ``plan``.
+
+    The candidate iterable is consumed lazily (chunk in, CSR triple block
+    out); only the emitted triples, per-chunk statistics, and the bounded
+    in-flight window are held in memory.  ``transform`` (see
+    :class:`CSRAccumulator`) lets the caller consume each block's triples on
+    arrival instead of keeping them for the final merge.
+    """
+    accumulator = CSRAccumulator(transform=transform)
+    executor = get_executor(plan.backend)
+    executor.execute(plan, lfs, iter_chunks(candidates, plan.chunk_size), accumulator)
+    merged = accumulator.merge()
+    return EngineResult(
+        num_candidates=merged.num_candidates,
+        num_chunks=merged.num_chunks,
+        rows=merged.rows,
+        cols=merged.cols,
+        values=merged.values,
+        errors=merged.errors,
+        chunk_seconds=merged.chunk_seconds,
+        backend=plan.backend,
+        num_workers=plan.effective_workers(),
+    )

@@ -1,0 +1,121 @@
+"""Execution plans: how a candidate stream is partitioned into work units.
+
+An :class:`ExecutionPlan` is the declarative half of the labeling execution
+engine — it fixes the chunking policy (how many candidates per work unit),
+the executor backend (``sequential`` / ``threads`` / ``processes``), the
+worker count, and the fault policy, without referencing any particular
+candidate set.  :func:`iter_chunks` turns any candidate iterable into a lazy
+stream of :class:`Chunk` work units; a ``Sequence`` input is sliced without
+copying the whole list, and a generator is consumed incrementally via
+``itertools.islice`` so the full candidate list is never materialized.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
+
+from repro.exceptions import LabelingError
+
+#: Executor backends understood by the engine.
+BACKENDS = ("sequential", "threads", "processes")
+
+
+class Chunk(NamedTuple):
+    """One work unit: a contiguous run of candidates with its global offset."""
+
+    index: int
+    start_row: int
+    candidates: list
+
+
+def available_workers() -> int:
+    """Number of CPUs this process may use (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - platforms without affinity
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Chunking / partitioning policy of one labeling execution.
+
+    Parameters
+    ----------
+    chunk_size:
+        Candidates per work unit.  Results are independent of this value; it
+        trades scheduling overhead against pipeline granularity.
+    backend:
+        ``"sequential"`` (in-process loop), ``"threads"``
+        (``concurrent.futures.ThreadPoolExecutor`` — effective for
+        latency-bound LFs that release the GIL or wait on I/O), or
+        ``"processes"`` (``ProcessPoolExecutor`` — effective for CPU-bound
+        LFs; candidates must be picklable).
+    num_workers:
+        Worker count for the pool backends; ``None`` means one worker per
+        available CPU.  Ignored by the sequential backend.
+    fault_tolerant:
+        When ``True``, LF exceptions are counted per LF name and converted
+        to abstentions; when ``False`` the first exception aborts the run.
+    max_pending:
+        Upper bound on chunks in flight at once (submitted but not yet
+        merged).  Defaults to ``2 × workers`` — the backpressure that keeps
+        a generator-fed run out-of-core instead of draining the stream into
+        the pool's queue.
+    """
+
+    chunk_size: int = 1024
+    backend: str = "sequential"
+    num_workers: Optional[int] = 1
+    fault_tolerant: bool = False
+    max_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise LabelingError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.backend not in BACKENDS:
+            raise LabelingError(
+                f"unknown executor backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise LabelingError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise LabelingError(f"max_pending must be >= 1, got {self.max_pending}")
+
+    def effective_workers(self) -> int:
+        """Worker count the executor will actually use."""
+        if self.backend == "sequential":
+            return 1
+        if self.num_workers is None:
+            return available_workers()
+        return self.num_workers
+
+    def pending_limit(self) -> int:
+        """Maximum number of chunks in flight (the backpressure window)."""
+        if self.max_pending is not None:
+            return self.max_pending
+        return 2 * self.effective_workers()
+
+
+def iter_chunks(candidates: Iterable, chunk_size: int) -> Iterator[Chunk]:
+    """Lazily partition any candidate iterable into :class:`Chunk` units.
+
+    Sequences are sliced (no full copy of the container beyond the slice
+    views); other iterables — generators, database cursors — are consumed
+    chunk by chunk, so memory holds at most the chunks currently in flight.
+    """
+    if isinstance(candidates, Sequence):
+        for index, start in enumerate(range(0, len(candidates), chunk_size)):
+            yield Chunk(index, start, list(candidates[start : start + chunk_size]))
+        return
+    iterator = iter(candidates)
+    start = 0
+    for index in itertools.count():
+        block = list(itertools.islice(iterator, chunk_size))
+        if not block:
+            return
+        yield Chunk(index, start, block)
+        start += len(block)

@@ -31,6 +31,7 @@ from repro.discriminative.logistic import NoiseAwareLogisticRegression
 from repro.evaluation.scorer import BinaryScorer, ScoreReport
 from repro.exceptions import ConfigurationError
 from repro.labeling.applier import LFApplier
+from repro.labeling.engine import BACKENDS
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labelmodel.generative import GenerativeModel
@@ -51,6 +52,16 @@ class PipelineConfig:
     #: outputs are identical to the dense run; memory and fit time scale with
     #: the number of emitted labels instead of with m·n.
     sparse_labels: bool = False
+    #: Executor backend for LF application (``"sequential"``, ``"threads"``,
+    #: or ``"processes"`` — see :mod:`repro.labeling.engine`).  The label
+    #: matrix is identical for every backend.
+    applier_backend: str = "sequential"
+    #: Worker count for the pool backends (``None`` = one per available CPU);
+    #: ignored by the sequential backend.
+    applier_workers: Optional[int] = 1
+    #: Featurize candidates into CSR feature matrices and train the end model
+    #: sparsely; feature values and trained weights match the dense run.
+    sparse_features: bool = False
     advantage_tolerance: float = 0.01
     generative_epochs: int = 20
     generative_step_size: float = 0.05
@@ -64,6 +75,14 @@ class PipelineConfig:
         if self.force_strategy not in (None, "MV", "GM"):
             raise ConfigurationError(
                 f"force_strategy must be None, 'MV' or 'GM', got {self.force_strategy!r}"
+            )
+        if self.applier_backend not in BACKENDS:
+            raise ConfigurationError(
+                f"applier_backend must be one of {BACKENDS}, got {self.applier_backend!r}"
+            )
+        if self.applier_workers is not None and self.applier_workers < 1:
+            raise ConfigurationError(
+                f"applier_workers must be >= 1 or None, got {self.applier_workers}"
             )
 
 
@@ -119,7 +138,15 @@ class SnorkelPipeline:
         timings: dict[str, float] = {}
 
         start = time.perf_counter()
-        applier = LFApplier(lfs)
+        applier = LFApplier(
+            lfs,
+            backend=self.config.applier_backend,
+            num_workers=self.config.applier_workers,
+        )
+        # The candidate lists are needed later for featurization, so hand the
+        # applier the lists themselves (engaging its dense scatter-on-arrival
+        # path) rather than a stream; out-of-core callers should drive
+        # LFApplier.apply directly with task.stream_candidates(...).
         train_candidates = task.split_candidates("train")
         test_candidates = task.split_candidates("test")
         label_matrix = applier.apply(train_candidates, sparse=self.config.sparse_labels)
@@ -200,8 +227,12 @@ class SnorkelPipeline:
     ) -> tuple[NoiseAwareClassifier, ScoreReport]:
         """Featurize, train the end model on Ỹ, and evaluate on the test split."""
         config = self.config
-        train_features = self.featurizer.transform(list(train_candidates))
-        test_features = self.featurizer.transform(list(test_candidates))
+        if config.sparse_features:
+            train_features = self.featurizer.transform(list(train_candidates), sparse=True)
+            test_features = self.featurizer.transform(list(test_candidates), sparse=True)
+        else:
+            train_features = self.featurizer.transform(list(train_candidates))
+            test_features = self.featurizer.transform(list(test_candidates))
 
         if config.keep_uncovered:
             keep = np.arange(len(train_candidates))

@@ -1,0 +1,183 @@
+"""Sparse discriminative featurization: CSR features, equivalence, end model.
+
+Mirrors the dense/sparse equivalence discipline of ``tests/test_sparse.py``:
+the sparse batch-transform path must produce exactly the dense feature
+values, every linear-algebra operation the end models use must agree between
+the scipy backend and the pure-numpy fallback, and the noise-aware logistic
+regression must learn the same weights from either storage.
+"""
+
+import numpy as np
+import pytest
+
+import repro.labeling.sparse as sparse_mod
+from repro.context.candidates import Candidate, SentenceView, SpanView
+from repro.discriminative import (
+    CSRFeatureMatrix,
+    HashingVectorizer,
+    NoiseAwareLogisticRegression,
+    RelationFeaturizer,
+    as_float_features,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(params=["scipy", "numpy-fallback"])
+def backend(request, monkeypatch):
+    """Run each test under both the scipy backend and the numpy fallback."""
+    if request.param == "numpy-fallback":
+        monkeypatch.setattr(sparse_mod, "FORCE_NUMPY_FALLBACK", True)
+    elif not sparse_mod.HAVE_SCIPY:
+        pytest.skip("scipy not installed")
+    return request.param
+
+
+def make_candidate(words, start1=0, end1=1, start2=None, end2=None, uid=0):
+    start2 = len(words) - 2 if start2 is None else start2
+    end2 = len(words) if end2 is None else end2
+    return Candidate(
+        uid=uid,
+        span1=SpanView(words[start1], start1, end1, canonical_id="c1"),
+        span2=SpanView(" ".join(words[start2:end2]), start2, end2, canonical_id="d1"),
+        sentence=SentenceView(words=list(words), text=" ".join(words)),
+    )
+
+
+CANDIDATES = [
+    make_candidate(["magnesium", "causes", "severe", "quake", "risk"], uid=0),
+    make_candidate(["aspirin", "treats", "headache", "pain"], uid=1),
+    make_candidate(["x", "y"], start1=0, end1=1, start2=1, end2=2, uid=2),
+    make_candidate(["alpha", "beta", "gamma", "delta", "beta", "gamma"], uid=3),
+]
+
+
+# ------------------------------------------------------------------ transforms
+def test_hashing_vectorizer_sparse_matches_dense(backend):
+    vectorizer = HashingVectorizer(num_features=64)
+    sequences = [c.sentence.words for c in CANDIDATES]
+    dense = vectorizer.transform(sequences)
+    sparse = vectorizer.transform(sequences, sparse=True)
+    assert isinstance(sparse, CSRFeatureMatrix)
+    assert sparse.shape == dense.shape
+    assert np.array_equal(sparse.toarray(), dense)
+    # Zero-sum hash collisions are pruned, touched buckets are kept.
+    assert sparse.nnz <= np.count_nonzero(dense) + 0  # no spurious entries
+    assert sparse.nnz == np.count_nonzero(dense)
+
+
+def test_relation_featurizer_sparse_matches_dense(backend):
+    featurizer = RelationFeaturizer(num_features=128)
+    dense = featurizer.transform(CANDIDATES)
+    sparse = featurizer.transform(CANDIDATES, sparse=True)
+    assert sparse.shape == (len(CANDIDATES), featurizer.output_dim)
+    assert np.array_equal(sparse.toarray(), dense)
+
+
+def test_empty_transforms(backend):
+    featurizer = RelationFeaturizer(num_features=32)
+    assert featurizer.transform([]).shape == (0, featurizer.output_dim)
+    sparse = featurizer.transform([], sparse=True)
+    assert sparse.shape == (0, featurizer.output_dim)
+    assert sparse.nnz == 0
+    vectorizer = HashingVectorizer(num_features=16)
+    assert vectorizer.transform([], sparse=True).shape == (0, 16)
+
+
+# --------------------------------------------------------------------- algebra
+def reference_matrix():
+    featurizer = RelationFeaturizer(num_features=64)
+    return featurizer.transform(CANDIDATES), featurizer.transform(CANDIDATES, sparse=True)
+
+
+def test_matvec_and_rmatvec(backend):
+    dense, sparse = reference_matrix()
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=dense.shape[1])
+    v = rng.normal(size=dense.shape[0])
+    assert np.allclose(sparse @ w, dense @ w)
+    assert np.allclose(sparse.T @ v, dense.T @ v)
+    assert sparse.T.shape == (dense.shape[1], dense.shape[0])
+
+
+def test_row_selection(backend):
+    dense, sparse = reference_matrix()
+    idx = np.array([2, 0, 3])
+    assert np.array_equal(sparse[idx].toarray(), dense[idx])
+    mask = np.array([True, False, True, False])
+    assert np.array_equal(sparse[mask].toarray(), dense[mask])
+
+
+def test_shape_validation():
+    with pytest.raises(ConfigurationError):
+        CSRFeatureMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 3))
+    with pytest.raises(ConfigurationError):
+        CSRFeatureMatrix(np.array([0, 1, 1]), np.array([0]), np.array([1.0]), (1, 3))
+    dense, sparse = reference_matrix()
+    with pytest.raises(ConfigurationError):
+        sparse @ np.zeros(3)
+    with pytest.raises(ConfigurationError):
+        sparse.rmatvec(np.zeros(3))
+
+
+def test_from_dense_round_trip(backend):
+    dense, _ = reference_matrix()
+    assert np.array_equal(CSRFeatureMatrix.from_dense(dense).toarray(), dense)
+
+
+def test_as_float_features_dispatch(backend):
+    dense, sparse = reference_matrix()
+    assert as_float_features(sparse) is sparse
+    out = as_float_features(dense.astype(np.float32))
+    assert isinstance(out, np.ndarray) and out.dtype == np.float64
+    if sparse_mod.HAVE_SCIPY:
+        converted = as_float_features(sparse.to_scipy())
+        assert isinstance(converted, CSRFeatureMatrix)
+        assert np.array_equal(converted.toarray(), dense)
+
+
+# -------------------------------------------------------------------- end model
+def test_logistic_regression_sparse_matches_dense(backend):
+    dense, sparse = reference_matrix()
+    rng = np.random.default_rng(1)
+    soft = rng.random(dense.shape[0])
+    dense_model = NoiseAwareLogisticRegression(epochs=4, seed=0).fit(dense, soft)
+    sparse_model = NoiseAwareLogisticRegression(epochs=4, seed=0).fit(sparse, soft)
+    assert np.allclose(dense_model.weights, sparse_model.weights, atol=1e-8)
+    assert np.isclose(dense_model.bias, sparse_model.bias, atol=1e-8)
+    assert np.allclose(
+        dense_model.predict_proba(dense), sparse_model.predict_proba(sparse), atol=1e-8
+    )
+
+
+def test_mlp_densifies_sparse_features(backend):
+    # Models without a sparse math path accept CSR inputs by densifying.
+    from repro.discriminative import NoiseAwareMLP
+
+    dense, sparse = reference_matrix()
+    soft = np.random.default_rng(2).random(dense.shape[0])
+    dense_model = NoiseAwareMLP(hidden_sizes=(8,), epochs=2, seed=0).fit(dense, soft)
+    sparse_model = NoiseAwareMLP(hidden_sizes=(8,), epochs=2, seed=0).fit(sparse, soft)
+    assert np.allclose(
+        dense_model.predict_proba(dense), sparse_model.predict_proba(sparse), atol=1e-10
+    )
+
+
+def test_pipeline_sparse_features_end_to_end():
+    from repro.datasets.base import load_task
+    from repro.pipeline.snorkel import PipelineConfig, SnorkelPipeline
+
+    task = load_task("cdr", scale=0.05, seed=0)
+    dense_result = SnorkelPipeline(config=PipelineConfig(seed=0)).run(task)
+    sparse_result = SnorkelPipeline(
+        config=PipelineConfig(seed=0, sparse_features=True, applier_backend="threads",
+                              applier_workers=2)
+    ).run(task)
+    assert np.array_equal(
+        dense_result.label_matrix.values, sparse_result.label_matrix.values
+    )
+    assert np.allclose(
+        dense_result.training_probs, sparse_result.training_probs, atol=1e-10
+    )
+    assert np.isclose(
+        dense_result.discriminative_f1, sparse_result.discriminative_f1, atol=1e-8
+    )
