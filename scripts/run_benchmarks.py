@@ -12,7 +12,9 @@ snapshot (default ``BENCH_sparse.json`` in the repository root):
 * ``gibbs`` — dense vs sparse Gibbs-sampler timings
   (``benchmarks/bench_gibbs_timing.py``);
 * ``structure_learning`` — structure-learning plus correlation-count fit
-  costs (``benchmarks/bench_structure_timing.py``).
+  costs (``benchmarks/bench_structure_timing.py``);
+* ``em_epoch`` — per-epoch EM time, binary and cardinality-4, dense vs
+  sparse (``benchmarks/bench_em_epoch.py``).
 
 ``--compare`` re-measures and checks every ``*_seconds`` metric against the
 committed snapshot, failing (exit code 1) on a more-than-``--threshold``-fold
@@ -88,6 +90,7 @@ def measure() -> dict:
     applier = _load_bench_module("bench_applier_engine")
     gibbs = _load_bench_module("bench_gibbs_timing")
     structure = _load_bench_module("bench_structure_timing")
+    em_epoch = _load_bench_module("bench_em_epoch")
 
     print("[sparse_scaling]")
     scaling_records = scaling.run_scaling()
@@ -101,6 +104,9 @@ def measure() -> dict:
     print("\n[structure_learning]")
     structure_record = structure.run_structure_benchmark()
     print(structure.format_record(structure_record))
+    print("\n[em_epoch]")
+    em_epoch_records = em_epoch.run_em_epoch_benchmark()
+    print(em_epoch.format_records(em_epoch_records))
 
     return {
         "python": platform.python_version(),
@@ -111,6 +117,7 @@ def measure() -> dict:
             "applier_throughput": {"records": applier_records},
             "gibbs": {"record": gibbs_record},
             "structure_learning": {"record": structure_record},
+            "em_epoch": {"records": em_epoch_records},
         },
     }
 

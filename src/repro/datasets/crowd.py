@@ -9,6 +9,12 @@ exposes one LF per worker through
 :class:`repro.labeling.generators.CrowdWorkerLFGenerator` — demonstrating
 that Snorkel subsumes crowdsourcing label models.  The discriminative model
 then classifies the tweet *text*, independent of the workers.
+
+Labels follow the categorical convention (``0`` = abstain, classes ``1..5``
+per :data:`CROWD_CLASSES`), so the task runs end-to-end through
+:class:`repro.pipeline.SnorkelPipeline`: the k-ary generative model produces
+``(m, 5)`` posteriors and the noise-aware softmax end model trains on them
+(the Table 4 driver keeps Dawid–Skene as a cross-check baseline).
 """
 
 from __future__ import annotations
@@ -129,6 +135,7 @@ def build_crowd_task(
         metadata={
             "worker_accuracies": worker_accuracies,
             "classes": dict(CROWD_CLASSES),
+            "class_prior": CLASS_PRIOR.copy(),
             "graders_per_tweet": graders_per_tweet,
         },
     )

@@ -7,6 +7,14 @@ with planted correlated families), plus a mis-specification scenario
 reproducing Example 3.1 (a block of perfectly correlated LFs next to
 independent ones).
 
+Beyond the binary settings there is a categorical generator
+(:func:`generate_multiclass_label_matrix`: labels ``1..k``, ``0`` = abstain,
+symmetric Dawid–Skene-style workers) and :func:`build_multiclass_task`,
+which wraps its votes into a full :class:`repro.datasets.base.TaskDataset`
+(one LF per simulated worker, class-indicative tweet-like text) so the
+multi-class pipeline path can be exercised end-to-end without the full
+crowd task.
+
 For the labeling execution engine there is also a *streaming* front-end:
 :func:`stream_synthetic_candidates` yields lightweight picklable candidates
 one at a time (each carrying its precomputed vote row, drawn from a
@@ -110,6 +118,158 @@ def generate_label_matrix(
         gold_labels=gold,
         lf_accuracies=accuracies,
         lf_propensities=propensities,
+    )
+
+
+def generate_multiclass_label_matrix(
+    num_points: int = 1000,
+    num_lfs: int = 10,
+    cardinality: int = 3,
+    accuracy: float | Sequence[float] = 0.75,
+    propensity: float | Sequence[float] = 0.3,
+    class_balance: Optional[Sequence[float]] = None,
+    seed: SeedLike = 0,
+    sparse: bool = False,
+) -> SyntheticMatrixResult:
+    """Generate an independent-LF *categorical* label matrix (labels ``1..k``).
+
+    Each labeling function behaves like a symmetric Dawid–Skene worker: it
+    votes with probability ``propensity``, votes the gold class with
+    probability ``accuracy``, and otherwise votes uniformly among the
+    ``k - 1`` wrong classes.  Abstentions are ``0``.  ``class_balance`` is an
+    optional length-``k`` prior over gold classes (uniform by default).  With
+    ``sparse=True`` the votes are accumulated as triples into CSR storage;
+    the same seed emits the same votes in both modes.
+    """
+    if num_points <= 0 or num_lfs <= 0:
+        raise DatasetError(f"num_points and num_lfs must be positive, got {num_points}, {num_lfs}")
+    if cardinality < 2:
+        raise DatasetError(f"cardinality must be >= 2, got {cardinality}")
+    if class_balance is None:
+        prior = np.full(cardinality, 1.0 / cardinality)
+    else:
+        prior = np.asarray(class_balance, dtype=float)
+        if prior.shape != (cardinality,) or np.any(prior <= 0):
+            raise DatasetError(
+                f"class_balance must be a length-{cardinality} positive vector"
+            )
+        prior = prior / prior.sum()
+    rng = ensure_rng(seed)
+    accuracies = _broadcast("accuracy", accuracy, num_lfs)
+    propensities = _broadcast("propensity", propensity, num_lfs)
+    gold = rng.choice(np.arange(1, cardinality + 1), size=num_points, p=prior).astype(np.int64)
+
+    def column_votes(j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Voting rows of LF ``j`` and the classes it emits there."""
+        votes = rng.random(num_points) < propensities[j]
+        correct = rng.random(num_points) < accuracies[j]
+        # A wrong vote shifts the gold class by 1..k-1 (mod k), i.e. uniform
+        # over the wrong classes.
+        shifts = rng.integers(1, cardinality, size=num_points)
+        wrong = ((gold - 1 + shifts) % cardinality) + 1
+        rows = np.flatnonzero(votes)
+        return rows, np.where(correct[rows], gold[rows], wrong[rows])
+
+    if sparse:
+        row_chunks, col_chunks, val_chunks = [], [], []
+        for j in range(num_lfs):
+            rows, values = column_votes(j)
+            row_chunks.append(rows)
+            col_chunks.append(np.full(rows.size, j, dtype=np.int64))
+            val_chunks.append(values)
+        storage = SparseLabelMatrix.from_triples(
+            np.concatenate(row_chunks),
+            np.concatenate(col_chunks),
+            np.concatenate(val_chunks),
+            (num_points, num_lfs),
+        )
+        label_matrix = LabelMatrix(storage, cardinality=cardinality)
+    else:
+        matrix = np.zeros((num_points, num_lfs), dtype=np.int64)
+        for j in range(num_lfs):
+            rows, values = column_votes(j)
+            matrix[rows, j] = values
+        label_matrix = LabelMatrix(matrix, cardinality=cardinality)
+    return SyntheticMatrixResult(
+        label_matrix=label_matrix,
+        gold_labels=gold,
+        lf_accuracies=accuracies,
+        lf_propensities=propensities,
+    )
+
+
+def build_multiclass_task(
+    num_points: int = 300,
+    num_lfs: int = 12,
+    cardinality: int = 3,
+    accuracy: float | Sequence[float] = 0.75,
+    propensity: float | Sequence[float] = 0.4,
+    seed: int = 0,
+    name: str = "synthetic-multiclass",
+):
+    """Wrap :func:`generate_multiclass_label_matrix` into a full task dataset.
+
+    Every simulated worker becomes one labeling function (via
+    :class:`repro.labeling.generators.CrowdWorkerLFGenerator`), and each data
+    point becomes a tweet-like candidate whose tokens weakly indicate its
+    gold class, so the discriminative stage has real features to learn from.
+    The task exercises the complete multi-class pipeline path at test sizes.
+    """
+    from repro.context.candidates import Candidate, SentenceView, SpanView
+    from repro.datasets.base import TaskDataset
+    from repro.evaluation.splits import assign_document_splits
+    from repro.labeling.generators import CrowdWorkerLFGenerator
+
+    data = generate_multiclass_label_matrix(
+        num_points=num_points,
+        num_lfs=num_lfs,
+        cardinality=cardinality,
+        accuracy=accuracy,
+        propensity=propensity,
+        seed=seed,
+    )
+    matrix = data.label_matrix.values
+    rng = ensure_rng((seed, 1))
+    splits = assign_document_splits(num_points, 0.125, 0.125, seed=rng)
+
+    filler = [f"filler{i}" for i in range(8)]
+    candidates: dict[str, list] = {"train": [], "dev": [], "test": []}
+    gold: dict[str, list[int]] = {"train": [], "dev": [], "test": []}
+    for uid in range(num_points):
+        klass = int(data.gold_labels[uid])
+        words = [f"class{klass}tok{int(rng.integers(3))}" for _ in range(int(rng.integers(1, 4)))]
+        words += [filler[int(rng.integers(len(filler)))] for _ in range(int(rng.integers(3, 7)))]
+        rng.shuffle(words)
+        candidate = Candidate(
+            uid=uid,
+            span1=SpanView(text=words[0], word_start=0, word_end=1),
+            span2=SpanView(text=words[-1], word_start=len(words) - 1, word_end=len(words)),
+            sentence=SentenceView(
+                words=words, text=" ".join(words), document_name=f"synth-{uid:05d}"
+            ),
+            relation_type="synthetic_multiclass",
+            split=splits[uid],
+            gold_label=klass,
+        )
+        candidates[splits[uid]].append(candidate)
+        gold[splits[uid]].append(klass)
+
+    annotations = {
+        f"{j:03d}": {
+            int(uid): int(matrix[uid, j])
+            for uid in np.flatnonzero(matrix[:, j] != ABSTAIN)
+        }
+        for j in range(num_lfs)
+    }
+    generator = CrowdWorkerLFGenerator(annotations, cardinality=cardinality)
+    return TaskDataset(
+        name=name,
+        candidates=candidates,
+        gold={split: np.array(values, dtype=np.int64) for split, values in gold.items()},
+        lfs=generator.generate(),
+        cardinality=cardinality,
+        num_documents=num_points,
+        metadata={"lf_accuracies": data.lf_accuracies},
     )
 
 

@@ -1,14 +1,21 @@
-"""Evaluation: metrics, scorers, and dataset splits."""
+"""Evaluation: metrics, scorers (binary and multi-class), and dataset splits."""
 
 from repro.evaluation.metrics import (
     accuracy,
     f1_score,
+    macro_precision_recall_f1,
+    multiclass_confusion_matrix,
     precision_recall_f1,
     precision_score,
     recall_score,
     roc_auc,
 )
-from repro.evaluation.scorer import BinaryScorer, ScoreReport
+from repro.evaluation.scorer import (
+    BinaryScorer,
+    MultiClassScoreReport,
+    MultiClassScorer,
+    ScoreReport,
+)
 from repro.evaluation.splits import SplitSizes, split_indices
 
 __all__ = [
@@ -17,9 +24,13 @@ __all__ = [
     "recall_score",
     "f1_score",
     "precision_recall_f1",
+    "macro_precision_recall_f1",
+    "multiclass_confusion_matrix",
     "roc_auc",
     "BinaryScorer",
     "ScoreReport",
+    "MultiClassScorer",
+    "MultiClassScoreReport",
     "SplitSizes",
     "split_indices",
 ]

@@ -120,6 +120,55 @@ def roc_auc(gold: Sequence[int] | np.ndarray, scores: Sequence[float] | np.ndarr
     return u_statistic / (num_positive * num_negative)
 
 
+def multiclass_confusion_matrix(
+    gold: Sequence[int] | np.ndarray,
+    predicted: Sequence[int] | np.ndarray,
+    cardinality: int,
+) -> np.ndarray:
+    """``(k, k)`` count matrix ``C[g - 1, p - 1]`` for labels in ``1..k``.
+
+    Raises :class:`ValueError` when either vector contains labels outside
+    ``1..cardinality`` — in particular signed binary labels, which must be
+    scored with the binary metrics rather than silently mis-bucketed.
+    """
+    gold_arr, pred_arr = _to_arrays(gold, predicted)
+    if cardinality < 2:
+        raise ValueError(f"cardinality must be >= 2, got {cardinality}")
+    for name, values in (("gold", gold_arr), ("predicted", pred_arr)):
+        if values.size and (values.min() < 1 or values.max() > cardinality):
+            raise ValueError(
+                f"{name} labels must lie in 1..{cardinality}, got range "
+                f"[{int(values.min())}, {int(values.max())}]"
+            )
+    flat = (gold_arr.astype(np.int64) - 1) * cardinality + (pred_arr.astype(np.int64) - 1)
+    counts = np.bincount(flat, minlength=cardinality * cardinality)
+    return counts.reshape(cardinality, cardinality)
+
+
+def macro_precision_recall_f1(
+    gold: Sequence[int] | np.ndarray,
+    predicted: Sequence[int] | np.ndarray,
+    cardinality: int,
+) -> tuple[float, float, float]:
+    """Macro-averaged ``(precision, recall, f1)`` over all ``k`` classes.
+
+    Each class is scored one-vs-rest (precision/recall 0.0 when undefined,
+    i.e. nothing predicted / no gold instances of the class) and the three
+    metrics are unweighted means over the classes — every class counts
+    equally regardless of its frequency, the standard macro convention.
+    """
+    confusion = multiclass_confusion_matrix(gold, predicted, cardinality)
+    diagonal = np.diag(confusion).astype(float)
+    predicted_per_class = confusion.sum(axis=0).astype(float)
+    gold_per_class = confusion.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted_per_class > 0, diagonal / predicted_per_class, 0.0)
+        recall = np.where(gold_per_class > 0, diagonal / gold_per_class, 0.0)
+        denominator = precision + recall
+        f1 = np.where(denominator > 0, 2.0 * precision * recall / denominator, 0.0)
+    return float(precision.mean()), float(recall.mean()), float(f1.mean())
+
+
 def lift(new_value: float, baseline_value: float) -> float:
     """Absolute improvement ``new - baseline`` (the paper's "Lift" columns)."""
     return float(new_value - baseline_value)

@@ -321,6 +321,53 @@ class SparseLabelMatrix:
         return f"SparseLabelMatrix(shape={self.shape}, nnz={self.nnz}, density={density:.4f})"
 
 
+def class_vote_counts(
+    label_matrix,
+    cardinality: int,
+    column_weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-row, per-class vote counts (or weighted vote sums) in a single pass.
+
+    Returns an ``(m, cardinality)`` float array whose ``[i, c - 1]`` entry is
+    the number of labeling functions voting class ``c`` on row ``i`` — or,
+    with ``column_weights`` given, the sum of their weights.  The reduction is
+    one flattened ``bincount`` over the non-abstain entries for both storages
+    (sparse inputs are never densified), instead of one pass per class.
+    Shared by :class:`repro.labelmodel.majority.MultiClassMajorityVoter` and
+    the multi-class generative posterior.
+
+    Labels must be categorical (``1..cardinality``; ``0`` = abstain) — signed
+    binary matrices are rejected rather than silently miscounted.
+    """
+    from repro.labeling.matrix import LabelMatrix  # local import: avoid a cycle
+
+    if cardinality < 2:
+        raise LabelingError(f"cardinality must be >= 2, got {cardinality}")
+    sparse = as_sparse_storage(label_matrix)
+    if sparse is not None:
+        num_rows = sparse.shape[0]
+        rows, cols, vals = sparse.entry_rows(), sparse.indices, sparse.data
+    else:
+        values = (
+            label_matrix.values
+            if isinstance(label_matrix, LabelMatrix)
+            else np.asarray(label_matrix, dtype=np.int64)
+        )
+        num_rows = values.shape[0]
+        rows, cols = np.nonzero(values != ABSTAIN)
+        vals = values[rows, cols]
+    if vals.size and (vals.min() < 1 or vals.max() > cardinality):
+        raise LabelingError(
+            f"class_vote_counts expects categorical labels in 1..{cardinality} "
+            f"(0 = abstain), got values in [{int(vals.min())}, {int(vals.max())}]"
+        )
+    weights = None if column_weights is None else np.asarray(column_weights, dtype=float)[cols]
+    flat = np.bincount(
+        rows * cardinality + (vals - 1), weights=weights, minlength=num_rows * cardinality
+    )
+    return flat.reshape(num_rows, cardinality).astype(float)
+
+
 def as_sparse_storage(label_matrix) -> Optional[SparseLabelMatrix]:
     """Return the :class:`SparseLabelMatrix` behind ``label_matrix``, if any.
 

@@ -29,9 +29,24 @@ automatically.  The hot paths — EM in :mod:`generative`, the Gibbs sweeps in
 sparse storage without densifying, so fit cost scales with the number of
 emitted labels (O(nnz)) rather than with ``m·n``; both storages produce
 numerically identical results.
+
+Two label vocabularies are supported throughout: the paper's signed binary
+encoding (``{-1, 0, +1}``) and categorical labels (``0`` = abstain, classes
+``1..k``).  :class:`GenerativeModel`, :class:`GibbsSampler`, the factor
+graph, and the structure learner dispatch on the task's cardinality — the
+binary estimators are kept as bit-compatible specializations, and
+categorical inputs run the k-ary generalizations (symmetric per-LF accuracy
+against ``k - 1`` uniform wrong classes, softmax posteriors, a damped
+k-vector class-balance re-estimate) — so multi-class tasks such as the
+crowdsourcing experiment train through the main factor-graph model, with
+:class:`DawidSkeneModel` retained as a cross-check baseline.
 """
 
-from repro.labelmodel.majority import MajorityVoter, WeightedMajorityVoter
+from repro.labelmodel.majority import (
+    MajorityVoter,
+    MultiClassMajorityVoter,
+    WeightedMajorityVoter,
+)
 from repro.labelmodel.factor_graph import FactorGraphSpec
 from repro.labelmodel.generative import GenerativeModel
 from repro.labelmodel.dawid_skene import DawidSkeneModel
@@ -47,6 +62,7 @@ from repro.labelmodel.theory import high_density_upper_bound, low_density_upper_
 
 __all__ = [
     "MajorityVoter",
+    "MultiClassMajorityVoter",
     "WeightedMajorityVoter",
     "FactorGraphSpec",
     "GenerativeModel",

@@ -76,7 +76,7 @@ class DawidSkeneModel:
     # ------------------------------------------------------------------ fitting
     def fit(self, label_matrix: LabelMatrix | np.ndarray) -> "DawidSkeneModel":
         """Run EM on the label matrix."""
-        matrix = self._recode(_as_array(label_matrix))
+        matrix = self._recode_fit(_as_array(label_matrix))
         num_items, num_workers = matrix.shape
         k = self.cardinality
         rng = ensure_rng(self.seed)
@@ -138,19 +138,48 @@ class DawidSkeneModel:
             np.fill_diagonal(symmetric[worker], accuracy)
         return symmetric
 
-    def _recode(self, matrix: np.ndarray) -> np.ndarray:
-        """Recode binary ``{-1, 0, +1}`` matrices into ``{0, 1, 2}``."""
+    def _recode_fit(self, matrix: np.ndarray) -> np.ndarray:
+        """Decide the label encoding at fit time and recode accordingly.
+
+        Signed binary ``{-1, 0, +1}`` matrices set ``_binary_recode`` and are
+        mapped to ``{0, 1, 2}``; categorical matrices pass through.  The
+        decision is remembered so held-out matrices are recoded the same way
+        (see :meth:`_apply_recode`).
+        """
         if matrix.min() < 0:
             if self.cardinality != 2:
                 raise LabelModelError(
                     "negative labels are only supported for binary (cardinality=2) tasks"
                 )
             self._binary_recode = True
+        else:
+            self._binary_recode = False
+        return self._apply_recode(matrix)
+
+    def _apply_recode(self, matrix: np.ndarray) -> np.ndarray:
+        """Recode a matrix under the encoding fixed at fit time.
+
+        Regression guard: re-deciding the encoding per matrix misindexes
+        classes — a held-out signed matrix with no negative entries (e.g.
+        abstains and positives only) would be read as categorical, sending
+        the ``+1`` votes to class 1 (which the fitted confusion matrices
+        learned as the *negative* class).
+        """
+        if self._binary_recode:
+            if matrix.size and (matrix.min() < -1 or matrix.max() > 1):
+                raise LabelModelError(
+                    "model was fit on signed binary labels; expected values in "
+                    f"{{-1, 0, +1}}, got range [{int(matrix.min())}, {int(matrix.max())}]"
+                )
             recoded = np.zeros_like(matrix)
             recoded[matrix == -1] = 1
             recoded[matrix == 1] = 2
             return recoded
-        self._binary_recode = False
+        if matrix.size and (matrix.min() < 0 or matrix.max() > self.cardinality):
+            raise LabelModelError(
+                f"model was fit on categorical labels in 0..{self.cardinality}, got "
+                f"range [{int(matrix.min())}, {int(matrix.max())}]"
+            )
         return matrix
 
     # ---------------------------------------------------------------- inference
@@ -164,12 +193,14 @@ class DawidSkeneModel:
 
         With no argument, the training-set posteriors are returned.  With a
         new label matrix, posteriors are computed under the fitted confusion
-        matrices and class priors.
+        matrices and class priors; it is recoded under the encoding fixed at
+        fit time, so a signed held-out matrix scores against the same class
+        indexing the model was trained with.
         """
         if label_matrix is None:
             return self._require_fitted().copy()
         self._require_fitted()
-        matrix = self._recode(_as_array(label_matrix))
+        matrix = self._apply_recode(_as_array(label_matrix))
         num_items = matrix.shape[0]
         log_posterior = np.log(np.clip(self.class_priors, 1e-12, None))[None, :].repeat(
             num_items, axis=0

@@ -10,6 +10,15 @@ types per data point ``i`` (Section 2.2):
 The concatenated factor vector has dimension ``2 n + |C|`` and the model is
 ``p_w(Λ, Y) = Z_w^{-1} exp(Σ_i wᵀ φ_i(Λ_i, y_i))``.
 
+All three factor types are *equality indicators*, so the same specification
+covers both label vocabularies: the paper's signed binary encoding
+(``Λ_{i,j}, y_i ∈ {-1, +1}`` with ``0`` = abstain) and the categorical
+encoding of multi-class tasks (``Λ_{i,j}, y_i ∈ {1..k}`` with ``0`` =
+abstain).  ``cardinality`` records which vocabulary the graph is defined
+over; it changes no factor definition, only the label domain the samplers
+and estimators range over and the chance level implied by a zero accuracy
+weight (``1/k`` rather than ``1/2``).
+
 :class:`FactorGraphSpec` owns the bookkeeping: which correlation pairs are
 modeled, how the weight vector is laid out, and how to evaluate the factor
 vector and the row-wise energy for observed or sampled assignments.
@@ -65,12 +74,24 @@ class FactorGraphSpec:
         Iterable of ``(j, k)`` labeling-function index pairs to model as
         correlated (the set ``C``).  Pairs are canonicalized to ``j < k`` and
         de-duplicated.
+    cardinality:
+        Number of classes of the task's label vocabulary: ``2`` for the
+        signed binary encoding ``{-1, 0, +1}`` (the default), ``k > 2`` for
+        categorical labels ``{0, 1, .., k}`` with ``0`` = abstain.
     """
 
-    def __init__(self, num_lfs: int, correlations: Iterable[tuple[int, int]] = ()) -> None:
+    def __init__(
+        self,
+        num_lfs: int,
+        correlations: Iterable[tuple[int, int]] = (),
+        cardinality: int = 2,
+    ) -> None:
         if num_lfs <= 0:
             raise LabelModelError(f"num_lfs must be positive, got {num_lfs}")
+        if cardinality < 2:
+            raise LabelModelError(f"cardinality must be >= 2, got {cardinality}")
         self.num_lfs = num_lfs
+        self.cardinality = cardinality
         canonical: list[tuple[int, int]] = []
         seen: set[tuple[int, int]] = set()
         for j, k in correlations:
@@ -95,11 +116,17 @@ class FactorGraphSpec:
 
         Accuracy weights start at the log-odds implied by ``accuracy_init``
         (the paper's prior that LFs are better than random); propensity and
-        correlation weights start at ``propensity_init`` / zero.
+        correlation weights start at ``propensity_init`` / zero.  For
+        ``cardinality > 2`` the accuracy weight is the symmetric
+        (Dawid–Skene-style) log-odds against the ``k - 1`` uniform wrong
+        classes, ``0.5·log(a·(k-1)/(1-a))`` — a zero weight means chance
+        (``a = 1/k``) in both vocabularies.
         """
         weights = np.zeros(self.layout.size)
         weights[self.layout.propensity_slice] = propensity_init
-        accuracy_weight = 0.5 * np.log(accuracy_init / (1.0 - accuracy_init))
+        accuracy_weight = 0.5 * np.log(
+            accuracy_init * (self.cardinality - 1) / (1.0 - accuracy_init)
+        )
         weights[self.layout.accuracy_slice] = accuracy_weight
         return weights
 
@@ -168,5 +195,6 @@ class FactorGraphSpec:
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (
             f"FactorGraphSpec(num_lfs={self.num_lfs}, "
-            f"num_correlations={len(self.correlations)})"
+            f"num_correlations={len(self.correlations)}, "
+            f"cardinality={self.cardinality})"
         )

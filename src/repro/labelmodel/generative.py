@@ -26,11 +26,32 @@ correlation factors.  Two estimators are provided:
 
 After training, the probabilistic labels are ``Ỹ_i = p_ŵ(y_i = +1 | Λ_i)``.
 
+**Label conventions.**  Two vocabularies are supported, selected by the
+task's ``cardinality``:
+
+* *binary* (``cardinality=2``, the paper's primary setting) — signed labels
+  ``{-1, +1}`` with ``0`` = abstain; ``predict_proba`` returns the
+  positive-class probability, shape ``(m,)``.
+* *categorical* (``cardinality=k > 2``, e.g. the crowdsourcing task) —
+  classes ``1..k`` with ``0`` = abstain; ``predict_proba`` returns the full
+  posterior distribution, shape ``(m, k)``.  The accuracy factor is the
+  symmetric (Dawid–Skene-style) parameterization: each LF has one accuracy
+  ``a_j`` with errors uniform over the ``k - 1`` wrong classes, giving
+  accuracy weight ``w_j = 0.5·log(a_j (k-1)/(1-a_j))`` and posterior
+  ``P(y_i = c | Λ_i) ∝ π_c · exp(2 Σ_{j: Λ_{i,j}=c} w_j)``.  For ``k = 2``
+  this reduces *exactly* to the binary sigmoid, so the binary estimator is
+  kept as the (bit-compatible) specialization and categorical inputs run the
+  k-ary generalization of the same damped EM — including the per-iteration
+  class-balance re-estimation, which becomes a damped k-vector update.
+
 Both storage backends of :class:`repro.labeling.LabelMatrix` are supported:
 dense inputs run the vectorized dense estimator, CSR inputs
 (:class:`repro.labeling.sparse.SparseLabelMatrix`) run the same EM updates as
 sparse matvecs and per-column masked reductions over the non-abstain entries
 — O(nnz) per epoch instead of O(m·n), with numerically identical output.
+This holds for the categorical estimator too: both storages reduce the label
+matrix to its non-abstain ``(row, column, class)`` triples and run identical
+flattened-``bincount`` updates over them.
 """
 
 from __future__ import annotations
@@ -43,11 +64,11 @@ import numpy as np
 from repro.discriminative.adam import AdamOptimizer
 from repro.exceptions import LabelModelError, NotFittedError
 from repro.labeling.matrix import LabelMatrix
-from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage
+from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage, class_vote_counts
 from repro.labelmodel.factor_graph import FactorGraphSpec
 from repro.labelmodel.gibbs import GibbsSampler
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE, probs_to_labels
-from repro.utils.mathutils import log_odds_to_accuracy, sigmoid
+from repro.utils.mathutils import log_odds_to_accuracy, sigmoid, softmax
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -105,11 +126,19 @@ class GenerativeModel:
         explicit prior double-counts it (estimating from prior-shifted
         posteriors even runs away to a degenerate all-one-class solution on
         imbalanced tasks).  For CD the prior stays 0 unless a balance is
-        supplied.
+        supplied.  On categorical tasks pass a length-``k`` probability
+        vector instead of a scalar; the same supplied-vs-estimated semantics
+        apply, with the (damped, renormalized) estimate recorded in
+        ``class_priors_``.
     non_adversarial:
-        Clamp LF accuracies at ≥ 50% (the paper's standing assumption
+        Clamp LF accuracies at or above chance — 50% for binary tasks,
+        ``1/k`` for categorical ones (the paper's standing assumption
         ``w*_j > 0``).  A labeling function can be learned to be useless but
         not actively inverted.
+    cardinality:
+        Number of classes.  ``None`` (default) reads it off a
+        :class:`LabelMatrix` input and falls back to 2 for raw arrays; pass
+        it explicitly when fitting raw categorical arrays.
     seed:
         RNG seed (or generator) for reproducible Gibbs chains.
     """
@@ -127,8 +156,9 @@ class GenerativeModel:
         damping: float = 0.5,
         max_accuracy: float = 0.95,
         learn_propensity: bool = True,
-        class_balance: Optional[float] = None,
+        class_balance: Optional[float | Sequence[float]] = None,
         non_adversarial: bool = True,
+        cardinality: Optional[int] = None,
         seed: SeedLike = 0,
     ) -> None:
         if method not in ("em", "cd"):
@@ -147,10 +177,22 @@ class GenerativeModel:
             raise LabelModelError(f"damping must lie in [0, 1), got {damping}")
         if not 0.5 < max_accuracy < 1.0:
             raise LabelModelError(f"max_accuracy must lie in (0.5, 1), got {max_accuracy}")
-        if class_balance is not None and not 0.0 < class_balance < 1.0:
-            raise LabelModelError(
-                f"class_balance must lie in (0, 1) when given, got {class_balance}"
-            )
+        if class_balance is not None:
+            balance_array = np.asarray(class_balance, dtype=float)
+            if balance_array.ndim == 0:
+                if not 0.0 < float(balance_array) < 1.0:
+                    raise LabelModelError(
+                        f"class_balance must lie in (0, 1) when given, got {class_balance}"
+                    )
+            elif balance_array.ndim != 1 or balance_array.size < 2 or np.any(
+                balance_array <= 0.0
+            ):
+                raise LabelModelError(
+                    "class_balance must be a scalar in (0, 1) or a vector of positive "
+                    f"per-class weights, got {class_balance!r}"
+                )
+        if cardinality is not None and cardinality < 2:
+            raise LabelModelError(f"cardinality must be >= 2 when given, got {cardinality}")
         self.method = method
         self.epochs = epochs
         self.step_size = step_size
@@ -164,11 +206,16 @@ class GenerativeModel:
         self.learn_propensity = learn_propensity
         self.class_balance = class_balance
         self.non_adversarial = non_adversarial
+        self.cardinality = cardinality
         self.seed = seed
 
         self.spec: Optional[FactorGraphSpec] = None
         self.weights: Optional[np.ndarray] = None
         self.class_prior_weight_: float = 0.0
+        #: Fitted class prior of a categorical task: a length-``k``
+        #: probability vector (``None`` on binary tasks, which record the
+        #: scalar ``class_prior_weight_`` instead).
+        self.class_priors_: Optional[np.ndarray] = None
         self.history = TrainingHistory()
 
     # ------------------------------------------------------------------ fitting
@@ -184,10 +231,16 @@ class GenerativeModel:
         matrices.  Sparse inputs are trained through sparse matvecs and
         masked reductions over the non-abstain entries only — the dense
         ``(m, n)`` matrix is never materialized.
+
+        The label vocabulary follows the resolved cardinality (see the
+        ``cardinality`` parameter): signed ``{-1, 0, +1}`` for binary tasks,
+        ``{0, 1, .., k}`` for categorical ones.
         """
+        cardinality = self._resolve_cardinality(label_matrix)
         sparse = as_sparse_storage(label_matrix)
         if sparse is not None:
             shape = sparse.shape
+            matrix = None
         else:
             matrix = _as_array(label_matrix)
             if matrix.ndim != 2:
@@ -197,14 +250,27 @@ class GenerativeModel:
             shape = matrix.shape
         if shape[0] == 0 or shape[1] == 0:
             raise LabelModelError(f"label matrix must be non-empty 2-D, got shape {shape}")
-        spec = FactorGraphSpec(num_lfs=shape[1], correlations=correlations)
+        self._validate_label_values(sparse, matrix, cardinality)
+        spec = FactorGraphSpec(
+            num_lfs=shape[1], correlations=correlations, cardinality=cardinality
+        )
+        class_priors: Optional[np.ndarray] = None
+        class_prior = 0.0
         if self.method == "em":
-            if sparse is not None:
+            if cardinality > 2:
+                weights, class_priors = self._fit_em_categorical(
+                    spec, sparse if sparse is not None else matrix
+                )
+            elif sparse is not None:
                 weights, class_prior = self._fit_em_sparse(spec, sparse)
             else:
                 weights, class_prior = self._fit_em(spec, matrix)
         else:
-            weights, class_prior = self._fit_cd(spec, sparse if sparse is not None else matrix)
+            weights, cd_prior = self._fit_cd(spec, sparse if sparse is not None else matrix)
+            if cardinality > 2:
+                class_priors = np.asarray(cd_prior, dtype=float)
+            else:
+                class_prior = float(cd_prior)
 
         if self.learn_propensity:
             if sparse is not None:
@@ -217,7 +283,39 @@ class GenerativeModel:
         self.spec = spec
         self.weights = weights
         self.class_prior_weight_ = float(class_prior)
+        self.class_priors_ = class_priors
         return self
+
+    def _resolve_cardinality(self, label_matrix) -> int:
+        """Explicit ``cardinality`` wins; else a ``LabelMatrix``'s; else binary."""
+        if self.cardinality is not None:
+            return self.cardinality
+        if isinstance(label_matrix, LabelMatrix):
+            return label_matrix.cardinality
+        return 2
+
+    def _validate_label_values(
+        self,
+        sparse: Optional[SparseLabelMatrix],
+        matrix: Optional[np.ndarray],
+        cardinality: int,
+    ) -> None:
+        """Cheap (min/max) vocabulary check so a mismatched matrix fails loudly."""
+        values = sparse.data if sparse is not None else matrix
+        if values.size == 0:
+            return
+        low, high = int(values.min()), int(values.max())
+        if cardinality == 2:
+            if low < NEGATIVE or high > POSITIVE:
+                raise LabelModelError(
+                    f"binary label matrices use values in {{-1, 0, +1}}, got range "
+                    f"[{low}, {high}]; pass cardinality= for categorical tasks"
+                )
+        elif low < 0 or high > cardinality:
+            raise LabelModelError(
+                f"cardinality-{cardinality} label matrices use values in "
+                f"{{0, 1, .., {cardinality}}}, got range [{low}, {high}]"
+            )
 
     # --------------------------------------------------------------------- EM
     def _fit_em(self, spec: FactorGraphSpec, matrix: np.ndarray) -> tuple[np.ndarray, float]:
@@ -277,17 +375,7 @@ class GenerativeModel:
 
         weights = spec.initial_weights(accuracy_init=self.accuracy_init)
         weights[spec.layout.accuracy_slice] = 0.5 * np.log(accuracies / (1.0 - accuracies))
-        # Record the empirical agreement rate of each modeled pair as its
-        # correlation weight (log-odds of agreement on co-voted rows); the EM
-        # estimator uses the discount correction rather than these weights,
-        # but they make the fitted joint model inspectable.
-        for index, (j, k) in enumerate(spec.correlations):
-            both = voted[:, j] & voted[:, k]
-            if both.sum() == 0:
-                agreement = 0.5
-            else:
-                agreement = float((matrix[both, j] == matrix[both, k]).mean())
-            weights[2 * spec.num_lfs + index] = self._agreement_weight(agreement)
+        self._record_correlation_weights(spec, matrix, weights)
         self.history = history
         return weights, prior_weight
 
@@ -342,25 +430,150 @@ class GenerativeModel:
 
         weights = spec.initial_weights(accuracy_init=self.accuracy_init)
         weights[spec.layout.accuracy_slice] = 0.5 * np.log(accuracies / (1.0 - accuracies))
-        for index, (j, k) in enumerate(spec.correlations):
-            rows_j, vals_j = sparse.column(j)
-            rows_k, vals_k = sparse.column(k)
-            _, in_j, in_k = np.intersect1d(
-                rows_j, rows_k, assume_unique=True, return_indices=True
-            )
-            if in_j.size == 0:
-                agreement = 0.5
-            else:
-                agreement = float((vals_j[in_j] == vals_k[in_k]).mean())
-            weights[2 * spec.num_lfs + index] = self._agreement_weight(agreement)
+        self._record_correlation_weights(spec, sparse, weights)
         self.history = history
         return weights, prior_weight
 
+    def _fit_em_categorical(
+        self, spec: FactorGraphSpec, storage: np.ndarray | SparseLabelMatrix
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The k-ary EM estimator — one implementation for both storages.
+
+        Either storage is reduced to its non-abstain ``(row, column, class)``
+        triples, and every update of the binary estimator becomes a flattened
+        ``bincount`` over them: the E-step accumulates per-row per-class
+        accuracy-weight sums (with the correlation discounts folded into the
+        entry weights) and takes a row softmax, and the M-step gathers each
+        entry's posterior at its voted class.  Work per epoch is O(nnz) for
+        the reductions plus O(m·k) for the softmax — the dense ``(m, n)``
+        matrix is never scanned per class.  The per-iteration class-balance
+        re-estimation is the damped k-vector generalization of the binary
+        fix: estimated from the prior-free posteriors of the covered rows,
+        clipped away from the simplex boundary, and renormalized.
+        """
+        history = TrainingHistory()
+        k = spec.cardinality
+        num_rows, num_lfs = storage.shape
+        entry_rows, entry_cols, entry_vals, inv_discounts = self._categorical_entries(
+            spec, storage
+        )
+        vote_counts = np.maximum(np.bincount(entry_cols, minlength=num_lfs), 1)
+        covered = np.bincount(entry_rows, minlength=num_rows) > 0
+        flat_index = entry_rows * k + (entry_vals - 1)
+
+        accuracies = np.full(num_lfs, self.accuracy_init)
+        log_priors = self._initial_log_priors(k)
+        estimate_balance = self.class_balance is None
+        balance: Optional[np.ndarray] = None
+
+        for _ in range(self.epochs):
+            weights = 0.5 * np.log(accuracies * (k - 1.0) / (1.0 - accuracies))
+            scores = np.bincount(
+                flat_index,
+                weights=weights[entry_cols] * inv_discounts,
+                minlength=num_rows * k,
+            ).reshape(num_rows, k)
+            if estimate_balance:
+                posteriors = softmax(2.0 * scores, axis=1)
+                balance = self._damped_balance_vector(balance, posteriors, covered)
+                log_priors = np.log(balance)
+            else:
+                posteriors = softmax(2.0 * scores + log_priors, axis=1)
+
+            agreement = posteriors[entry_rows, entry_vals - 1]
+            expected_correct = np.bincount(entry_cols, weights=agreement, minlength=num_lfs)
+            new_accuracies = self._accuracy_update(
+                accuracies, expected_correct, vote_counts, chance=1.0 / k
+            )
+            delta = float(np.abs(new_accuracies - accuracies).sum())
+            accuracies = new_accuracies
+            self._record_epoch(history, accuracies, delta)
+            if delta < 1e-10:
+                break
+
+        weights = spec.initial_weights(accuracy_init=self.accuracy_init)
+        weights[spec.layout.accuracy_slice] = 0.5 * np.log(
+            accuracies * (k - 1.0) / (1.0 - accuracies)
+        )
+        self._record_correlation_weights(spec, storage, weights)
+        self.history = history
+        priors = np.exp(log_priors)
+        return weights, priors / priors.sum()
+
     # ------------------------------------------------------------- EM helpers
+    def _categorical_entries(
+        self, spec: FactorGraphSpec, storage: np.ndarray | SparseLabelMatrix
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Non-abstain triples plus per-entry inverse correlation discounts.
+
+        The single reduction both the k-ary EM estimator and the categorical
+        posterior are built on: either storage yields
+        ``(entry_rows, entry_cols, entry_vals, 1/discounts)`` aligned
+        elementwise (CSC order for sparse storage, row-major for dense —
+        ``bincount`` reductions are order-independent).
+        """
+        if isinstance(storage, SparseLabelMatrix):
+            col_indptr, entry_rows, entry_vals = storage.csc()
+            entry_cols = np.repeat(
+                np.arange(storage.shape[1], dtype=np.int64), np.diff(col_indptr)
+            )
+            discounts = self._correlation_discounts_sparse(spec, storage)
+        else:
+            entry_rows, entry_cols = np.nonzero(storage != ABSTAIN)
+            entry_vals = storage[entry_rows, entry_cols]
+            discounts = self._correlation_discounts(spec, storage)[entry_rows, entry_cols]
+        return entry_rows, entry_cols, entry_vals, 1.0 / discounts
+
+    def _categorical_class_scores(
+        self,
+        spec: FactorGraphSpec,
+        accuracy_weights: np.ndarray,
+        storage: np.ndarray | SparseLabelMatrix,
+    ) -> np.ndarray:
+        """Per-row per-class accuracy-weight sums ``S_{i,c}``, shape ``(m, k)``.
+
+        Without modeled correlations this is one shared
+        :func:`class_vote_counts` pass; with them, the EM double-counting
+        discounts are folded into the entry weights first.
+        """
+        k = spec.cardinality
+        if self.method == "em" and spec.correlations:
+            entry_rows, entry_cols, entry_vals, inv_discounts = self._categorical_entries(
+                spec, storage
+            )
+            return np.bincount(
+                entry_rows * k + (entry_vals - 1),
+                weights=accuracy_weights[entry_cols] * inv_discounts,
+                minlength=storage.shape[0] * k,
+            ).reshape(storage.shape[0], k)
+        return class_vote_counts(storage, k, column_weights=accuracy_weights)
+
     def _initial_prior_weight(self) -> float:
         if self.class_balance is not None:
-            return 0.5 * float(np.log(self.class_balance / (1.0 - self.class_balance)))
+            balance = np.asarray(self.class_balance, dtype=float)
+            if balance.ndim != 0:
+                raise LabelModelError(
+                    "binary tasks take a scalar class_balance, got a vector "
+                    f"of shape {balance.shape}"
+                )
+            return 0.5 * float(np.log(balance / (1.0 - balance)))
         return 0.0
+
+    def _initial_log_priors(self, cardinality: int) -> np.ndarray:
+        """Normalized log class prior of a categorical task (zeros when unknown)."""
+        if self.class_balance is None:
+            return np.zeros(cardinality)
+        balance = np.asarray(self.class_balance, dtype=float)
+        if balance.ndim == 0:
+            raise LabelModelError(
+                f"cardinality-{cardinality} tasks need a length-{cardinality} "
+                "class_balance vector, got a scalar"
+            )
+        if balance.shape != (cardinality,):
+            raise LabelModelError(
+                f"class_balance must have length {cardinality}, got shape {balance.shape}"
+            )
+        return np.log(balance / balance.sum())
 
     def _damped_balance(
         self, previous: Optional[float], posteriors: np.ndarray, covered: np.ndarray
@@ -379,17 +592,84 @@ class GenerativeModel:
             return estimate
         return self.damping * previous + (1.0 - self.damping) * estimate
 
-    def _accuracy_update(
-        self, accuracies: np.ndarray, expected_correct: np.ndarray, vote_counts: np.ndarray
+    def _damped_balance_vector(
+        self,
+        previous: Optional[np.ndarray],
+        posteriors: np.ndarray,
+        covered: np.ndarray,
     ) -> np.ndarray:
-        """Smoothed, clipped, damped accuracy re-estimate shared by both backends."""
+        """The k-vector analogue of :meth:`_damped_balance`.
+
+        Estimated as the mean posterior over the covered rows, clipped away
+        from the simplex boundary, renormalized, and damped against the
+        previous iteration's estimate.
+        """
+        cardinality = posteriors.shape[1]
+        if covered.any():
+            estimate = posteriors[covered].mean(axis=0)
+        else:
+            estimate = np.full(cardinality, 1.0 / cardinality)
+        estimate = np.clip(estimate, 1e-3, None)
+        estimate /= estimate.sum()
+        if previous is None:
+            return estimate
+        mixed = self.damping * previous + (1.0 - self.damping) * estimate
+        return mixed / mixed.sum()
+
+    def _accuracy_update(
+        self,
+        accuracies: np.ndarray,
+        expected_correct: np.ndarray,
+        vote_counts: np.ndarray,
+        chance: float = 0.5,
+    ) -> np.ndarray:
+        """Smoothed, clipped, damped accuracy re-estimate shared by both backends.
+
+        ``chance`` is the accuracy of a random guesser (``1/k``); the
+        non-adversarial clamp keeps every LF at or above it.
+        """
         new_accuracies = (expected_correct + self.smoothing * self.accuracy_init) / (
             vote_counts + self.smoothing
         )
-        new_accuracies = np.clip(new_accuracies, 0.05, self.max_accuracy)
+        new_accuracies = np.clip(new_accuracies, min(0.05, chance), self.max_accuracy)
         if self.non_adversarial:
-            new_accuracies = np.maximum(new_accuracies, 0.5)
+            new_accuracies = np.maximum(new_accuracies, chance)
         return self.damping * accuracies + (1.0 - self.damping) * new_accuracies
+
+    def _record_correlation_weights(
+        self,
+        spec: FactorGraphSpec,
+        storage: np.ndarray | SparseLabelMatrix,
+        weights: np.ndarray,
+    ) -> None:
+        """Empirical agreement log-odds of each modeled pair (both storages).
+
+        The EM estimator uses the discount correction rather than these
+        weights; they are recorded so the fitted joint model is inspectable.
+        """
+        if not spec.correlations:
+            return
+        if isinstance(storage, SparseLabelMatrix):
+            for index, (j, k) in enumerate(spec.correlations):
+                rows_j, vals_j = storage.column(j)
+                rows_k, vals_k = storage.column(k)
+                _, in_j, in_k = np.intersect1d(
+                    rows_j, rows_k, assume_unique=True, return_indices=True
+                )
+                if in_j.size == 0:
+                    agreement = 0.5
+                else:
+                    agreement = float((vals_j[in_j] == vals_k[in_k]).mean())
+                weights[2 * spec.num_lfs + index] = self._agreement_weight(agreement)
+            return
+        voted = storage != ABSTAIN
+        for index, (j, k) in enumerate(spec.correlations):
+            both = voted[:, j] & voted[:, k]
+            if both.sum() == 0:
+                agreement = 0.5
+            else:
+                agreement = float((storage[both, j] == storage[both, k]).mean())
+            weights[2 * spec.num_lfs + index] = self._agreement_weight(agreement)
 
     @staticmethod
     def _record_epoch(history: TrainingHistory, accuracies: np.ndarray, delta: float) -> None:
@@ -450,7 +730,9 @@ class GenerativeModel:
         """The paper's SGD + Gibbs (contrastive divergence) estimator.
 
         Sparse inputs stay sparse: each minibatch is a CSR row slice, and the
-        Gibbs sampler operates on its non-abstain entries only.
+        Gibbs sampler operates on its non-abstain entries only.  Categorical
+        specs run the same ascent with the k-ary sampler and return the class
+        prior as a probability vector instead of a half-log-odds scalar.
         """
         rng = ensure_rng(self.seed)
         sampler = GibbsSampler(spec, seed=rng)
@@ -459,8 +741,12 @@ class GenerativeModel:
         num_rows = matrix.shape[0]
         batch_size = min(self.batch_size, num_rows)
         history = TrainingHistory()
-        if self.class_balance is not None:
-            class_prior = 0.5 * float(np.log(self.class_balance / (1.0 - self.class_balance)))
+        if spec.cardinality > 2:
+            # Half-log prior per class: the sampler exponentiates 2x, so this
+            # reproduces the supplied balance (or stays uniform when unknown).
+            class_prior: float | np.ndarray = 0.5 * self._initial_log_priors(spec.cardinality)
+        elif self.class_balance is not None:
+            class_prior = self._initial_prior_weight()
         else:
             class_prior = 0.0
         optimizer = AdamOptimizer(learning_rate=self.step_size)
@@ -491,6 +777,9 @@ class GenerativeModel:
                 float(weights[spec.layout.accuracy_slice].mean())
             )
         self.history = history
+        if spec.cardinality > 2:
+            priors = np.exp(2.0 * np.asarray(class_prior, dtype=float))
+            return weights, priors / priors.sum()
         return weights, class_prior
 
     def _cd_batch_gradient(
@@ -499,19 +788,26 @@ class GenerativeModel:
         sampler: GibbsSampler,
         weights: np.ndarray,
         batch: np.ndarray | SparseLabelMatrix,
-        class_prior: float,
+        class_prior: float | np.ndarray,
     ) -> np.ndarray:
         """Ascent direction ``E_data[φ] - E_model[φ]`` for one minibatch."""
-        posterior_positive = sampler.label_posteriors(weights, batch, class_prior)
+        posteriors = sampler.label_posteriors(weights, batch, class_prior)
         # Factor vectors are inherently dense in the batch dimension; a
         # minibatch-sized densification is bounded by the batch size.
         batch_dense = batch.to_dense() if isinstance(batch, SparseLabelMatrix) else batch
-        phi_positive = spec.factor_matrix(batch_dense, np.full(batch.shape[0], POSITIVE))
-        phi_negative = spec.factor_matrix(batch_dense, np.full(batch.shape[0], NEGATIVE))
-        data_phase = (
-            posterior_positive[:, None] * phi_positive
-            + (1.0 - posterior_positive)[:, None] * phi_negative
-        ).mean(axis=0)
+        if posteriors.ndim == 2:
+            data_phase = np.zeros(spec.layout.size)
+            for klass in range(1, spec.cardinality + 1):
+                phi_klass = spec.factor_matrix(batch_dense, np.full(batch.shape[0], klass))
+                data_phase += (posteriors[:, klass - 1, None] * phi_klass).sum(axis=0)
+            data_phase /= batch.shape[0]
+        else:
+            phi_positive = spec.factor_matrix(batch_dense, np.full(batch.shape[0], POSITIVE))
+            phi_negative = spec.factor_matrix(batch_dense, np.full(batch.shape[0], NEGATIVE))
+            data_phase = (
+                posteriors[:, None] * phi_positive
+                + (1.0 - posteriors)[:, None] * phi_negative
+            ).mean(axis=0)
         sampled_matrix, sampled_y = sampler.sample_joint(
             weights, batch, sweeps=self.cd_sweeps, class_prior_weight=class_prior
         )
@@ -539,20 +835,32 @@ class GenerativeModel:
         return weights[spec.layout.correlation_slice].copy()
 
     def learned_accuracies(self) -> np.ndarray:
-        """Implied labeling-function accuracies ``σ(2 w_acc_j)``."""
-        return np.asarray(log_odds_to_accuracy(self.accuracy_weights))
+        """Implied labeling-function accuracies.
+
+        Binary models: ``σ(2 w_acc_j)``.  Categorical models invert the
+        symmetric parameterization: ``a_j = σ(2 w_acc_j - log(k - 1))``.
+        """
+        spec, _ = self._require_fitted()
+        accuracy_weights = self.accuracy_weights
+        if spec.cardinality == 2:
+            return np.asarray(log_odds_to_accuracy(accuracy_weights))
+        return 1.0 / (1.0 + (spec.cardinality - 1) * np.exp(-2.0 * accuracy_weights))
 
     def predict_proba(self, label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
-        """Probabilistic training labels ``Ỹ_i = p_ŵ(y_i = +1 | Λ_i)``.
+        """Probabilistic training labels.
 
-        Sparse inputs are scored with a sparse matvec (correlation discounts
-        folded into the entry values) — no densification.  A user-supplied
-        class balance shifts every row's posterior; an EM-estimated balance
-        shifts only the rows with no votes (see the ``class_balance``
-        parameter documentation).
+        Binary models return ``Ỹ_i = p_ŵ(y_i = +1 | Λ_i)``, shape ``(m,)``;
+        categorical models return the posterior distribution over classes,
+        shape ``(m, k)``.  Sparse inputs are scored with a sparse reduction
+        (correlation discounts folded into the entry values) — no
+        densification.  A user-supplied class balance shifts every row's
+        posterior; an EM-estimated balance shifts only the rows with no
+        votes (see the ``class_balance`` parameter documentation).
         """
         spec, weights = self._require_fitted()
         accuracy_weights = weights[spec.layout.accuracy_slice]
+        if spec.cardinality > 2:
+            return self._predict_proba_categorical(spec, accuracy_weights, label_matrix)
         sparse = as_sparse_storage(label_matrix)
         if sparse is not None:
             if sparse.shape[1] != spec.num_lfs:
@@ -585,6 +893,27 @@ class GenerativeModel:
             scores = matrix.astype(float) @ accuracy_weights
         return self._posterior_from_scores(scores, covered=(matrix != ABSTAIN).any(axis=1))
 
+    def _predict_proba_categorical(
+        self,
+        spec: FactorGraphSpec,
+        accuracy_weights: np.ndarray,
+        label_matrix: LabelMatrix | np.ndarray,
+    ) -> np.ndarray:
+        """The ``(m, k)`` posterior: per-class weight sums, then a softmax."""
+        sparse = as_sparse_storage(label_matrix)
+        if sparse is not None:
+            storage: np.ndarray | SparseLabelMatrix = sparse
+            covered = sparse.row_nnz() > 0
+        else:
+            storage = _as_array(label_matrix)
+            covered = (storage != ABSTAIN).any(axis=1)
+        if storage.shape[1] != spec.num_lfs:
+            raise LabelModelError(
+                f"label matrix has {storage.shape[1]} LFs, model was fit with {spec.num_lfs}"
+            )
+        scores = self._categorical_class_scores(spec, accuracy_weights, storage)
+        return self._posteriors_from_class_scores(scores, covered=covered)
+
     def _posterior_from_scores(self, scores: np.ndarray, covered: np.ndarray) -> np.ndarray:
         """Posterior with the class prior applied per its provenance.
 
@@ -598,11 +927,35 @@ class GenerativeModel:
             prior = self.class_prior_weight_
         return sigmoid(2.0 * (scores + prior))
 
+    def _posteriors_from_class_scores(
+        self, scores: np.ndarray, covered: np.ndarray
+    ) -> np.ndarray:
+        """The categorical analogue of :meth:`_posterior_from_scores`.
+
+        A supplied balance multiplies every row's posterior; an estimated
+        balance replaces only the no-evidence rows, whose posterior would
+        otherwise be the uninformative uniform distribution.
+        """
+        k = scores.shape[1]
+        priors = self.class_priors_ if self.class_priors_ is not None else np.full(k, 1.0 / k)
+        if self.class_balance is None:
+            probabilities = softmax(2.0 * scores, axis=1)
+            probabilities[~covered] = priors
+            return probabilities
+        return softmax(2.0 * scores + np.log(priors), axis=1)
+
     def predict(
         self, label_matrix: LabelMatrix | np.ndarray, tie_value: int = NEGATIVE
     ) -> np.ndarray:
-        """Hard labels from the probabilistic labels (ties go to ``tie_value``)."""
-        return probs_to_labels(self.predict_proba(label_matrix), tie_value=tie_value)
+        """Hard labels from the probabilistic labels.
+
+        Binary models return signed labels with ties going to ``tie_value``;
+        categorical models return the argmax class in ``1..k``.
+        """
+        probabilities = self.predict_proba(label_matrix)
+        if probabilities.ndim == 2:
+            return probabilities.argmax(axis=1).astype(np.int64) + 1
+        return probs_to_labels(probabilities, tie_value=tie_value)
 
     def score(
         self, label_matrix: LabelMatrix | np.ndarray, gold_labels: Sequence[int] | np.ndarray

@@ -12,6 +12,14 @@ storage are supported.  The LF-output resampling operates only on the
 non-abstain entries of each column (their positions are precomputed once per
 call), so a sweep costs O(nnz) rather than O(m·n); sparse inputs are never
 densified, and ``label_posteriors`` reduces to a sparse matvec.
+
+Both label vocabularies are supported, dispatched on the specification's
+``cardinality``: the signed binary encoding ``{-1, 0, +1}`` runs the
+original two-value updates (sigmoids of logit differences, bit-identical to
+the binary-only implementation), while categorical labels ``{1..k}`` run
+k-value block-Gibbs — the label conditional is a softmax over the per-class
+accuracy-weight sums, and the LF-output conditional a softmax over the k
+possible votes' factor energies.
 """
 
 from __future__ import annotations
@@ -20,10 +28,10 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage
+from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage, class_vote_counts
 from repro.labelmodel.factor_graph import FactorGraphSpec
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE
-from repro.utils.mathutils import sigmoid
+from repro.utils.mathutils import sigmoid, softmax
 from repro.utils.rng import SeedLike, ensure_rng
 
 MatrixLike = Union[np.ndarray, SparseLabelMatrix]
@@ -32,6 +40,13 @@ MatrixLike = Union[np.ndarray, SparseLabelMatrix]
 def _signed_indicator(values: np.ndarray) -> np.ndarray:
     """``1{v = +1} - 1{v = -1}`` as floats (abstains contribute 0)."""
     return (values == POSITIVE).astype(float) - (values == NEGATIVE).astype(float)
+
+
+def _categorical_draw(rng: np.random.Generator, probabilities: np.ndarray) -> np.ndarray:
+    """Draw one class per row from ``(m, k)`` probabilities; returns ``1..k``."""
+    cumulative = np.cumsum(probabilities, axis=1)
+    uniforms = rng.random((probabilities.shape[0], 1)) * cumulative[:, -1:]
+    return (uniforms < cumulative).argmax(axis=1).astype(np.int64) + 1
 
 
 class GibbsSampler:
@@ -50,9 +65,9 @@ class GibbsSampler:
         self,
         weights: np.ndarray,
         label_matrix: MatrixLike,
-        class_prior_weight: float = 0.0,
+        class_prior_weight: float | np.ndarray = 0.0,
     ) -> np.ndarray:
-        """Exact posterior ``P(y_i = +1 | Λ_i, w)`` for every row.
+        """Exact label posterior for every row.
 
         Because the correlation and propensity factors do not involve ``y``,
         the conditional depends only on the accuracy weights (plus an optional
@@ -60,8 +75,20 @@ class GibbsSampler:
         ``P(y_i = +1 | Λ_i) = σ(2 (w_0 + Σ_j w_acc_j Λ_{i,j}))`` (paper
         Appendix A.4; the prior term is an extension for imbalanced tasks).
         For sparse storage the score is a sparse matvec.
+
+        Binary specs return the positive-class probability, shape ``(m,)``.
+        Categorical specs (``cardinality = k > 2``) return the full
+        distribution, shape ``(m, k)``:
+        ``P(y_i = c | Λ_i) = softmax_c(2 (w_0,c + Σ_{j: Λ_{i,j}=c} w_acc_j))``
+        with ``class_prior_weight`` a length-``k`` vector of half-log-priors
+        (a scalar shifts every class equally, i.e. is a no-op).
         """
         _, accuracy_weights, _ = self.spec.split_weights(weights)
+        if self.spec.cardinality > 2:
+            scores = class_vote_counts(
+                label_matrix, self.spec.cardinality, column_weights=accuracy_weights
+            )
+            return softmax(2.0 * (scores + np.asarray(class_prior_weight, dtype=float)), axis=1)
         sparse = as_sparse_storage(label_matrix)
         if sparse is not None:
             scores = sparse.matvec(accuracy_weights)
@@ -73,10 +100,16 @@ class GibbsSampler:
         self,
         weights: np.ndarray,
         label_matrix: MatrixLike,
-        class_prior_weight: float = 0.0,
+        class_prior_weight: float | np.ndarray = 0.0,
     ) -> np.ndarray:
-        """Draw ``y_i ~ P(y_i | Λ_i, w)`` for every row."""
+        """Draw ``y_i ~ P(y_i | Λ_i, w)`` for every row.
+
+        Binary specs return signed labels ``{-1, +1}``; categorical specs
+        return classes ``1..k``.
+        """
         posteriors = self.label_posteriors(weights, label_matrix, class_prior_weight)
+        if posteriors.ndim == 2:
+            return _categorical_draw(self.rng, posteriors)
         uniforms = self.rng.random(posteriors.shape[0])
         return np.where(uniforms < posteriors, POSITIVE, NEGATIVE).astype(np.int64)
 
@@ -104,10 +137,11 @@ class GibbsSampler:
         the model-expectation phase of contrastive-divergence training; the
         chain starts from the observed label matrix.
 
-        Each column update touches only the rows where that column votes (the
-        two-value conditional reduces to a sigmoid of the logit difference),
-        so a sweep is O(nnz).  Sparse inputs return sparse outputs with the
-        same sparsity pattern.
+        Each column update touches only the rows where that column votes (for
+        binary specs the two-value conditional reduces to a sigmoid of the
+        logit difference; categorical specs draw from the softmax over the
+        ``k`` candidate votes' energies), so a sweep is O(nnz).  Sparse
+        inputs return sparse outputs with the same sparsity pattern.
         """
         sparse = as_sparse_storage(label_matrix)
         if sparse is not None:
@@ -119,22 +153,51 @@ class GibbsSampler:
             pattern_mask = sampled != ABSTAIN
         y = np.asarray(y)
         vote_rows = [np.flatnonzero(pattern_mask[:, j]) for j in range(self.spec.num_lfs)]
+        categorical = self.spec.cardinality > 2
         for _ in range(sweeps):
             for j in range(self.spec.num_lfs):
                 rows = vote_rows[j]
                 if rows.size == 0:
                     continue
-                logit_diff = accuracy[j] * _signed_indicator(y[rows])
-                for partner, weight_index in self.spec.neighbors(j):
-                    logit_diff += weights[weight_index] * _signed_indicator(
-                        sampled[rows, partner]
-                    )
-                probability_positive = sigmoid(logit_diff)
-                draws = np.where(
-                    self.rng.random(rows.size) < probability_positive, POSITIVE, NEGATIVE
-                ).astype(np.int64)
+                if categorical:
+                    partner_terms = [
+                        (weights[weight_index], sampled[rows, partner])
+                        for partner, weight_index in self.spec.neighbors(j)
+                    ]
+                    draws = self._column_class_draws(accuracy[j], y[rows], partner_terms)
+                else:
+                    logit_diff = accuracy[j] * _signed_indicator(y[rows])
+                    for partner, weight_index in self.spec.neighbors(j):
+                        logit_diff += weights[weight_index] * _signed_indicator(
+                            sampled[rows, partner]
+                        )
+                    probability_positive = sigmoid(logit_diff)
+                    draws = np.where(
+                        self.rng.random(rows.size) < probability_positive, POSITIVE, NEGATIVE
+                    ).astype(np.int64)
                 sampled[rows, j] = draws
         return sampled
+
+    def _column_class_draws(
+        self,
+        accuracy_j: float,
+        y_rows: np.ndarray,
+        partner_terms: list[tuple[float, np.ndarray]],
+    ) -> np.ndarray:
+        """Categorical draws for one column's voting rows.
+
+        The conditional of ``Λ_{i,j} = λ ∈ {1..k}`` is
+        ``softmax_λ(w_acc_j·1{λ=y_i} + Σ_partners w_corr·1{λ=Λ_{i,partner}})``
+        — the k-ary generalization of the binary sigmoid over the logit
+        difference (for k = 2 the two coincide).
+        """
+        k = self.spec.cardinality
+        scores = np.zeros((y_rows.size, k))
+        scores[np.arange(y_rows.size), y_rows - 1] = accuracy_j
+        for weight, values in partner_terms:
+            voted = np.flatnonzero(values != ABSTAIN)
+            scores[voted, values[voted] - 1] += weight
+        return _categorical_draw(self.rng, softmax(scores, axis=1))
 
     def _column_alignments(
         self, col_indptr: np.ndarray, entry_rows: np.ndarray
@@ -171,20 +234,27 @@ class GibbsSampler:
         alignments: list[list[tuple[int, np.ndarray, np.ndarray]]],
     ) -> None:
         """One sweep of column-wise resampling, mutating ``data`` in place."""
+        categorical = self.spec.cardinality > 2
         for j in range(self.spec.num_lfs):
             start, stop = int(col_indptr[j]), int(col_indptr[j + 1])
             if start == stop:
                 continue
             rows = entry_rows[start:stop]
-            logit_diff = accuracy[j] * _signed_indicator(y[rows])
+            partner_terms = []
             for weight_index, in_j, partner_positions in alignments[j]:
                 partner_values = np.zeros(rows.size, dtype=np.int64)
                 partner_values[in_j] = data[partner_positions]
-                logit_diff += weights[weight_index] * _signed_indicator(partner_values)
-            probability_positive = sigmoid(logit_diff)
-            draws = np.where(
-                self.rng.random(rows.size) < probability_positive, POSITIVE, NEGATIVE
-            ).astype(np.int64)
+                partner_terms.append((weights[weight_index], partner_values))
+            if categorical:
+                draws = self._column_class_draws(accuracy[j], y[rows], partner_terms)
+            else:
+                logit_diff = accuracy[j] * _signed_indicator(y[rows])
+                for weight, partner_values in partner_terms:
+                    logit_diff += weight * _signed_indicator(partner_values)
+                probability_positive = sigmoid(logit_diff)
+                draws = np.where(
+                    self.rng.random(rows.size) < probability_positive, POSITIVE, NEGATIVE
+                ).astype(np.int64)
             data[start:stop] = draws
 
     def _sample_lf_outputs_sparse(
@@ -213,7 +283,7 @@ class GibbsSampler:
         label_matrix: MatrixLike,
         sweeps: int = 1,
         initial_y: Optional[np.ndarray] = None,
-        class_prior_weight: float = 0.0,
+        class_prior_weight: float | np.ndarray = 0.0,
     ) -> tuple[MatrixLike, np.ndarray]:
         """Run ``sweeps`` rounds of block-Gibbs over ``(Y, Λ_values)`` starting at Λ.
 
@@ -246,7 +316,7 @@ class GibbsSampler:
         sparse: SparseLabelMatrix,
         sweeps: int,
         initial_y: Optional[np.ndarray],
-        class_prior_weight: float,
+        class_prior_weight: float | np.ndarray,
     ) -> tuple[SparseLabelMatrix, np.ndarray]:
         """The block-Gibbs chain over CSC entries, with one-time setup.
 
@@ -264,7 +334,19 @@ class GibbsSampler:
         alignments = self._column_alignments(col_indptr, entry_rows)
         num_rows = sparse.shape[0]
 
+        cardinality = self.spec.cardinality
+
         def draw_labels() -> np.ndarray:
+            if cardinality > 2:
+                scores = np.bincount(
+                    entry_rows * cardinality + (data - 1),
+                    weights=accuracy[entry_cols],
+                    minlength=num_rows * cardinality,
+                ).reshape(num_rows, cardinality)
+                posteriors = softmax(
+                    2.0 * (scores + np.asarray(class_prior_weight, dtype=float)), axis=1
+                )
+                return _categorical_draw(self.rng, posteriors)
             scores = np.bincount(
                 entry_rows, weights=data * accuracy[entry_cols], minlength=num_rows
             )

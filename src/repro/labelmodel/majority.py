@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.exceptions import LabelModelError
 from repro.labeling.matrix import LabelMatrix
-from repro.labeling.sparse import as_sparse_storage
+from repro.labeling.sparse import as_sparse_storage, class_vote_counts
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE
 from repro.utils.mathutils import sigmoid
 
@@ -132,17 +132,13 @@ class MultiClassMajorityVoter:
         self._rng = np.random.default_rng(seed)
 
     def predict_proba(self, label_matrix: LabelMatrix | np.ndarray) -> np.ndarray:
-        """Per-class probabilities proportional to vote counts (uniform when unvoted)."""
-        sparse = as_sparse_storage(label_matrix)
-        num_rows = sparse.shape[0] if sparse is not None else _as_array(label_matrix).shape[0]
-        counts = np.zeros((num_rows, self.cardinality), dtype=float)
-        if sparse is not None:
-            for klass in range(1, self.cardinality + 1):
-                counts[:, klass - 1] = sparse.count_per_row(klass)
-        else:
-            values = _as_array(label_matrix)
-            for klass in range(1, self.cardinality + 1):
-                counts[:, klass - 1] = (values == klass).sum(axis=1)
+        """Per-class probabilities proportional to vote counts (uniform when unvoted).
+
+        All class counts come from one pass over the stored entries
+        (:func:`repro.labeling.sparse.class_vote_counts`, shared with the
+        multi-class generative posterior) rather than one scan per class.
+        """
+        counts = class_vote_counts(label_matrix, self.cardinality)
         totals = counts.sum(axis=1, keepdims=True)
         probs = np.full_like(counts, 1.0 / self.cardinality)
         voted = totals[:, 0] > 0

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.labeling.matrix import LabelMatrix
+from repro.labeling.sparse import as_sparse_storage
 from repro.labelmodel.advantage import DEFAULT_WEIGHT_RANGE, estimate_advantage_bound
 from repro.labelmodel.elbow import select_elbow_point
 from repro.labelmodel.structure import StructureLearner, StructureSweepPoint
@@ -101,10 +102,33 @@ class ModelingStrategyOptimizer:
         self.structure_learner = structure_learner or StructureLearner()
 
     def choose(self, label_matrix: LabelMatrix | np.ndarray) -> ModelingStrategy:
-        """Run Algorithm 1 on a label matrix and return the chosen strategy."""
-        advantage_bound = estimate_advantage_bound(label_matrix, self.weight_range)
-        if advantage_bound < self.advantage_tolerance:
-            return ModelingStrategy(strategy="MV", advantage_bound=advantage_bound)
+        """Run Algorithm 1 on a label matrix and return the chosen strategy.
+
+        The MV-vs-GM decision rests on the binary modeling-advantage theory
+        (Section 3), so categorical matrices (a :class:`LabelMatrix` with
+        ``cardinality > 2``) skip it: the generative model is always
+        selected (``advantage_bound`` is recorded as NaN) and only the
+        correlation-structure sweep runs, via the structure learner's
+        anchor-class reduction.
+        """
+        if isinstance(label_matrix, LabelMatrix):
+            cardinality = label_matrix.cardinality
+        else:
+            cardinality = 2
+            storage = as_sparse_storage(label_matrix)
+            values = storage.data if storage is not None else np.asarray(label_matrix)
+            if values.size and int(values.max()) > 1:
+                raise ConfigurationError(
+                    "choose() received a raw matrix with categorical labels; wrap it "
+                    "in LabelMatrix(values, cardinality=k) so the advantage bound "
+                    "(binary-only theory) is skipped rather than fed class ids"
+                )
+        if cardinality > 2:
+            advantage_bound = float("nan")
+        else:
+            advantage_bound = estimate_advantage_bound(label_matrix, self.weight_range)
+            if advantage_bound < self.advantage_tolerance:
+                return ModelingStrategy(strategy="MV", advantage_bound=advantage_bound)
         if not self.learn_correlations:
             return ModelingStrategy(strategy="GM", advantage_bound=advantage_bound)
         thresholds = self._sweep_thresholds()

@@ -27,6 +27,16 @@ per node and the full dense Λ is never materialized.
 The selection threshold ε plays the paper's role exactly: a pair ``(j, k)``
 is selected when ``max(|w_{j←k}|, |w_{k←j}|) ≥ ε``, and sweeping ε produces
 the (ε, #correlations) curve whose elbow the optimizer picks.
+
+Categorical label matrices (classes ``1..k``, ``0`` = abstain) are handled
+by a per-node one-vs-rest reduction: node ``j`` is regressed against its
+*anchor class* (its most frequent emitted class), with every other LF's vote
+recoded to ``+1`` (voted the anchor class) / ``-1`` (voted any other class)
+/ ``0`` (abstained) and the label proxy built from the same recoding.  This
+is the Ising-style node-wise regression applied to the anchor-class
+indicator field, so for ``cardinality = 2`` it coincides with the signed
+formulation, and for ``k > 2`` a large coefficient still means "LF ``k``
+agrees with LF ``j`` beyond what the shared label explains".
 """
 
 from __future__ import annotations
@@ -38,7 +48,7 @@ import numpy as np
 
 from repro.exceptions import LabelModelError, NotFittedError
 from repro.labeling.matrix import LabelMatrix
-from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage
+from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage, class_vote_counts
 from repro.types import ABSTAIN
 from repro.utils.mathutils import sigmoid
 from repro.utils.rng import SeedLike, ensure_rng
@@ -103,15 +113,30 @@ class StructureLearner:
 
     # ------------------------------------------------------------------ fitting
     def fit(self, label_matrix: LabelMatrix | np.ndarray) -> "StructureLearner":
-        """Estimate the (n, n) matrix of absolute dependency weights."""
+        """Estimate the (n, n) matrix of absolute dependency weights.
+
+        A :class:`LabelMatrix` selects the estimator by its declared
+        ``cardinality``; raw arrays/storages fall back to sniffing the values
+        (any label above 1 means categorical).
+        """
+        if isinstance(label_matrix, LabelMatrix):
+            categorical: Optional[bool] = label_matrix.cardinality > 2
+        else:
+            categorical = None
         sparse = as_sparse_storage(label_matrix)
         if sparse is not None:
-            return self._fit_sparse(sparse)
+            if categorical is None:
+                categorical = bool(sparse.data.size) and int(sparse.data.max()) > 1
+            return self._fit_sparse(sparse, categorical)
         matrix = _as_array(label_matrix).astype(float)
         m, n = matrix.shape
         if n < 2:
             self.dependency_weights_ = np.zeros((n, n))
             return self
+        if categorical is None:
+            categorical = bool(matrix.size) and matrix.max() > 1
+        if categorical:
+            return self._fit_dense_categorical(matrix)
         row_totals = matrix.sum(axis=1)
         weights = np.zeros((n, n))
         for j in range(n):
@@ -132,7 +157,41 @@ class StructureLearner:
         self.dependency_weights_ = weights
         return self
 
-    def _fit_sparse(self, sparse: SparseLabelMatrix) -> "StructureLearner":
+    def _fit_dense_categorical(self, matrix: np.ndarray) -> "StructureLearner":
+        """Node-wise regressions over the anchor-class recoding (see module doc).
+
+        Each node's design matrix is the whole row block recoded against that
+        node's anchor class — O(votes_j · n) per node, the same as the binary
+        assembly.
+        """
+        m, n = matrix.shape
+        weights = np.zeros((n, n))
+        for j in range(n):
+            voted = matrix[:, j] != ABSTAIN
+            if voted.sum() < self.min_votes:
+                continue
+            votes_j = matrix[voted, j]
+            anchor = self._anchor_class(votes_j)
+            block = matrix[voted]
+            signed = np.where(block == ABSTAIN, 0.0, np.where(block == anchor, 1.0, -1.0))
+            target = (votes_j == anchor).astype(float)
+            others = [k for k in range(n) if k != j]
+            mv_proxy = np.sign(signed.sum(axis=1) - signed[:, j])
+            features = np.column_stack(
+                [signed[:, others], mv_proxy, np.ones(int(voted.sum()))]
+            )
+            coefficients = self._l1_logistic(features, target, num_penalized=len(others))
+            weights[j, others] = np.abs(coefficients[: len(others)])
+        self.dependency_weights_ = weights
+        return self
+
+    @staticmethod
+    def _anchor_class(votes: np.ndarray) -> int:
+        """The node's most frequent emitted class (lowest id on ties)."""
+        values, counts = np.unique(votes, return_counts=True)
+        return int(values[np.argmax(counts)])
+
+    def _fit_sparse(self, sparse: SparseLabelMatrix, categorical: bool) -> "StructureLearner":
         """Node-wise regressions assembled from CSC column slices.
 
         Produces the same dependency weights as the dense path: each node's
@@ -144,14 +203,34 @@ class StructureLearner:
             self.dependency_weights_ = np.zeros((n, n))
             return self
         col_indptr, entry_rows, entry_vals = sparse.csc()
-        row_totals = sparse.row_sums()
+        if categorical:
+            # One O(nnz) pass: per-row counts of every class, so each node's
+            # anchor-class totals are a column lookup rather than a rescan.
+            cardinality = max(2, int(entry_vals.max())) if entry_vals.size else 2
+            per_class_counts = class_vote_counts(sparse, cardinality)
+            row_nnz = sparse.row_nnz()
+            row_totals = None
+        else:
+            row_totals = sparse.row_sums()
         weights = np.zeros((n, n))
         for j in range(n):
             rows_j = entry_rows[col_indptr[j] : col_indptr[j + 1]]
             vals_j = entry_vals[col_indptr[j] : col_indptr[j + 1]]
             if rows_j.size < self.min_votes:
                 continue
-            target = (vals_j > 0).astype(float)
+            if categorical:
+                # Anchor-class recoding (see module doc): the node's own
+                # votes, every partner column, and the label proxy are all
+                # mapped to +-1 against the node's most frequent class.
+                anchor = self._anchor_class(vals_j)
+                target = (vals_j == anchor).astype(float)
+                own_signed = np.where(vals_j == anchor, 1.0, -1.0)
+                signed_totals = 2.0 * per_class_counts[:, anchor - 1] - row_nnz
+            else:
+                anchor = None
+                target = (vals_j > 0).astype(float)
+                own_signed = vals_j
+                signed_totals = row_totals
             others = [k for k in range(n) if k != j]
             design = np.zeros((rows_j.size, n))
             for k in others:
@@ -160,8 +239,11 @@ class StructureLearner:
                 _, in_j, in_k = np.intersect1d(
                     rows_j, rows_k, assume_unique=True, return_indices=True
                 )
-                design[in_j, k] = vals_k[in_k]
-            mv_proxy = np.sign(row_totals[rows_j] - vals_j)
+                if categorical:
+                    design[in_j, k] = np.where(vals_k[in_k] == anchor, 1.0, -1.0)
+                else:
+                    design[in_j, k] = vals_k[in_k]
+            mv_proxy = np.sign(signed_totals[rows_j] - own_signed)
             features = np.column_stack([design[:, others], mv_proxy, np.ones(rows_j.size)])
             coefficients = self._l1_logistic(features, target, num_penalized=len(others))
             weights[j, others] = np.abs(coefficients[: len(others)])

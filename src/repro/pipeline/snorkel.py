@@ -1,6 +1,6 @@
 """The end-to-end Snorkel pipeline.
 
-``SnorkelPipeline`` wires the stages of Figure 2 together for a binary task:
+``SnorkelPipeline`` wires the stages of Figure 2 together:
 
 1. apply the labeling functions over the training candidates → label matrix Λ,
 2. run the modeling-strategy optimizer (Algorithm 1) to choose between
@@ -11,6 +11,21 @@
 5. evaluate the generative and discriminative stages on the held-out test
    split.
 
+**Label conventions.**  The pipeline follows the task's ``cardinality``:
+
+* binary tasks (``cardinality=2``) use signed labels ``{-1, +1}`` with ``0``
+  = abstain; ``training_probs`` is the ``(m,)`` positive-class probability
+  vector, the end model defaults to noise-aware logistic regression, and
+  test reports come from :class:`BinaryScorer` (precision/recall/F1).
+* categorical tasks (``cardinality=k > 2``, e.g. the crowdsourcing task of
+  Section 4.1.2) use classes ``1..k`` with ``0`` = abstain; the same
+  generative model is trained with its k-ary estimator, ``training_probs``
+  is the ``(m, k)`` posterior distribution matrix, the end model defaults
+  to noise-aware softmax regression, and test reports come from
+  :class:`MultiClassScorer` (accuracy + macro-F1).  The MV-vs-GM
+  modeling-advantage decision is binary theory, so Algorithm 1 always
+  selects the generative model here (the structure sweep still runs).
+
 The pipeline never touches training-split gold labels; they exist in the
 task datasets purely so the benchmark harness can report oracle statistics.
 """
@@ -19,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,16 +43,24 @@ from repro.datasets.base import TaskDataset
 from repro.discriminative.base import NoiseAwareClassifier
 from repro.discriminative.featurizers import RelationFeaturizer
 from repro.discriminative.logistic import NoiseAwareLogisticRegression
-from repro.evaluation.scorer import BinaryScorer, ScoreReport
+from repro.discriminative.softmax import NoiseAwareSoftmaxRegression
+from repro.evaluation.scorer import (
+    BinaryScorer,
+    MultiClassScoreReport,
+    MultiClassScorer,
+    ScoreReport,
+)
 from repro.exceptions import ConfigurationError
 from repro.labeling.applier import LFApplier
 from repro.labeling.engine import BACKENDS
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labelmodel.generative import GenerativeModel
-from repro.labelmodel.majority import MajorityVoter
+from repro.labelmodel.majority import MajorityVoter, MultiClassMajorityVoter
 from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
 from repro.types import NEGATIVE, POSITIVE
+
+AnyScoreReport = Union[ScoreReport, MultiClassScoreReport]
 
 
 @dataclass
@@ -93,21 +116,29 @@ class PipelineResult:
     task_name: str
     strategy: Optional[ModelingStrategy]
     label_matrix: LabelMatrix
+    #: ``(m,)`` positive-class probabilities for binary tasks, ``(m, k)``
+    #: class distributions for categorical ones.
     training_probs: np.ndarray
-    generative_test_report: ScoreReport
-    discriminative_test_report: ScoreReport
+    generative_test_report: AnyScoreReport
+    discriminative_test_report: AnyScoreReport
     generative_model: Optional[GenerativeModel]
     discriminative_model: NoiseAwareClassifier
     timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def generative_f1(self) -> float:
-        """Test F1 of the label-model stage (Snorkel Gen. column of Table 3)."""
+        """Test F1 of the label-model stage (Snorkel Gen. column of Table 3).
+
+        Macro-F1 on categorical tasks.
+        """
         return self.generative_test_report.f1
 
     @property
     def discriminative_f1(self) -> float:
-        """Test F1 of the end model (Snorkel Disc. column of Table 3)."""
+        """Test F1 of the end model (Snorkel Disc. column of Table 3).
+
+        Macro-F1 on categorical tasks.
+        """
         return self.discriminative_test_report.f1
 
 
@@ -128,12 +159,7 @@ class SnorkelPipeline:
 
     # ------------------------------------------------------------------ running
     def run(self, task: TaskDataset) -> PipelineResult:
-        """Run the full pipeline on a binary task dataset."""
-        if task.cardinality != 2:
-            raise ConfigurationError(
-                f"SnorkelPipeline handles binary tasks; task {task.name!r} has "
-                f"cardinality {task.cardinality} (use the Dawid-Skene model directly)"
-            )
+        """Run the full pipeline on a task dataset (binary or categorical)."""
         lfs = self.lfs if self.lfs is not None else task.lfs
         timings: dict[str, float] = {}
 
@@ -160,11 +186,18 @@ class SnorkelPipeline:
         # Generative-stage evaluation on the test split.
         if generative_model is not None:
             test_probs = generative_model.predict_proba(test_matrix)
-        else:
+        elif task.cardinality == 2:
             test_probs = MajorityVoter().predict_proba(test_matrix)
-        generative_report = BinaryScorer().score_probabilities(
-            task.split_gold("test"), test_probs
-        )
+        else:
+            test_probs = MultiClassMajorityVoter(task.cardinality).predict_proba(test_matrix)
+        if task.cardinality == 2:
+            generative_report: AnyScoreReport = BinaryScorer().score_probabilities(
+                task.split_gold("test"), test_probs
+            )
+        else:
+            generative_report = MultiClassScorer(task.cardinality).score_probabilities(
+                task.split_gold("test"), test_probs
+            )
 
         start = time.perf_counter()
         discriminative_model, discriminative_report = self._discriminative_stage(
@@ -188,8 +221,15 @@ class SnorkelPipeline:
     def _label_modeling(
         self, label_matrix: LabelMatrix
     ) -> tuple[Optional[ModelingStrategy], Optional[GenerativeModel], np.ndarray]:
-        """Choose a strategy and produce probabilistic training labels."""
+        """Choose a strategy and produce probabilistic training labels.
+
+        Categorical matrices flow through the same stages: the optimizer
+        always selects the generative model for them (the MV-vs-GM advantage
+        bound is binary theory) and the model trains its k-ary estimator,
+        returning ``(m, k)`` distributions.
+        """
         config = self.config
+        cardinality = label_matrix.cardinality
         strategy: Optional[ModelingStrategy] = None
         if config.force_strategy is not None:
             use_generative = config.force_strategy == "GM"
@@ -207,11 +247,18 @@ class SnorkelPipeline:
             correlations = []
 
         if not use_generative:
-            return strategy, None, MajorityVoter().predict_proba(label_matrix)
+            if cardinality == 2:
+                return strategy, None, MajorityVoter().predict_proba(label_matrix)
+            return (
+                strategy,
+                None,
+                MultiClassMajorityVoter(cardinality).predict_proba(label_matrix),
+            )
 
         model = GenerativeModel(
             epochs=config.generative_epochs,
             step_size=config.generative_step_size,
+            cardinality=cardinality,
             seed=config.seed,
         )
         model.fit(label_matrix, correlations=correlations)
@@ -224,9 +271,15 @@ class SnorkelPipeline:
         test_candidates: Sequence[Candidate],
         training_probs: np.ndarray,
         label_matrix: LabelMatrix,
-    ) -> tuple[NoiseAwareClassifier, ScoreReport]:
-        """Featurize, train the end model on Ỹ, and evaluate on the test split."""
+    ) -> tuple[NoiseAwareClassifier, AnyScoreReport]:
+        """Featurize, train the end model on Ỹ, and evaluate on the test split.
+
+        Binary tasks train the noise-aware logistic model on the ``(m,)``
+        probability vector; categorical tasks train the noise-aware softmax
+        model on the ``(m, k)`` distribution matrix.
+        """
         config = self.config
+        cardinality = task.cardinality
         if config.sparse_features:
             train_features = self.featurizer.transform(list(train_candidates), sparse=True)
             test_features = self.featurizer.transform(list(test_candidates), sparse=True)
@@ -238,23 +291,50 @@ class SnorkelPipeline:
             keep = np.arange(len(train_candidates))
         else:
             # Drop candidates no LF covered, plus covered rows whose
-            # probability is exactly 0.5 (ties carry no supervision signal);
-            # the paper's end models similarly train on the covered set.
-            # Coverage is taken from Λ itself — an estimated class balance
-            # gives uncovered rows a non-0.5 prior probability, which is not
-            # supervision signal either.
-            keep = np.flatnonzero(
-                label_matrix.covered_rows() & ~np.isclose(training_probs, 0.5)
-            )
+            # probability is uninformative (exactly 0.5 for binary tasks,
+            # exactly uniform for categorical ones — ties carry no
+            # supervision signal); the paper's end models similarly train on
+            # the covered set.  Coverage is taken from Λ itself — an
+            # estimated class balance gives uncovered rows a non-uniform
+            # prior probability, which is not supervision signal either.
+            if training_probs.ndim == 2:
+                uninformative = np.isclose(
+                    training_probs.max(axis=1), 1.0 / training_probs.shape[1]
+                )
+            else:
+                uninformative = np.isclose(training_probs, 0.5)
+            keep = np.flatnonzero(label_matrix.covered_rows() & ~uninformative)
             if keep.size == 0:
                 keep = np.arange(len(train_candidates))
 
-        model = self._discriminative_model or NoiseAwareLogisticRegression(
-            epochs=config.discriminative_epochs,
-            class_balance=config.class_balance,
-            seed=config.seed,
-        )
+        if self._discriminative_model is not None:
+            model = self._discriminative_model
+        elif cardinality == 2:
+            model = NoiseAwareLogisticRegression(
+                epochs=config.discriminative_epochs,
+                class_balance=config.class_balance,
+                seed=config.seed,
+            )
+        else:
+            if config.class_balance is not None:
+                raise ConfigurationError(
+                    "PipelineConfig.class_balance is a binary-end-model setting "
+                    "(scalar positive-class fraction) and has no effect on "
+                    f"cardinality-{cardinality} tasks; unset it"
+                )
+            model = NoiseAwareSoftmaxRegression(
+                num_classes=cardinality,
+                epochs=config.discriminative_epochs,
+                seed=config.seed,
+            )
         model.fit(train_features[keep], training_probs[keep])
         probs = model.predict_proba(test_features)
-        report = BinaryScorer().score_probabilities(task.split_gold("test"), probs)
+        if cardinality == 2:
+            report: AnyScoreReport = BinaryScorer().score_probabilities(
+                task.split_gold("test"), probs
+            )
+        else:
+            report = MultiClassScorer(cardinality).score_probabilities(
+                task.split_gold("test"), probs
+            )
         return model, report

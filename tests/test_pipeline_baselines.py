@@ -52,10 +52,18 @@ def test_pipeline_force_mv_strategy(small_cdr):
     assert result.generative_model is None
 
 
-def test_pipeline_rejects_multiclass_task():
+def test_pipeline_accepts_multiclass_task():
+    # Regression: multi-class tasks used to be hard-rejected with a
+    # ConfigurationError and pushed to the standalone Dawid-Skene model; they
+    # now train the k-ary generative model (full coverage in
+    # tests/test_multiclass.py).
     crowd = load_task("crowd", scale=0.1, seed=0)
-    with pytest.raises(ConfigurationError):
-        SnorkelPipeline().run(crowd)
+    config = PipelineConfig(
+        use_optimizer=False, generative_epochs=5, discriminative_epochs=5, seed=0
+    )
+    result = SnorkelPipeline(config=config).run(crowd)
+    assert result.generative_model is not None
+    assert result.training_probs.shape == (len(crowd.split_candidates("train")), 5)
 
 
 def test_pipeline_config_validation():
