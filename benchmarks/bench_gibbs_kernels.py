@@ -1,0 +1,158 @@
+"""Gibbs kernel throughput: reference per-column loop vs vectorized plan.
+
+Times ``sample_joint`` chains on a crowd-style suite (Table-4 shape: many
+low-coverage worker LFs, no modeled correlations) under both sampling
+kernels of :class:`repro.labelmodel.gibbs.GibbsSampler`:
+
+* ``reference`` — the exact per-column Python loop, whose per-call numpy
+  overhead scales with the number of LF columns;
+* ``vectorized`` — the graph-colored fused updates of
+  :mod:`repro.labelmodel.kernels` (one ``SamplerPlan`` compile per chain, a
+  correlation-free suite collapses to a single color).
+
+Both a short and a long chain are timed, so the snapshot records the total
+chain speedup *and* the marginal per-sweep speedup (the difference quotient,
+which removes the one-time plan/workspace/materialization cost that CD
+amortizes across thousands of minibatches).  The parity fields assert what
+the kernels guarantee: bit-identical ``label_posteriors`` (no sampling
+involved) and an unchanged abstention pattern.
+
+``run_gibbs_kernels_benchmark`` is importable — ``scripts/run_benchmarks.py``
+calls it to write the ``gibbs_kernels`` section of the ``BENCH_*.json``
+snapshot, whose ``*_seconds`` metrics the ``--compare`` regression gate
+checks.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_label_matrix, generate_multiclass_label_matrix
+from repro.labelmodel.factor_graph import FactorGraphSpec
+from repro.labelmodel.gibbs import GibbsSampler
+
+#: (label, cardinality, num_points, num_lfs, coverage) per measured setting —
+#: the ROADMAP's wide crowd-style suite: 20k rows, 200 worker LFs, ~5%
+#: coverage, correlation-free.
+DEFAULT_CONFIGS = (
+    ("binary", 2, 20_000, 200, 0.05),
+    ("k4", 4, 20_000, 200, 0.05),
+)
+
+#: Chain lengths for the difference-quotient per-sweep timing.
+SHORT_SWEEPS = 2
+LONG_SWEEPS = 12
+
+
+def _best_chain_seconds(sampler: GibbsSampler, weights, storage, sweeps, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sampler.sample_joint(weights, storage, sweeps=sweeps)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_gibbs_kernels_benchmark(configs=DEFAULT_CONFIGS, repeats: int = 3, seed: int = 0):
+    """Time reference vs vectorized chains; returns one record per config."""
+    records = []
+    for label, cardinality, num_points, num_lfs, coverage in configs:
+        if cardinality == 2:
+            data = generate_label_matrix(
+                num_points=num_points, num_lfs=num_lfs, propensity=coverage, seed=seed
+            )
+        else:
+            data = generate_multiclass_label_matrix(
+                num_points=num_points,
+                num_lfs=num_lfs,
+                cardinality=cardinality,
+                propensity=coverage,
+                seed=seed,
+            )
+        storage = data.label_matrix.to_sparse().storage
+        spec = FactorGraphSpec(num_lfs, cardinality=cardinality)
+        weights = spec.initial_weights()
+
+        timings = {}
+        for kernel in ("reference", "vectorized"):
+            sampler = GibbsSampler(spec, seed=seed, kernel=kernel)
+            timings[kernel, "short"] = _best_chain_seconds(
+                sampler, weights, storage, SHORT_SWEEPS, repeats
+            )
+            timings[kernel, "long"] = _best_chain_seconds(
+                sampler, weights, storage, LONG_SWEEPS, repeats
+            )
+
+        sweep_delta = LONG_SWEEPS - SHORT_SWEEPS
+        reference_sweep = (
+            timings["reference", "long"] - timings["reference", "short"]
+        ) / sweep_delta
+        vectorized_sweep = (
+            timings["vectorized", "long"] - timings["vectorized", "short"]
+        ) / sweep_delta
+
+        # Parity: the posterior involves no sampling and must be identical
+        # under either kernel; a vectorized chain must preserve the pattern.
+        posterior_reference = GibbsSampler(spec, seed=seed, kernel="reference").label_posteriors(
+            weights, storage
+        )
+        posterior_vectorized = GibbsSampler(spec, seed=seed, kernel="vectorized").label_posteriors(
+            weights, storage
+        )
+        max_posterior_diff = float(np.abs(posterior_reference - posterior_vectorized).max())
+        sampled, _ = GibbsSampler(spec, seed=seed).sample_joint(weights, storage, sweeps=1)
+        # Real pattern assertion (the CSR index arrays are shared by
+        # construction, so compare the materialized abstention masks).
+        pattern_preserved = bool(
+            np.array_equal(sampled.to_dense() != 0, storage.to_dense() != 0)
+            and bool(np.all(sampled.data != 0))
+            and (cardinality == 2 or int(sampled.data.max()) <= cardinality)
+        )
+
+        records.append(
+            {
+                "label": label,
+                "cardinality": cardinality,
+                "num_points": num_points,
+                "num_lfs": num_lfs,
+                "coverage": coverage,
+                "nnz": int(storage.nnz),
+                "long_sweeps": LONG_SWEEPS,
+                "reference_joint_seconds": timings["reference", "long"],
+                "vectorized_joint_seconds": timings["vectorized", "long"],
+                "reference_sweep_seconds": reference_sweep,
+                "vectorized_sweep_seconds": vectorized_sweep,
+                "joint_speedup": timings["reference", "long"]
+                / max(timings["vectorized", "long"], 1e-12),
+                "sweep_speedup": reference_sweep / max(vectorized_sweep, 1e-12),
+                "max_posterior_diff": max_posterior_diff,
+                "pattern_preserved": pattern_preserved,
+            }
+        )
+    return records
+
+
+def format_records(records) -> str:
+    lines = []
+    for record in records:
+        lines.append(
+            f"{record['label']}: {record['num_points']} x {record['num_lfs']} at "
+            f"{record['coverage']:.0%}, {record['long_sweeps']} sweeps — "
+            f"reference {record['reference_joint_seconds']:.3f}s, "
+            f"vectorized {record['vectorized_joint_seconds']:.3f}s "
+            f"({record['joint_speedup']:.1f}x chain, "
+            f"{record['sweep_speedup']:.1f}x per sweep)"
+        )
+    return "\n".join(lines)
+
+
+def test_gibbs_kernels(run_once):
+    records = run_once(run_gibbs_kernels_benchmark)
+    print("\n[Gibbs kernels]\n" + format_records(records))
+    for record in records:
+        assert record["max_posterior_diff"] == 0.0, record
+        assert record["pattern_preserved"], record
+        # The acceptance target is >= 5x; assert a safety-margined bound so
+        # CI noise does not flake the suite while real regressions still fail.
+        assert record["joint_speedup"] > 3.0, record
+        assert record["sweep_speedup"] > 3.0, record

@@ -11,14 +11,24 @@ snapshot (default ``BENCH_sparse.json`` in the repository root):
   on streamed candidates (``benchmarks/bench_applier_engine.py``);
 * ``gibbs`` — dense vs sparse Gibbs-sampler timings
   (``benchmarks/bench_gibbs_timing.py``);
+* ``gibbs_kernels`` — reference per-column loop vs vectorized plan-based
+  kernels, binary and cardinality-4, on the 20k x 200-LF crowd-style suite
+  (``benchmarks/bench_gibbs_kernels.py``);
 * ``structure_learning`` — structure-learning plus correlation-count fit
   costs (``benchmarks/bench_structure_timing.py``);
 * ``em_epoch`` — per-epoch EM time, binary and cardinality-4, dense vs
-  sparse (``benchmarks/bench_em_epoch.py``).
+  sparse (``benchmarks/bench_em_epoch.py``);
+* ``featurizer_throughput`` — dense vs CSR relation-featurizer batch
+  transforms (``benchmarks/bench_featurizer_throughput.py``).
 
 ``--compare`` re-measures and checks every ``*_seconds`` metric against the
 committed snapshot, failing (exit code 1) on a more-than-``--threshold``-fold
-slowdown — the regression gate future perf PRs run against.
+slowdown — the regression gate future perf PRs run against.  ``--quick``
+shrinks every workload to smoke-test size: useful in CI to exercise the
+whole measurement (and its parity assertions) in seconds.  Because the
+shrunken runs are far faster than any committed baseline, ``--compare
+--quick`` degrades into exactly that smoke test — it validates the pipeline
+end-to-end but cannot flag slowdowns.
 
 Usage::
 
@@ -26,6 +36,7 @@ Usage::
     python scripts/run_benchmarks.py --skip-suite    # snapshot only
     python scripts/run_benchmarks.py --output /tmp/bench.json
     python scripts/run_benchmarks.py --compare       # regression gate
+    python scripts/run_benchmarks.py --compare --quick   # CI smoke
 """
 
 from __future__ import annotations
@@ -80,8 +91,14 @@ def run_suite() -> int:
     )
 
 
-def measure() -> dict:
-    """Run every importable perf measurement; return the snapshot document."""
+def measure(quick: bool = False) -> dict:
+    """Run every importable perf measurement; return the snapshot document.
+
+    ``quick`` shrinks every workload by roughly an order of magnitude — the
+    measurements exercise the full machinery (including the dense/sparse and
+    kernel parity checks baked into the records) but their timings are smoke
+    values, not comparable to a full snapshot.
+    """
     import numpy as np
 
     from repro.labeling.sparse import HAVE_SCIPY
@@ -89,42 +106,76 @@ def measure() -> dict:
     scaling = _load_bench_module("bench_sparse_scaling")
     applier = _load_bench_module("bench_applier_engine")
     gibbs = _load_bench_module("bench_gibbs_timing")
+    gibbs_kernels = _load_bench_module("bench_gibbs_kernels")
     structure = _load_bench_module("bench_structure_timing")
     em_epoch = _load_bench_module("bench_em_epoch")
+    featurizer = _load_bench_module("bench_featurizer_throughput")
 
     print("[sparse_scaling]")
-    scaling_records = scaling.run_scaling()
+    scaling_records = scaling.run_scaling(
+        configs=((2_000, 20, 0.05),) if quick else scaling.DEFAULT_CONFIGS
+    )
     print(scaling.format_records(scaling_records))
     print("\n[applier_throughput]")
-    applier_records = applier.run_applier_throughput()
+    applier_records = applier.run_applier_throughput(
+        configs={"cpu": (300, 8), "latency": (120, 4)} if quick else None
+    )
     print(applier.format_records(applier_records))
     print("\n[gibbs]")
-    gibbs_record = gibbs.run_gibbs_benchmark()
+    gibbs_record = gibbs.run_gibbs_benchmark(
+        config=(2_000, 20, 0.05) if quick else gibbs.DEFAULT_CONFIG
+    )
     print(gibbs.format_record(gibbs_record))
+    print("\n[gibbs_kernels]")
+    gibbs_kernel_records = gibbs_kernels.run_gibbs_kernels_benchmark(
+        configs=(
+            (("binary", 2, 2_000, 40, 0.05), ("k4", 4, 2_000, 40, 0.05))
+            if quick
+            else gibbs_kernels.DEFAULT_CONFIGS
+        ),
+        repeats=1 if quick else 3,
+    )
+    print(gibbs_kernels.format_records(gibbs_kernel_records))
     print("\n[structure_learning]")
-    structure_record = structure.run_structure_benchmark()
+    structure_record = structure.run_structure_benchmark(
+        **({"num_points": 150, "num_groups": 3, "epochs": 4} if quick else {})
+    )
     print(structure.format_record(structure_record))
     print("\n[em_epoch]")
-    em_epoch_records = em_epoch.run_em_epoch_benchmark()
+    em_epoch_records = em_epoch.run_em_epoch_benchmark(
+        configs=(
+            (("binary", 2, 2_000, 20, 0.05), ("k4", 4, 2_000, 20, 0.05))
+            if quick
+            else em_epoch.DEFAULT_CONFIGS
+        )
+    )
     print(em_epoch.format_records(em_epoch_records))
+    print("\n[featurizer_throughput]")
+    featurizer_record = featurizer.run_featurizer_benchmark(
+        num_candidates=150 if quick else featurizer.DEFAULT_NUM_CANDIDATES
+    )
+    print(featurizer.format_record(featurizer_record))
 
     return {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "scipy_backend": HAVE_SCIPY,
+        "quick": quick,
         "benchmarks": {
             "sparse_scaling": {"records": scaling_records},
             "applier_throughput": {"records": applier_records},
             "gibbs": {"record": gibbs_record},
+            "gibbs_kernels": {"records": gibbs_kernel_records},
             "structure_learning": {"record": structure_record},
             "em_epoch": {"records": em_epoch_records},
+            "featurizer_throughput": {"record": featurizer_record},
         },
     }
 
 
-def write_snapshot(output: Path) -> dict:
+def write_snapshot(output: Path, quick: bool = False) -> dict:
     """Measure everything and write the JSON snapshot."""
-    snapshot = measure()
+    snapshot = measure(quick=quick)
     output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"\nwrote {output}")
     return snapshot
@@ -163,13 +214,19 @@ def compare_snapshots(baseline: dict, current: dict, threshold: float) -> list[s
     return regressions
 
 
-def run_compare(snapshot_path: Path, threshold: float) -> int:
-    """Re-measure and gate against the committed snapshot."""
+def run_compare(snapshot_path: Path, threshold: float, quick: bool = False) -> int:
+    """Re-measure and gate against the committed snapshot.
+
+    With ``quick`` the re-measurement runs the shrunken workloads: the gate
+    cannot flag slowdowns (quick timings undershoot any full baseline) but
+    still fails on measurement errors and parity violations — the CI smoke
+    mode.
+    """
     if not snapshot_path.exists():
         print(f"no baseline snapshot at {snapshot_path}; run without --compare first")
         return 2
     baseline = json.loads(snapshot_path.read_text())
-    current = measure()
+    current = measure(quick=quick)
     regressions = compare_snapshots(baseline, current, threshold)
     compared = len(set(_flatten_timings(baseline)) & set(_flatten_timings(current)))
     if regressions:
@@ -206,18 +263,33 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="slowdown factor that counts as a regression (default: 2.0)",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink every workload to smoke-test size (CI); timings are not "
+        "comparable to a full snapshot",
+    )
     args = parser.parse_args(argv)
 
     if str(SRC) not in sys.path:
         sys.path.insert(0, str(SRC))
 
     if args.compare:
-        return run_compare(args.output, args.threshold)
+        return run_compare(args.output, args.threshold, quick=args.quick)
+
+    if args.quick and args.output == parser.get_default("output"):
+        # A quick snapshot at the committed baseline path would poison every
+        # subsequent full --compare run with ~10x-smaller-workload timings.
+        print(
+            "--quick measurements are not comparable to the committed baseline; "
+            "pass an explicit --output (or use --compare --quick for the smoke)"
+        )
+        return 2
 
     exit_code = 0
     if not args.skip_suite:
         exit_code = run_suite()
-    write_snapshot(args.output)
+    write_snapshot(args.output, quick=args.quick)
     return exit_code
 
 

@@ -168,15 +168,19 @@ class RelationFeaturizer:
         return entries
 
     def transform(
-        self, candidates: Sequence[Candidate], sparse: bool = False
+        self, candidates: Iterable[Candidate], sparse: bool = False
     ) -> Union[np.ndarray, CSRFeatureMatrix]:
-        """Featurize a list of candidates into a feature matrix.
+        """Featurize a batch of candidates into a feature matrix.
 
-        With ``sparse=True`` the result is a
+        Accepts any sequence (or other iterable — generators are consumed
+        once into a list) without copying sequences the caller already
+        materialized.  With ``sparse=True`` the result is a
         :class:`~repro.discriminative.sparse_features.CSRFeatureMatrix`
         holding only the touched columns — the values are identical to the
         dense output, and the end models consume it without densifying.
         """
+        if not isinstance(candidates, Sequence):
+            candidates = list(candidates)
         if sparse:
             return CSRFeatureMatrix.from_row_entries(
                 [self.candidate_entries(candidate) for candidate in candidates],

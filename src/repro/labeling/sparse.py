@@ -41,13 +41,48 @@ def _use_scipy() -> bool:
     return HAVE_SCIPY and not FORCE_NUMPY_FALLBACK
 
 
-def _ranges_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]`` vectorized."""
+def ranges_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]`` vectorized.
+
+    The workhorse behind CSC slice gathers: with ``starts = col_indptr[cols]``
+    and ``counts = col_indptr[cols + 1] - starts`` it yields the absolute CSC
+    positions of every entry of the given columns, in column order — e.g. one
+    color class of the sampler-plan graph coloring
+    (:mod:`repro.labelmodel.kernels`) in a single call.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
     offsets = np.repeat(np.cumsum(counts) - counts, counts)
     return np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+
+
+#: Backwards-compatible alias of :func:`ranges_gather` (pre-kernels name).
+_ranges_gather = ranges_gather
+
+
+def intersect_sorted(values_a: np.ndarray, values_b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of the common values of two sorted, duplicate-free arrays.
+
+    Returns ``(in_a, in_b)`` with ``values_a[in_a] == values_b[in_b]`` — the
+    same contract as ``np.intersect1d(..., assume_unique=True,
+    return_indices=True)`` minus the values themselves, but via a single
+    ``searchsorted`` instead of a concatenated sort.  This is the alignment
+    primitive shared by the sampler-plan compiler, the correlation-discount
+    computation, and the structure learner's node-wise design assembly: all
+    of them intersect per-column CSC row slices, which are sorted and unique
+    by construction.
+    """
+    values_a = np.asarray(values_a)
+    values_b = np.asarray(values_b)
+    if values_a.size == 0 or values_b.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    positions = np.searchsorted(values_b, values_a)
+    bounded = np.minimum(positions, values_b.size - 1)
+    in_a = np.flatnonzero(values_b[bounded] == values_a)
+    return in_a, positions[in_a]
 
 
 class SparseLabelMatrix:
@@ -78,6 +113,7 @@ class SparseLabelMatrix:
         self._validate()
         self._csc_cache: Optional[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
         self._entry_rows: Optional[np.ndarray] = None
+        self._entry_cols_csc: Optional[np.ndarray] = None
 
     def _validate(self) -> None:
         m, n = self.shape
@@ -213,6 +249,22 @@ class SparseLabelMatrix:
             )
         return self._csc_cache
 
+    def entry_cols(self) -> np.ndarray:
+        """Column id of every stored entry, in CSC order (cached).
+
+        The companion of :meth:`entry_rows` for the column-major view: with
+        ``(col_indptr, rows, values) = csc()``, ``entry_cols()[p]`` is the
+        column that owns CSC position ``p``.  Shared by the EM estimators,
+        the Gibbs sampler, and the sampler-plan compiler, which all need
+        per-entry column lookups (weight gathers, per-column reductions).
+        """
+        if self._entry_cols_csc is None:
+            col_indptr, _, _ = self.csc()
+            self._entry_cols_csc = np.repeat(
+                np.arange(self.shape[1], dtype=np.int64), np.diff(col_indptr)
+            )
+        return self._entry_cols_csc
+
     def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
         """Non-abstain entries of column ``j`` as ``(row_ids, values)``."""
         col_indptr, rows, values = self.csc()
@@ -227,13 +279,23 @@ class SparseLabelMatrix:
             raise LabelingError(
                 f"expected {self.nnz} values, got shape {new_values.shape}"
             )
+        if np.any(new_values == ABSTAIN):
+            raise LabelingError("sparse label storage must not contain abstain entries")
         csr_data = np.empty_like(new_values)
         csr_data[order] = new_values
-        result = SparseLabelMatrix(self.indptr, self.indices, csr_data, self.shape)
+        # The pattern arrays are this matrix's own (already validated), and
+        # the values were just checked, so skip the full constructor scan —
+        # the samplers call this once per chain.
+        result = SparseLabelMatrix.__new__(SparseLabelMatrix)
+        result.indptr = self.indptr
+        result.indices = self.indices
+        result.data = csr_data
+        result.shape = self.shape
         # The pattern is unchanged, so the CSC view carries over — pre-seed
         # the cache to spare the next consumer the O(nnz log nnz) argsort.
         result._csc_cache = (col_indptr, rows, new_values, order)
         result._entry_rows = self._entry_rows
+        result._entry_cols_csc = self._entry_cols_csc
         return result
 
     # ------------------------------------------------------------- linear algebra

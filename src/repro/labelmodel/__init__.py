@@ -7,6 +7,10 @@ This package is the reproduction of the paper's core technical contribution
 * :mod:`repro.labelmodel.factor_graph` — the factor definitions (labeling
   propensity, accuracy, pairwise correlation),
 * :mod:`repro.labelmodel.gibbs` — the Gibbs sampler used during training,
+* :mod:`repro.labelmodel.kernels` — the vectorized sampling kernel layer:
+  graph-colored :class:`SamplerPlan` compilation (one plan per abstention
+  pattern and spec) and :class:`SamplerWorkspace` scratch reuse, which turn
+  a sweep's O(n)-column Python loop into O(#colors) fused numpy updates,
 * :mod:`repro.labelmodel.generative` — the generative model trained by SGD
   interleaved with Gibbs sampling (contrastive-divergence style),
 * :mod:`repro.labelmodel.dawid_skene` — a Dawid–Skene EM estimator used for
@@ -57,10 +61,17 @@ from repro.labelmodel.advantage import (
 )
 from repro.labelmodel.structure import StructureLearner, learn_structure
 from repro.labelmodel.elbow import select_elbow_point
+from repro.labelmodel.gibbs import GibbsSampler
+from repro.labelmodel.kernels import KERNELS, SamplerPlan, SamplerWorkspace, color_columns
 from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
 from repro.labelmodel.theory import high_density_upper_bound, low_density_upper_bound
 
 __all__ = [
+    "GibbsSampler",
+    "KERNELS",
+    "SamplerPlan",
+    "SamplerWorkspace",
+    "color_columns",
     "MajorityVoter",
     "MultiClassMajorityVoter",
     "WeightedMajorityVoter",

@@ -107,6 +107,7 @@ class FactorGraphSpec:
                 canonical.append(pair)
         self.correlations: list[tuple[int, int]] = canonical
         self.layout = WeightLayout(num_lfs=num_lfs, num_correlations=len(canonical))
+        self._neighbor_cache: list[list[tuple[int, int]]] | None = None
 
     # ------------------------------------------------------------------ weights
     def initial_weights(
@@ -183,14 +184,27 @@ class FactorGraphSpec:
         return 2 * self.num_lfs + offset
 
     def neighbors(self, j: int) -> list[tuple[int, int]]:
-        """Correlation partners of LF ``j`` as ``(partner_index, weight_index)``."""
-        partners = []
-        for offset, (a, b) in enumerate(self.correlations):
-            if a == j:
-                partners.append((b, 2 * self.num_lfs + offset))
-            elif b == j:
-                partners.append((a, 2 * self.num_lfs + offset))
-        return partners
+        """Correlation partners of LF ``j`` as ``(partner_index, weight_index)``.
+
+        The adjacency is built once and cached — the samplers query it per
+        column per sweep, and an O(|C|) rescan per call turns quadratic on
+        wide suites.
+        """
+        if self._neighbor_cache is None:
+            adjacency: list[list[tuple[int, int]]] = [[] for _ in range(self.num_lfs)]
+            for offset, (a, b) in enumerate(self.correlations):
+                weight_index = 2 * self.num_lfs + offset
+                adjacency[a].append((b, weight_index))
+                adjacency[b].append((a, weight_index))
+            self._neighbor_cache = adjacency
+        return self._neighbor_cache[j]
+
+    def neighbor_sets(self) -> list[set[int]]:
+        """Correlation partners of every LF as index sets (no weight indices).
+
+        The adjacency view the sampler-plan graph coloring runs over.
+        """
+        return [{partner for partner, _ in self.neighbors(j)} for j in range(self.num_lfs)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (

@@ -64,9 +64,20 @@ import numpy as np
 from repro.discriminative.adam import AdamOptimizer
 from repro.exceptions import LabelModelError, NotFittedError
 from repro.labeling.matrix import LabelMatrix
-from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage, class_vote_counts
+from repro.labeling.sparse import (
+    SparseLabelMatrix,
+    as_sparse_storage,
+    class_vote_counts,
+    intersect_sorted,
+)
 from repro.labelmodel.factor_graph import FactorGraphSpec
 from repro.labelmodel.gibbs import GibbsSampler
+from repro.labelmodel.kernels import (
+    SamplerPlan,
+    SamplerWorkspace,
+    resolve_kernel,
+    run_joint_chain,
+)
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE, probs_to_labels
 from repro.utils.mathutils import log_odds_to_accuracy, sigmoid, softmax
 from repro.utils.rng import SeedLike, ensure_rng
@@ -139,6 +150,14 @@ class GenerativeModel:
         Number of classes.  ``None`` (default) reads it off a
         :class:`LabelMatrix` input and falls back to 2 for raw arrays; pass
         it explicitly when fitting raw categorical arrays.
+    gibbs_kernel:
+        Sampling kernel for the CD estimator's Gibbs chains (ignored by EM,
+        which samples nothing): ``"auto"`` (the vectorized plan-based kernel
+        of :mod:`repro.labelmodel.kernels`; the default), ``"vectorized"``,
+        or ``"reference"`` (the exact per-column loop).  With the vectorized
+        kernel the sampler plan is compiled once per fit and each minibatch
+        derives its row view from it; the scratch workspace is likewise
+        allocated once and reused across every epoch.
     seed:
         RNG seed (or generator) for reproducible Gibbs chains.
     """
@@ -159,6 +178,7 @@ class GenerativeModel:
         class_balance: Optional[float | Sequence[float]] = None,
         non_adversarial: bool = True,
         cardinality: Optional[int] = None,
+        gibbs_kernel: str = "auto",
         seed: SeedLike = 0,
     ) -> None:
         if method not in ("em", "cd"):
@@ -207,6 +227,7 @@ class GenerativeModel:
         self.class_balance = class_balance
         self.non_adversarial = non_adversarial
         self.cardinality = cardinality
+        self.gibbs_kernel = resolve_kernel(gibbs_kernel)
         self.seed = seed
 
         self.spec: Optional[FactorGraphSpec] = None
@@ -393,7 +414,7 @@ class GenerativeModel:
         history = TrainingHistory()
         num_rows, num_lfs = sparse.shape
         col_indptr, entry_rows, entry_vals = sparse.csc()
-        entry_cols = np.repeat(np.arange(num_lfs, dtype=np.int64), np.diff(col_indptr))
+        entry_cols = sparse.entry_cols()
         vote_counts = np.maximum(np.diff(col_indptr), 1)
         discounts = self._correlation_discounts_sparse(spec, sparse)
         discounted_vals = entry_vals.astype(float) / discounts
@@ -513,10 +534,8 @@ class GenerativeModel:
         ``bincount`` reductions are order-independent).
         """
         if isinstance(storage, SparseLabelMatrix):
-            col_indptr, entry_rows, entry_vals = storage.csc()
-            entry_cols = np.repeat(
-                np.arange(storage.shape[1], dtype=np.int64), np.diff(col_indptr)
-            )
+            _, entry_rows, entry_vals = storage.csc()
+            entry_cols = storage.entry_cols()
             discounts = self._correlation_discounts_sparse(spec, storage)
         else:
             entry_rows, entry_cols = np.nonzero(storage != ABSTAIN)
@@ -653,9 +672,7 @@ class GenerativeModel:
             for index, (j, k) in enumerate(spec.correlations):
                 rows_j, vals_j = storage.column(j)
                 rows_k, vals_k = storage.column(k)
-                _, in_j, in_k = np.intersect1d(
-                    rows_j, rows_k, assume_unique=True, return_indices=True
-                )
+                in_j, in_k = intersect_sorted(rows_j, rows_k)
                 if in_j.size == 0:
                     agreement = 0.5
                 else:
@@ -715,9 +732,7 @@ class GenerativeModel:
         for j, k in spec.correlations:
             rows_j, vals_j = sparse.column(j)
             rows_k, vals_k = sparse.column(k)
-            _, in_j, in_k = np.intersect1d(
-                rows_j, rows_k, assume_unique=True, return_indices=True
-            )
+            in_j, in_k = intersect_sorted(rows_j, rows_k)
             same = vals_j[in_j] == vals_k[in_k]
             discounts[int(col_indptr[j]) + in_j[same]] += 1.0
             discounts[int(col_indptr[k]) + in_k[same]] += 1.0
@@ -733,9 +748,20 @@ class GenerativeModel:
         Gibbs sampler operates on its non-abstain entries only.  Categorical
         specs run the same ascent with the k-ary sampler and return the class
         prior as a probability vector instead of a half-log-odds scalar.
+
+        Under the vectorized kernel the sampler plan (CSC layout, graph
+        coloring, correlation alignments) is compiled once for the full
+        matrix here — not per epoch, not per minibatch — and every batch's
+        negative-phase chain runs on a row view derived from it
+        (:meth:`SamplerPlan.select_rows`), against one shared workspace.
         """
         rng = ensure_rng(self.seed)
-        sampler = GibbsSampler(spec, seed=rng)
+        sampler = GibbsSampler(spec, seed=rng, kernel=self.gibbs_kernel)
+        if sampler.kernel == "vectorized":
+            plan: Optional[SamplerPlan] = SamplerPlan.compile(spec, matrix)
+            workspace: Optional[SamplerWorkspace] = SamplerWorkspace(plan)
+        else:
+            plan = workspace = None
         weights = spec.initial_weights(accuracy_init=self.accuracy_init)
         prior_weights = weights.copy()
         num_rows = matrix.shape[0]
@@ -760,7 +786,10 @@ class GenerativeModel:
                     batch: np.ndarray | SparseLabelMatrix = matrix.select_rows(batch_rows)
                 else:
                     batch = matrix[batch_rows]
-                gradient = self._cd_batch_gradient(spec, sampler, weights, batch, class_prior)
+                batch_plan = plan.select_rows(batch_rows) if plan is not None else None
+                gradient = self._cd_batch_gradient(
+                    spec, sampler, weights, batch, class_prior, batch_plan, workspace
+                )
                 gradient -= self.reg_strength * (weights - prior_weights)
                 # The estimator conditions on the abstention pattern, so the
                 # propensity weights receive no gradient signal.
@@ -789,8 +818,16 @@ class GenerativeModel:
         weights: np.ndarray,
         batch: np.ndarray | SparseLabelMatrix,
         class_prior: float | np.ndarray,
+        batch_plan: Optional[SamplerPlan] = None,
+        workspace: Optional[SamplerWorkspace] = None,
     ) -> np.ndarray:
-        """Ascent direction ``E_data[φ] - E_model[φ]`` for one minibatch."""
+        """Ascent direction ``E_data[φ] - E_model[φ]`` for one minibatch.
+
+        With a ``batch_plan`` (a row view of the fit-level plan) the
+        negative-phase chain runs through the vectorized kernels against the
+        shared ``workspace``; otherwise it goes through the sampler's
+        per-call path.
+        """
         posteriors = sampler.label_posteriors(weights, batch, class_prior)
         # Factor vectors are inherently dense in the batch dimension; a
         # minibatch-sized densification is bounded by the batch size.
@@ -808,11 +845,22 @@ class GenerativeModel:
                 posteriors[:, None] * phi_positive
                 + (1.0 - posteriors)[:, None] * phi_negative
             ).mean(axis=0)
-        sampled_matrix, sampled_y = sampler.sample_joint(
-            weights, batch, sweeps=self.cd_sweeps, class_prior_weight=class_prior
-        )
-        if isinstance(sampled_matrix, SparseLabelMatrix):
-            sampled_matrix = sampled_matrix.to_dense()
+        if batch_plan is not None:
+            sampled_values, sampled_y = run_joint_chain(
+                batch_plan,
+                workspace,
+                sampler.rng,
+                weights,
+                sweeps=self.cd_sweeps,
+                class_prior_weight=class_prior,
+            )
+            sampled_matrix: np.ndarray = batch_plan.scatter_dense(sampled_values)
+        else:
+            sampled_matrix, sampled_y = sampler.sample_joint(
+                weights, batch, sweeps=self.cd_sweeps, class_prior_weight=class_prior
+            )
+            if isinstance(sampled_matrix, SparseLabelMatrix):
+                sampled_matrix = sampled_matrix.to_dense()
         model_phase = spec.factor_matrix(sampled_matrix, sampled_y).mean(axis=0)
         return data_phase - model_phase
 
@@ -868,10 +916,8 @@ class GenerativeModel:
                     f"label matrix has {sparse.shape[1]} LFs, model was fit with {spec.num_lfs}"
                 )
             if self.method == "em" and spec.correlations:
-                col_indptr, entry_rows, entry_vals = sparse.csc()
-                entry_cols = np.repeat(
-                    np.arange(spec.num_lfs, dtype=np.int64), np.diff(col_indptr)
-                )
+                _, entry_rows, entry_vals = sparse.csc()
+                entry_cols = sparse.entry_cols()
                 discounts = self._correlation_discounts_sparse(spec, sparse)
                 scores = np.bincount(
                     entry_rows,

@@ -20,6 +20,21 @@ the binary-only implementation), while categorical labels ``{1..k}`` run
 k-value block-Gibbs — the label conditional is a softmax over the per-class
 accuracy-weight sums, and the LF-output conditional a softmax over the k
 possible votes' factor energies.
+
+Two sampling kernels are available, selected by the ``kernel`` argument:
+
+* ``"vectorized"`` (the default behind ``"auto"``) — the graph-colored fused
+  updates of :mod:`repro.labelmodel.kernels`: a :class:`SamplerPlan` is
+  compiled once per chain (or passed in, e.g. by the contrastive-divergence
+  loop, which compiles one per fit) and every sweep resamples whole color
+  classes of columns in a handful of numpy calls.  Dense and sparse storage
+  compile to the identical plan, so the two consume the same RNG stream and
+  produce the same draws.
+* ``"reference"`` — the original exact per-column loop, kept as the
+  plainly-auditable fallback the vectorized kernel is validated against.
+
+Both kernels sample from the same conditionals; ``label_posteriors`` (no
+sampling involved) is kernel-independent and bit-identical.
 """
 
 from __future__ import annotations
@@ -28,8 +43,20 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage, class_vote_counts
+from repro.labeling.sparse import (
+    SparseLabelMatrix,
+    as_sparse_storage,
+    class_vote_counts,
+    intersect_sorted,
+)
 from repro.labelmodel.factor_graph import FactorGraphSpec
+from repro.labelmodel.kernels import (
+    SamplerPlan,
+    SamplerWorkspace,
+    resample_lf_entries,
+    resolve_kernel,
+    run_joint_chain,
+)
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE
 from repro.utils.mathutils import sigmoid, softmax
 from repro.utils.rng import SeedLike, ensure_rng
@@ -53,12 +80,18 @@ class GibbsSampler:
     """Gibbs sampler over ``(Λ, Y)`` for a fixed factor-graph specification.
 
     All methods operate on a weight vector laid out per
-    :class:`repro.labelmodel.factor_graph.WeightLayout`.
+    :class:`repro.labelmodel.factor_graph.WeightLayout`.  ``kernel`` selects
+    the sampling implementation (see the module docstring): ``"auto"``
+    resolves to the vectorized plan-based kernel, ``"reference"`` forces the
+    per-column loop.
     """
 
-    def __init__(self, spec: FactorGraphSpec, seed: SeedLike = None) -> None:
+    def __init__(
+        self, spec: FactorGraphSpec, seed: SeedLike = None, kernel: str = "auto"
+    ) -> None:
         self.spec = spec
         self.rng = ensure_rng(seed)
+        self.kernel = resolve_kernel(kernel)
 
     # ------------------------------------------------------------------- labels
     def label_posteriors(
@@ -121,6 +154,8 @@ class GibbsSampler:
         y: np.ndarray,
         sweeps: int = 1,
         pattern_mask: Optional[np.ndarray] = None,
+        plan: Optional[SamplerPlan] = None,
+        workspace: Optional[SamplerWorkspace] = None,
     ) -> MatrixLike:
         """Resample the non-abstaining ``Λ_{i,j}`` values given ``y`` and the rest.
 
@@ -142,8 +177,23 @@ class GibbsSampler:
         logit difference; categorical specs draw from the softmax over the
         ``k`` candidate votes' energies), so a sweep is O(nnz).  Sparse
         inputs return sparse outputs with the same sparsity pattern.
+
+        Under the vectorized kernel a :class:`SamplerPlan` is compiled for
+        the matrix (or reused when passed in — it must have been compiled
+        from this matrix) and the sweep runs as fused per-color updates.  A
+        ``pattern_mask`` narrower than the matrix's own abstention pattern
+        falls back to the reference loop, which honors arbitrary masks.
         """
         sparse = as_sparse_storage(label_matrix)
+        if self.kernel == "vectorized" and self._mask_matches_pattern(
+            pattern_mask, sparse, label_matrix
+        ):
+            if plan is None:
+                plan = SamplerPlan.compile(self.spec, label_matrix)
+            values = resample_lf_entries(plan, workspace, self.rng, weights, y, sweeps)
+            if sparse is not None:
+                return sparse.with_csc_data(values)
+            return plan.scatter_dense(values)
         if sparse is not None:
             return self._sample_lf_outputs_sparse(weights, sparse, y, sweeps)
         _, accuracy, _ = self.spec.split_weights(weights)
@@ -177,6 +227,23 @@ class GibbsSampler:
                     ).astype(np.int64)
                 sampled[rows, j] = draws
         return sampled
+
+    @staticmethod
+    def _mask_matches_pattern(
+        pattern_mask: Optional[np.ndarray],
+        sparse: Optional[SparseLabelMatrix],
+        label_matrix: MatrixLike,
+    ) -> bool:
+        """Whether a supplied pattern mask is just the matrix's own pattern."""
+        if pattern_mask is None:
+            return True
+        if sparse is not None:
+            # O(nnz): the mask equals the pattern iff it is true on every
+            # stored entry and nowhere else — never densify the matrix.
+            if pattern_mask.shape != sparse.shape or int(pattern_mask.sum()) != sparse.nnz:
+                return False
+            return bool(pattern_mask[sparse.entry_rows(), sparse.indices].all())
+        return bool(np.array_equal(pattern_mask, np.asarray(label_matrix) != ABSTAIN))
 
     def _column_class_draws(
         self,
@@ -216,9 +283,7 @@ class GibbsSampler:
             per_column = []
             for partner, weight_index in self.spec.neighbors(j):
                 rows_p = entry_rows[col_indptr[partner] : col_indptr[partner + 1]]
-                _, in_j, in_p = np.intersect1d(
-                    rows_j, rows_p, assume_unique=True, return_indices=True
-                )
+                in_j, in_p = intersect_sorted(rows_j, rows_p)
                 per_column.append((weight_index, in_j, int(col_indptr[partner]) + in_p))
             alignments.append(per_column)
         return alignments
@@ -284,14 +349,37 @@ class GibbsSampler:
         sweeps: int = 1,
         initial_y: Optional[np.ndarray] = None,
         class_prior_weight: float | np.ndarray = 0.0,
+        plan: Optional[SamplerPlan] = None,
+        workspace: Optional[SamplerWorkspace] = None,
     ) -> tuple[MatrixLike, np.ndarray]:
         """Run ``sweeps`` rounds of block-Gibbs over ``(Y, Λ_values)`` starting at Λ.
 
         The abstention pattern of the observed matrix is held fixed (see
         :meth:`sample_lf_outputs`).  Returns the final ``(Λ_sample, y_sample)``
         pair; sparse inputs yield a sparse sample with the same pattern.
+
+        Under the vectorized kernel the chain runs on a compiled
+        :class:`SamplerPlan` — pass ``plan``/``workspace`` to amortize the
+        compile and the scratch buffers across calls (the plan must have been
+        compiled from this matrix, e.g. via ``SamplerPlan.compile`` or
+        ``select_rows``); otherwise one is compiled for the call.
         """
         sparse = as_sparse_storage(label_matrix)
+        if self.kernel == "vectorized":
+            if plan is None:
+                plan = SamplerPlan.compile(self.spec, label_matrix)
+            values, y = run_joint_chain(
+                plan,
+                workspace,
+                self.rng,
+                weights,
+                sweeps=sweeps,
+                initial_y=initial_y,
+                class_prior_weight=class_prior_weight,
+            )
+            if sparse is not None:
+                return sparse.with_csc_data(values), y
+            return plan.scatter_dense(values), y
         if sparse is not None:
             return self._sample_joint_sparse(
                 weights, sparse, sweeps, initial_y, class_prior_weight
@@ -327,9 +415,7 @@ class GibbsSampler:
         _, accuracy, _ = self.spec.split_weights(weights)
         weights = np.asarray(weights, dtype=float)
         col_indptr, entry_rows, entry_vals = sparse.csc()
-        entry_cols = np.repeat(
-            np.arange(self.spec.num_lfs, dtype=np.int64), np.diff(col_indptr)
-        )
+        entry_cols = sparse.entry_cols()
         data = entry_vals.copy()
         alignments = self._column_alignments(col_indptr, entry_rows)
         num_rows = sparse.shape[0]

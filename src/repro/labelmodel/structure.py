@@ -48,7 +48,12 @@ import numpy as np
 
 from repro.exceptions import LabelModelError, NotFittedError
 from repro.labeling.matrix import LabelMatrix
-from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage, class_vote_counts
+from repro.labeling.sparse import (
+    SparseLabelMatrix,
+    as_sparse_storage,
+    class_vote_counts,
+    intersect_sorted,
+)
 from repro.types import ABSTAIN
 from repro.utils.mathutils import sigmoid
 from repro.utils.rng import SeedLike, ensure_rng
@@ -236,9 +241,11 @@ class StructureLearner:
             for k in others:
                 rows_k = entry_rows[col_indptr[k] : col_indptr[k + 1]]
                 vals_k = entry_vals[col_indptr[k] : col_indptr[k + 1]]
-                _, in_j, in_k = np.intersect1d(
-                    rows_j, rows_k, assume_unique=True, return_indices=True
-                )
+                # The shared alignment primitive of the kernel layer: both
+                # slices are sorted and unique, so one searchsorted replaces
+                # the concatenated sort of np.intersect1d in this O(n²)-pair
+                # loop.
+                in_j, in_k = intersect_sorted(rows_j, rows_k)
                 if categorical:
                     design[in_j, k] = np.where(vals_k[in_k] == anchor, 1.0, -1.0)
                 else:

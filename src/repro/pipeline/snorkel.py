@@ -56,6 +56,7 @@ from repro.labeling.engine import BACKENDS
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labelmodel.generative import GenerativeModel
+from repro.labelmodel.kernels import KERNELS
 from repro.labelmodel.majority import MajorityVoter, MultiClassMajorityVoter
 from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
 from repro.types import NEGATIVE, POSITIVE
@@ -85,6 +86,11 @@ class PipelineConfig:
     #: Featurize candidates into CSR feature matrices and train the end model
     #: sparsely; feature values and trained weights match the dense run.
     sparse_features: bool = False
+    #: Sampling kernel of the generative stage's Gibbs chains (CD training):
+    #: ``"auto"``/``"vectorized"`` for the plan-based fused-color updates of
+    #: :mod:`repro.labelmodel.kernels`, ``"reference"`` for the exact
+    #: per-column loop.  The deterministic EM paths are kernel-independent.
+    gibbs_kernel: str = "auto"
     advantage_tolerance: float = 0.01
     generative_epochs: int = 20
     generative_step_size: float = 0.05
@@ -106,6 +112,10 @@ class PipelineConfig:
         if self.applier_workers is not None and self.applier_workers < 1:
             raise ConfigurationError(
                 f"applier_workers must be >= 1 or None, got {self.applier_workers}"
+            )
+        if self.gibbs_kernel not in KERNELS:
+            raise ConfigurationError(
+                f"gibbs_kernel must be one of {KERNELS}, got {self.gibbs_kernel!r}"
             )
 
 
@@ -259,6 +269,7 @@ class SnorkelPipeline:
             epochs=config.generative_epochs,
             step_size=config.generative_step_size,
             cardinality=cardinality,
+            gibbs_kernel=config.gibbs_kernel,
             seed=config.seed,
         )
         model.fit(label_matrix, correlations=correlations)
@@ -280,12 +291,15 @@ class SnorkelPipeline:
         """
         config = self.config
         cardinality = task.cardinality
-        if config.sparse_features:
-            train_features = self.featurizer.transform(list(train_candidates), sparse=True)
-            test_features = self.featurizer.transform(list(test_candidates), sparse=True)
-        else:
-            train_features = self.featurizer.transform(list(train_candidates))
-            test_features = self.featurizer.transform(list(test_candidates))
+        # The candidate sequences were materialized once by run(); transform
+        # accepts any sequence, so hand them over as-is instead of re-listing
+        # them (twice, per storage branch) as earlier revisions did.
+        train_features = self.featurizer.transform(
+            train_candidates, sparse=config.sparse_features
+        )
+        test_features = self.featurizer.transform(
+            test_candidates, sparse=config.sparse_features
+        )
 
         if config.keep_uncovered:
             keep = np.arange(len(train_candidates))
