@@ -68,7 +68,7 @@ def run_featurizer_benchmark(
 ):
     """Time the dense and sparse batch transforms on one candidate list."""
     candidates = build_synthetic_candidates(num_candidates, seed=seed)
-    featurizer = RelationFeaturizer(num_features=num_features)
+    featurizer = RelationFeaturizer(num_features=num_features).fit()
 
     start = time.perf_counter()
     dense = featurizer.transform(candidates)

@@ -48,7 +48,7 @@ def main() -> None:
         f"(GM/DS agreement {agreement:.3f})"
     )
 
-    vectorizer = HashingVectorizer(num_features=512, ngram_range=(1, 1))
+    vectorizer = HashingVectorizer(num_features=512, ngram_range=(1, 1)).fit()
     end_model = NoiseAwareSoftmaxRegression(num_classes=task.cardinality, epochs=60, seed=0)
     end_model.fit(vectorizer.transform([c.sentence.words for c in train]), posteriors)
     accuracy = end_model.score(

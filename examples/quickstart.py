@@ -55,7 +55,7 @@ def main() -> None:
     probabilistic_labels = label_model.predict_proba(label_matrix)
 
     # 5. Train a noise-aware discriminative model on candidate features.
-    featurizer = RelationFeaturizer(num_features=1024)
+    featurizer = RelationFeaturizer(num_features=1024).fit()
     end_model = NoiseAwareLogisticRegression(epochs=30, seed=0)
     end_model.fit(featurizer.transform(train), probabilistic_labels)
 

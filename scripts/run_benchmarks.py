@@ -19,7 +19,12 @@ snapshot (default ``BENCH_sparse.json`` in the repository root):
 * ``em_epoch`` — per-epoch EM time, binary and cardinality-4, dense vs
   sparse (``benchmarks/bench_em_epoch.py``);
 * ``featurizer_throughput`` — dense vs CSR relation-featurizer batch
-  transforms (``benchmarks/bench_featurizer_throughput.py``).
+  transforms (``benchmarks/bench_featurizer_throughput.py``);
+* ``discriminative_streaming`` — the out-of-core pipeline (fused
+  apply+featurize engine pass, CSR-block minibatch end-model training) vs
+  the materialized pipeline on a 50k-candidate synthetic text task:
+  throughput, peak traced memory, and value parity
+  (``benchmarks/bench_discriminative_streaming.py``).
 
 ``--compare`` re-measures and checks every ``*_seconds`` metric against the
 committed snapshot, failing (exit code 1) on a more-than-``--threshold``-fold
@@ -110,6 +115,7 @@ def measure(quick: bool = False) -> dict:
     structure = _load_bench_module("bench_structure_timing")
     em_epoch = _load_bench_module("bench_em_epoch")
     featurizer = _load_bench_module("bench_featurizer_throughput")
+    streaming = _load_bench_module("bench_discriminative_streaming")
 
     print("[sparse_scaling]")
     scaling_records = scaling.run_scaling(
@@ -155,6 +161,15 @@ def measure(quick: bool = False) -> dict:
         num_candidates=150 if quick else featurizer.DEFAULT_NUM_CANDIDATES
     )
     print(featurizer.format_record(featurizer_record))
+    print("\n[discriminative_streaming]")
+    streaming_record = streaming.run_discriminative_streaming_benchmark(
+        **(
+            {"num_candidates": 2_000, "num_test": 500, "discriminative_epochs": 4}
+            if quick
+            else {}
+        )
+    )
+    print(streaming.format_record(streaming_record))
 
     return {
         "python": platform.python_version(),
@@ -169,6 +184,7 @@ def measure(quick: bool = False) -> dict:
             "structure_learning": {"record": structure_record},
             "em_epoch": {"records": em_epoch_records},
             "featurizer_throughput": {"record": featurizer_record},
+            "discriminative_streaming": {"record": streaming_record},
         },
     }
 

@@ -42,6 +42,7 @@ def distant_supervision_baseline(
             f"task {task.name!r} provides no distant-supervision labeling functions"
         )
     featurizer = featurizer or RelationFeaturizer(num_features=1024)
+    featurizer.fit()
     train_candidates = task.split_candidates("train")
     test_candidates = task.split_candidates("test")
 

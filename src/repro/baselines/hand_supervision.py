@@ -38,6 +38,7 @@ def hand_supervision_baseline(
     """
     rng = ensure_rng(seed)
     featurizer = featurizer or RelationFeaturizer(num_features=1024)
+    featurizer.fit()
     train_candidates = task.split_candidates("train")
     gold = task.split_gold("train")
     if label_budget is not None and label_budget < len(train_candidates):

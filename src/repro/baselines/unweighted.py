@@ -29,6 +29,7 @@ def unweighted_lf_baseline(
 ) -> ScoreReport:
     """Train the end model on the unweighted LF average and score the test split."""
     featurizer = featurizer or RelationFeaturizer(num_features=1024)
+    featurizer.fit()
     train_candidates = task.split_candidates("train")
     test_candidates = task.split_candidates("test")
 

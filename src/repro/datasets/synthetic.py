@@ -471,6 +471,157 @@ def synthetic_stream_gold(
     return gold
 
 
+# ----------------------------------------------------- streaming text candidates
+class _TokenVoteReader:
+    """Picklable LF body decoding one LF's planted vote token from the text.
+
+    :func:`stream_text_candidates` plants a token ``lf{j}v{code}`` into a
+    candidate's sentence whenever simulated LF ``j`` votes on it; this
+    reader scans the words for its own prefix and decodes the vote, so the
+    LF is a pure function of the candidate text (picklable, stateless) and
+    the same suite works under every executor backend.
+    """
+
+    def __init__(self, index: int, cardinality: int) -> None:
+        self.index = index
+        self.cardinality = cardinality
+        self.prefix = f"lf{index}v"
+
+    def __call__(self, candidate: "Candidate") -> int:  # noqa: F821 - runtime type
+        for word in candidate.sentence.words:
+            if word.startswith(self.prefix):
+                code = word[len(self.prefix) :]
+                if self.cardinality == 2:
+                    return POSITIVE if code == "p" else NEGATIVE
+                return int(code)
+        return ABSTAIN
+
+
+def text_vote_lfs(num_lfs: int, cardinality: int = 2) -> list[LabelingFunction]:
+    """The LF suite matching :func:`stream_text_candidates` vote tokens."""
+    if num_lfs <= 0:
+        raise DatasetError(f"num_lfs must be positive, got {num_lfs}")
+    return [
+        LabelingFunction(
+            f"text_vote_{j}",
+            _TokenVoteReader(j, cardinality),
+            source_type="synthetic",
+            cardinality=cardinality,
+        )
+        for j in range(num_lfs)
+    ]
+
+
+def _draw_text_gold(rng: np.random.Generator, cardinality: int, prior: np.ndarray) -> int:
+    if cardinality == 2:
+        return POSITIVE if rng.random() < prior[0] else NEGATIVE
+    return int(rng.choice(np.arange(1, cardinality + 1), p=prior))
+
+
+def _text_class_prior(cardinality: int, class_balance) -> np.ndarray:
+    if cardinality == 2:
+        balance = 0.5 if class_balance is None else float(class_balance)
+        if not 0.0 < balance < 1.0:
+            raise DatasetError(f"class_balance must lie in (0, 1), got {balance}")
+        return np.array([balance])
+    if class_balance is None:
+        return np.full(cardinality, 1.0 / cardinality)
+    prior = np.asarray(class_balance, dtype=float)
+    if prior.shape != (cardinality,) or np.any(prior <= 0):
+        raise DatasetError(f"class_balance must be a length-{cardinality} positive vector")
+    return prior / prior.sum()
+
+
+def stream_text_candidates(
+    num_points: int = 1000,
+    num_lfs: int = 10,
+    cardinality: int = 2,
+    accuracy: float | Sequence[float] = 0.75,
+    propensity: float | Sequence[float] = 0.3,
+    class_balance=None,
+    seed: int = 0,
+) -> "Iterator[Candidate]":
+    """Lazily generate full *text* candidates for end-to-end streaming runs.
+
+    The discriminative-stage companion of
+    :func:`stream_synthetic_candidates`: each candidate is a real
+    :class:`repro.context.candidates.Candidate` whose sentence carries (a)
+    one planted ``lf{j}v{code}`` token per simulated LF vote — decoded by
+    the stateless :func:`text_vote_lfs` suite — and (b) class-indicative
+    ``class{y}tok*`` tokens plus filler, so the featurized end model has
+    real signal to generalize from.  Votes follow the usual synthetic
+    model (vote with probability ``propensity``, correct with probability
+    ``accuracy``, wrong votes uniform among the other classes).  Every
+    candidate's draws come from its own ``(seed, uid)``-keyed RNG, so the
+    stream is reproducible, order-independent, O(1)-memory, and picklable
+    chunk by chunk — the 50k-candidate out-of-core benchmark and the
+    streaming differential tests both ride on it.
+    """
+    from repro.context.candidates import Candidate, SentenceView, SpanView
+
+    if num_points < 0:
+        raise DatasetError(f"num_points must be non-negative, got {num_points}")
+    if cardinality < 2:
+        raise DatasetError(f"cardinality must be >= 2, got {cardinality}")
+    accuracies = _broadcast("accuracy", accuracy, num_lfs)
+    propensities = _broadcast("propensity", propensity, num_lfs)
+    prior = _text_class_prior(cardinality, class_balance)
+    filler = [f"filler{i}" for i in range(8)]
+    for uid in range(num_points):
+        rng = _candidate_rng(seed, uid)
+        gold = _draw_text_gold(rng, cardinality, prior)
+        words: list[str] = []
+        for j in range(num_lfs):
+            if rng.random() >= propensities[j]:
+                continue
+            correct = rng.random() < accuracies[j]
+            if cardinality == 2:
+                vote = gold if correct else -gold
+                words.append(f"lf{j}v{'p' if vote == POSITIVE else 'n'}")
+            else:
+                if correct:
+                    vote = gold
+                else:
+                    shift = int(rng.integers(1, cardinality))
+                    vote = ((gold - 1 + shift) % cardinality) + 1
+                words.append(f"lf{j}v{vote}")
+        klass = gold if cardinality > 2 else (1 if gold == POSITIVE else 2)
+        words += [f"class{klass}tok{int(rng.integers(3))}" for _ in range(int(rng.integers(1, 4)))]
+        words += [filler[int(rng.integers(len(filler)))] for _ in range(int(rng.integers(3, 7)))]
+        rng.shuffle(words)
+        yield Candidate(
+            uid=uid,
+            span1=SpanView(text=words[0], word_start=0, word_end=1),
+            span2=SpanView(text=words[-1], word_start=len(words) - 1, word_end=len(words)),
+            sentence=SentenceView(
+                words=words, text=" ".join(words), document_name=f"stream-{uid:06d}"
+            ),
+            relation_type="synthetic_stream",
+            split="train",
+            gold_label=gold,
+        )
+
+
+def stream_text_gold(
+    num_points: int,
+    cardinality: int = 2,
+    class_balance=None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gold labels of :func:`stream_text_candidates` without building the text.
+
+    Replays only each candidate's gold draw (the first consumption of its
+    per-uid RNG), so a streamed split can be scored after the generator has
+    been consumed — O(m) ints, no candidates.
+    """
+    prior = _text_class_prior(cardinality, class_balance)
+    gold = np.empty(num_points, dtype=np.int64)
+    for uid in range(num_points):
+        rng = _candidate_rng(seed, uid)
+        gold[uid] = _draw_text_gold(rng, cardinality, prior)
+    return gold
+
+
 def _broadcast(name: str, value: float | Sequence[float], length: int) -> np.ndarray:
     array = np.asarray(value, dtype=float)
     if array.ndim == 0:

@@ -8,18 +8,204 @@ minimizing the noise-aware loss (paper Section 2.3)::
 For the logistic loss this expectation is simply the cross-entropy against
 the soft label, so hard labels (0/1) are the special case of confident
 probabilistic labels.
+
+**Streaming minibatch training.**  Besides the materialized ``fit(X, Ỹ)``
+every end model offers ``fit_stream(blocks)``: ``blocks`` is a *re-iterable
+block source* — a sequence of ``(feature block, target block)`` pairs or a
+zero-argument callable returning a fresh iterator over them — and the model
+trains without ever holding the full ``(m, d)`` feature matrix, dense or
+otherwise.  The trainer re-chunks arbitrary incoming block boundaries into
+exact ``batch_size`` minibatches (:func:`iter_rebatched`), so the minibatch
+sequence — and therefore the trained weights — is *identical* to
+``fit(X, Ỹ)`` with ``shuffle=False`` on the concatenated blocks, whatever
+chunk size the producer used.  The per-epoch schedule visits rows in stream
+order; global shuffling is impossible without random access, which is the
+one semantic difference from the shuffled materialized default
+(``shuffle=True`` preserves the historical behavior bit-for-bit).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.discriminative.sparse_features import CSRFeatureMatrix
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.types import NEGATIVE, POSITIVE
 from repro.utils.mathutils import clip_probabilities
+
+#: One streamed training block: features (dense array or CSR) + targets
+#: (``(b,)`` soft labels or ``(b, k)`` distributions).
+FeatureBlock = Union[np.ndarray, CSRFeatureMatrix]
+Block = tuple[FeatureBlock, np.ndarray]
+#: A re-iterable source of blocks: a sequence, any re-iterable container, or
+#: a zero-argument callable returning a fresh iterator (e.g. one that
+#: re-featurizes a candidate stream per epoch).
+BlockSource = Union[Callable[[], Iterable[Block]], Iterable[Block]]
+
+
+def resolve_block_source(blocks: BlockSource) -> Callable[[], Iterator[Block]]:
+    """Normalize a block source into a fresh-iterator factory.
+
+    One-shot iterators are rejected up front: multi-epoch training replays
+    the source once per epoch, and silently training every epoch after the
+    first on zero blocks is exactly the kind of bug this layer exists to
+    rule out.
+    """
+    if callable(blocks):
+        return blocks
+    iterator = iter(blocks)
+    if iterator is blocks:
+        raise ConfigurationError(
+            "streaming fit needs a re-iterable block source (a sequence of "
+            "(features, targets) blocks, or a zero-argument callable returning "
+            "a fresh iterator); a one-shot generator cannot be replayed across "
+            "epochs"
+        )
+    return lambda: iter(blocks)
+
+
+def peek_block_width(source: Callable[[], Iterator[Block]]) -> int:
+    """Feature dimensionality of the first block (weights are initialized
+    before the first epoch, exactly as in the materialized path)."""
+    iterator = source()
+    try:
+        first_features, _ = next(iter(iterator))
+    except StopIteration:
+        raise ConfigurationError("streaming fit received an empty block stream") from None
+    return int(first_features.shape[1])
+
+
+def iter_materialized_batches(
+    rng: np.random.Generator,
+    shuffle: bool,
+    batch_size: int,
+    features: FeatureBlock,
+    *arrays: np.ndarray,
+) -> Iterator[tuple]:
+    """One epoch of materialized minibatches over ``features`` (+ aligned arrays).
+
+    The single batching schedule all three end models share: with
+    ``shuffle`` a fresh row permutation (drawn lazily, so the RNG stream
+    matches the historical per-epoch ``rng.permutation`` call order), else
+    contiguous row-order slices — exactly the sequence
+    :func:`iter_rebatched` reproduces from a block stream.
+    """
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    num_examples = int(features.shape[0])
+    if num_examples == 0:
+        return
+    batch_size = min(batch_size, num_examples)
+    if shuffle:
+        order = rng.permutation(num_examples)
+        for start in range(0, num_examples, batch_size):
+            rows = order[start : start + batch_size]
+            yield (features[rows], *(array[rows] for array in arrays))
+    else:
+        for start in range(0, num_examples, batch_size):
+            stop = min(start + batch_size, num_examples)
+            yield (
+                _slice_feature_rows(features, start, stop),
+                *(array[start:stop] for array in arrays),
+            )
+
+
+def require_nonempty_batches(batches: Iterable[tuple]) -> Iterator[tuple]:
+    """Pass batches through; raise if an epoch produced none.
+
+    Guards every trainer's epoch loop: a silently empty stream would
+    otherwise "train" to the random initialization.
+    """
+    empty = True
+    for batch in batches:
+        empty = False
+        yield batch
+    if empty:
+        raise ConfigurationError("training produced no examples")
+
+
+def _merge_feature_parts(parts: Sequence[FeatureBlock]) -> FeatureBlock:
+    if len(parts) == 1:
+        return parts[0]
+    if all(isinstance(part, np.ndarray) for part in parts):
+        return np.concatenate(parts, axis=0)
+    if all(isinstance(part, CSRFeatureMatrix) for part in parts):
+        return CSRFeatureMatrix.vstack(list(parts))
+    raise ConfigurationError(
+        "streaming blocks mix dense and CSR feature storage; emit one storage "
+        "kind per stream"
+    )
+
+
+def _slice_feature_rows(block: FeatureBlock, start: int, stop: int) -> FeatureBlock:
+    if isinstance(block, CSRFeatureMatrix):
+        return block.row_range(start, stop)
+    return block[start:stop]
+
+
+def iter_rebatched(blocks: Iterable[Block], batch_size: int) -> Iterator[Block]:
+    """Re-chunk incoming blocks into exact ``batch_size`` minibatches.
+
+    Rows keep their stream order; block boundaries are stitched with a
+    carry buffer smaller than one batch, so memory stays O(batch) beyond
+    the incoming block and the produced minibatch sequence is independent
+    of the producer's chunking — the invariant the streaming-vs-materialized
+    differential tests pin down.  The final minibatch may be ragged.
+    """
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    feature_parts: list[FeatureBlock] = []
+    target_parts: list[np.ndarray] = []
+    width: Optional[int] = None
+    buffered = 0
+    for features, targets in blocks:
+        targets = np.asarray(targets, dtype=float)
+        if targets.shape[0] != features.shape[0]:
+            raise ConfigurationError(
+                f"block features have {features.shape[0]} rows but targets "
+                f"{targets.shape[0]}"
+            )
+        if width is None:
+            width = int(features.shape[1])
+        elif int(features.shape[1]) != width:
+            raise ConfigurationError(
+                f"streaming blocks disagree on feature width: {width} vs "
+                f"{features.shape[1]} (unfitted or misconfigured featurizer?)"
+            )
+        if features.shape[0] == 0:
+            continue
+        feature_parts.append(features)
+        target_parts.append(targets)
+        buffered += int(features.shape[0])
+        if buffered < batch_size:
+            continue
+        merged_features = _merge_feature_parts(feature_parts)
+        merged_targets = (
+            target_parts[0]
+            if len(target_parts) == 1
+            else np.concatenate(target_parts, axis=0)
+        )
+        start = 0
+        while buffered - start >= batch_size:
+            yield (
+                _slice_feature_rows(merged_features, start, start + batch_size),
+                merged_targets[start : start + batch_size],
+            )
+            start += batch_size
+        if buffered - start > 0:
+            feature_parts = [_slice_feature_rows(merged_features, start, buffered)]
+            target_parts = [merged_targets[start:]]
+        else:
+            feature_parts, target_parts = [], []
+        buffered -= start
+    if buffered > 0:
+        yield (
+            _merge_feature_parts(feature_parts),
+            target_parts[0] if len(target_parts) == 1 else np.concatenate(target_parts, axis=0),
+        )
 
 
 def as_soft_labels(labels: Sequence[float] | np.ndarray) -> np.ndarray:
@@ -51,6 +237,17 @@ class NoiseAwareClassifier(abc.ABC):
         sample_weights: Optional[np.ndarray] = None,
     ) -> "NoiseAwareClassifier":
         """Train on features and probabilistic labels."""
+
+    def fit_stream(self, blocks: BlockSource) -> "NoiseAwareClassifier":
+        """Train from a re-iterable stream of ``(features, soft labels)`` blocks.
+
+        Implemented by the concrete models; the default refuses loudly so a
+        streaming pipeline never silently falls back to materialization.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not implement fit_stream(); use a "
+            "model with a streaming trainer or run the materialized pipeline"
+        )
 
     @abc.abstractmethod
     def predict_proba(self, features: np.ndarray) -> np.ndarray:

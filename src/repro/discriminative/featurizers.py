@@ -14,18 +14,30 @@ returning a :class:`repro.discriminative.sparse_features.CSRFeatureMatrix`
 with exactly the same values as the dense output — a candidate touches only
 a few hash buckets, so the dense ``(m, num_features)`` allocation is pure
 waste at scale.
+
+**Fitted-state discipline.**  Hashing featurizers learn nothing from data,
+but their *configuration* (feature-space width, n-gram range, sign mode)
+fixes the meaning of every column.  Once chunks are featurized by worker
+processes and merged by column index, a featurizer whose configuration
+drifted between fit and transform — or that was never frozen at all —
+produces silently misaligned columns.  ``fit()`` therefore freezes the
+configuration snapshot, and every batch ``transform`` (and the engine's
+:func:`repro.labeling.engine.tasks.featurize_chunk`) calls
+``require_fitted()`` first, raising :class:`repro.exceptions.NotFittedError`
+on an unfitted featurizer and
+:class:`repro.exceptions.ConfigurationError` on one mutated after fitting.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Iterator, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.context.candidates import Candidate
 from repro.discriminative.sparse_features import CSRFeatureMatrix
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.textutils import ngrams, normalize
 
 
@@ -62,6 +74,36 @@ class HashingVectorizer:
         self.num_features = num_features
         self.ngram_range = ngram_range
         self.signed = signed
+        self._fitted_config: Optional[tuple] = None
+
+    def _config(self) -> tuple:
+        return (self.num_features, tuple(self.ngram_range), self.signed)
+
+    def fit(self, token_sequences: Optional[Iterable[Sequence[str]]] = None) -> "HashingVectorizer":
+        """Freeze the feature-space configuration (hashing learns nothing).
+
+        ``token_sequences`` is accepted for API symmetry with learned
+        vectorizers and ignored — in particular, a generator argument is
+        *not* consumed, so streaming callers can fit before the single pass
+        over their data.
+        """
+        self._fitted_config = self._config()
+        return self
+
+    def require_fitted(self) -> None:
+        """Fail loudly when transforming before fit / after config mutation."""
+        if self._fitted_config is None:
+            raise NotFittedError(
+                "HashingVectorizer.transform called before fit(); fit() freezes "
+                "the feature-space configuration so chunks featurized by "
+                "different workers stay column-aligned"
+            )
+        if self._fitted_config != self._config():
+            raise ConfigurationError(
+                f"HashingVectorizer configuration changed after fit(): fitted "
+                f"{self._fitted_config}, now {self._config()}; transforming "
+                "would emit misaligned columns — re-fit first"
+            )
 
     def token_entries(self, tokens: Sequence[str], prefix: str = "") -> Iterator[tuple[int, float]]:
         """Yield every ``(hash bucket, sign)`` pair one token sequence emits."""
@@ -90,6 +132,7 @@ class HashingVectorizer:
         With ``sparse=True`` only the touched hash buckets are stored (CSR);
         the values are identical to the dense output.
         """
+        self.require_fitted()
         if sparse:
             rows: list[dict[int, float]] = []
             for tokens in token_sequences:
@@ -122,11 +165,42 @@ class RelationFeaturizer:
         self.vectorizer = HashingVectorizer(num_features=num_features, ngram_range=ngram_range)
         self.window_size = window_size
         self.num_features = num_features
+        self._fitted_config: Optional[tuple] = None
 
     @property
     def output_dim(self) -> int:
         """Dimensionality of the produced feature vectors."""
         return self.num_features + 5
+
+    def _config(self) -> tuple:
+        return (self.num_features, self.window_size, self.vectorizer._config())
+
+    def fit(self, candidates: Optional[Iterable[Candidate]] = None) -> "RelationFeaturizer":
+        """Freeze the feature space (hashing learns nothing from data).
+
+        ``candidates`` is accepted for API symmetry and ignored — generators
+        are not consumed.  Fitting snapshots the configuration that fixes
+        ``output_dim`` and the meaning of every column; ``transform`` (and
+        the engine featurization task) refuse to run before it.
+        """
+        self.vectorizer.fit()
+        self._fitted_config = self._config()
+        return self
+
+    def require_fitted(self) -> None:
+        """Fail loudly when transforming before fit / after config mutation."""
+        if self._fitted_config is None:
+            raise NotFittedError(
+                "RelationFeaturizer.transform called before fit(); fit() freezes "
+                "the feature-space configuration so chunks featurized by "
+                "different workers stay column-aligned"
+            )
+        if self._fitted_config != self._config():
+            raise ConfigurationError(
+                f"RelationFeaturizer configuration changed after fit(): fitted "
+                f"{self._fitted_config}, now {self._config()}; transforming "
+                "would emit misaligned columns — re-fit first"
+            )
 
     def _scopes(self, candidate: Candidate) -> tuple[tuple[float, Sequence[str], str], ...]:
         """The hashed token scopes with their weights (the btw scope counts double)."""
@@ -179,6 +253,7 @@ class RelationFeaturizer:
         holding only the touched columns — the values are identical to the
         dense output, and the end models consume it without densifying.
         """
+        self.require_fitted()
         if not isinstance(candidates, Sequence):
             candidates = list(candidates)
         if sparse:

@@ -4,16 +4,37 @@ The workhorse end model for the relation-extraction tasks: a linear model
 over :class:`repro.discriminative.featurizers.RelationFeaturizer` features,
 trained by minimizing the expected logistic loss against the probabilistic
 labels produced by the generative model.
+
+Training runs through one minibatch core shared by two front doors:
+
+* :meth:`NoiseAwareLogisticRegression.fit` — the materialized path.  By
+  default each epoch visits a fresh random permutation, bit-identical to
+  the historical behavior; with ``shuffle=False`` epochs visit contiguous
+  minibatches in row order.
+* :meth:`NoiseAwareLogisticRegression.fit_stream` — the out-of-core path:
+  a re-iterable source of ``(feature block, soft-label block)`` pairs is
+  re-chunked into exact ``batch_size`` minibatches in stream order, making
+  the trained weights identical to ``fit(X, Ỹ, shuffle=False)`` on the
+  concatenated blocks regardless of the producer's chunking.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.discriminative.adam import AdamOptimizer
-from repro.discriminative.base import NoiseAwareClassifier, as_soft_labels
+from repro.discriminative.base import (
+    BlockSource,
+    NoiseAwareClassifier,
+    as_soft_labels,
+    iter_materialized_batches,
+    iter_rebatched,
+    peek_block_width,
+    require_nonempty_batches,
+    resolve_block_source,
+)
 from repro.discriminative.sparse_features import as_float_features
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.mathutils import sigmoid
@@ -37,6 +58,14 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
         Optional re-weighting: when set, positive-leaning examples are scaled
         so the effective positive mass matches this fraction.  Useful for the
         heavily imbalanced tasks (e.g. Chem at ~4% positive).
+    shuffle:
+        ``None`` (default) = auto: :meth:`fit` draws a fresh row permutation
+        each epoch (the historical behavior) while :meth:`fit_stream` runs
+        in deterministic stream order (the only schedule a one-pass block
+        stream can realize).  ``False`` forces stream order in both — what
+        the pipeline uses so streaming and materialized runs are
+        value-identical; an explicit ``True`` demands the shuffled schedule
+        and makes :meth:`fit_stream` raise instead of silently ignoring it.
     seed:
         RNG seed for shuffling and initialization.
     """
@@ -48,6 +77,7 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
         learning_rate: float = 0.01,
         reg_strength: float = 1e-4,
         class_balance: Optional[float] = None,
+        shuffle: Optional[bool] = None,
         seed: SeedLike = 0,
     ) -> None:
         if epochs <= 0:
@@ -59,11 +89,13 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
         self.learning_rate = learning_rate
         self.reg_strength = reg_strength
         self.class_balance = class_balance
+        self.shuffle = shuffle
         self.seed = seed
         self.weights: Optional[np.ndarray] = None
         self.bias: float = 0.0
         self.loss_history: list[float] = []
 
+    # ----------------------------------------------------------------- fitting
     def fit(
         self,
         features: np.ndarray,
@@ -79,28 +111,88 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
             raise ConfigurationError(
                 f"features {features.shape} incompatible with labels of length {soft.shape[0]}"
             )
+        num_features = features.shape[1]
+        example_weights = self._example_weights(soft, sample_weights, float(soft.mean()))
+
+        def epoch_batches(rng: np.random.Generator):
+            return iter_materialized_batches(
+                rng, self.shuffle is not False, self.batch_size, features, soft, example_weights
+            )
+
+        return self._train_minibatches(num_features, epoch_batches)
+
+    def fit_stream(self, blocks: BlockSource) -> "NoiseAwareLogisticRegression":
+        """Train from a re-iterable stream of ``(features, soft labels)`` blocks.
+
+        Each epoch is one pass over the source in stream order; incoming
+        blocks are re-chunked into exact ``batch_size`` minibatches, so the
+        result equals ``fit(concatenated blocks, shuffle=False)`` for every
+        producer chunking.  With ``class_balance`` set, one extra pass
+        computes the global positive mass first (the same statistic the
+        materialized path reads off the full label vector).
+        """
+        if self.shuffle:
+            raise ConfigurationError(
+                "shuffle=True cannot be honored by fit_stream (a one-pass "
+                "block stream has no random row access); construct the model "
+                "with shuffle=None or shuffle=False for streaming training"
+            )
+        source = resolve_block_source(blocks)
+        positive_mass: Optional[float] = None
+        if self.class_balance is not None:
+            # Fold the width peek into the mass pass: a callable source may
+            # re-featurize per iteration, so don't spend a pass on each.
+            num_features: Optional[int] = None
+            total, count = 0.0, 0
+            for block_features, block_labels in source():
+                if num_features is None:
+                    num_features = int(block_features.shape[1])
+                block_soft = as_soft_labels(block_labels)
+                total += float(block_soft.sum())
+                count += block_soft.size
+            if num_features is None:
+                raise ConfigurationError("streaming fit received an empty block stream")
+            positive_mass = total / count if count else 0.0
+        else:
+            num_features = peek_block_width(source)
+
+        def epoch_batches(rng: np.random.Generator):
+            def canonical_blocks():
+                for block_features, block_labels in source():
+                    yield as_float_features(block_features), as_soft_labels(block_labels)
+
+            for batch_features, batch_soft in iter_rebatched(canonical_blocks(), self.batch_size):
+                yield (
+                    batch_features,
+                    batch_soft,
+                    self._example_weights(batch_soft, None, positive_mass),
+                )
+
+        return self._train_minibatches(num_features, epoch_batches)
+
+    def _train_minibatches(
+        self,
+        num_features: int,
+        epoch_batches: Callable[[np.random.Generator], Iterable[tuple]],
+    ) -> "NoiseAwareLogisticRegression":
+        """The shared Adam loop: one call per fit, one pass per epoch."""
         rng = ensure_rng(self.seed)
-        num_examples, num_features = features.shape
         weights = rng.normal(scale=0.01, size=num_features)
         bias = 0.0
         optimizer = AdamOptimizer(learning_rate=self.learning_rate)
-        example_weights = self._example_weights(soft, sample_weights)
-        batch_size = min(self.batch_size, num_examples)
         self.loss_history = []
 
         for _ in range(self.epochs):
-            order = rng.permutation(num_examples)
             epoch_loss = 0.0
-            for start in range(0, num_examples, batch_size):
-                rows = order[start : start + batch_size]
-                batch_features = features[rows]
-                batch_soft = soft[rows]
-                batch_weights = example_weights[rows]
+            for batch_features, batch_soft, batch_weights in require_nonempty_batches(
+                epoch_batches(rng)
+            ):
                 scores = batch_features @ weights + bias
                 probs = sigmoid(scores)
                 errors = (probs - batch_soft) * batch_weights
                 grad_weights = (
-                    batch_features.T @ errors / rows.size + self.reg_strength * weights
+                    batch_features.T @ errors / batch_soft.shape[0]
+                    + self.reg_strength * weights
                 )
                 grad_bias = float(errors.mean())
                 packed = np.concatenate([weights, [bias]])
@@ -115,7 +207,10 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
         return self
 
     def _example_weights(
-        self, soft: np.ndarray, sample_weights: Optional[np.ndarray]
+        self,
+        soft: np.ndarray,
+        sample_weights: Optional[np.ndarray],
+        positive_mass: Optional[float],
     ) -> np.ndarray:
         weights = (
             np.ones(soft.shape[0])
@@ -126,8 +221,7 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
             raise ConfigurationError(
                 f"sample_weights shape {weights.shape} does not match labels {soft.shape}"
             )
-        if self.class_balance is not None:
-            positive_mass = float(soft.mean())
+        if self.class_balance is not None and positive_mass is not None:
             if 0.0 < positive_mass < 1.0:
                 target = self.class_balance
                 positive_scale = target / positive_mass

@@ -14,7 +14,16 @@ import numpy as np
 
 from repro.discriminative.adam import AdamOptimizer
 from repro.discriminative.sparse_features import as_dense_features
-from repro.discriminative.base import NoiseAwareClassifier, as_soft_labels
+from repro.discriminative.base import (
+    BlockSource,
+    NoiseAwareClassifier,
+    as_soft_labels,
+    iter_materialized_batches,
+    iter_rebatched,
+    peek_block_width,
+    require_nonempty_batches,
+    resolve_block_source,
+)
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.mathutils import sigmoid
 from repro.utils.rng import SeedLike, ensure_rng
@@ -31,6 +40,11 @@ class NoiseAwareMLP(NoiseAwareClassifier):
         Optimization hyperparameters (Adam + ℓ2).
     dropout:
         Input dropout probability applied during training only.
+    shuffle:
+        ``None`` (default) = auto: shuffled :meth:`fit`, stream-order
+        :meth:`fit_stream`.  ``False`` forces stream order in both; an
+        explicit ``True`` makes :meth:`fit_stream` raise instead of
+        silently ignoring the request.
     seed:
         RNG seed.
     """
@@ -43,6 +57,7 @@ class NoiseAwareMLP(NoiseAwareClassifier):
         learning_rate: float = 0.005,
         reg_strength: float = 1e-4,
         dropout: float = 0.0,
+        shuffle: Optional[bool] = None,
         seed: SeedLike = 0,
     ) -> None:
         if not hidden_sizes or any(size <= 0 for size in hidden_sizes):
@@ -55,6 +70,7 @@ class NoiseAwareMLP(NoiseAwareClassifier):
         self.learning_rate = learning_rate
         self.reg_strength = reg_strength
         self.dropout = dropout
+        self.shuffle = shuffle
         self.seed = seed
         self._layers: Optional[list[tuple[np.ndarray, np.ndarray]]] = None
 
@@ -72,29 +88,65 @@ class NoiseAwareMLP(NoiseAwareClassifier):
             raise ConfigurationError(
                 f"features {features.shape} incompatible with labels of length {soft.shape[0]}"
             )
-        rng = ensure_rng(self.seed)
         weights = (
             np.ones(soft.shape[0])
             if sample_weights is None
             else np.asarray(sample_weights, dtype=float)
         )
-        layer_sizes = [features.shape[1], *self.hidden_sizes, 1]
+        def epoch_batches(rng: np.random.Generator):
+            return iter_materialized_batches(
+                rng, self.shuffle is not False, self.batch_size, features, soft, weights
+            )
+
+        return self._train_minibatches(features.shape[1], epoch_batches)
+
+    def fit_stream(self, blocks: BlockSource) -> "NoiseAwareMLP":
+        """Train from a re-iterable stream of ``(features, soft labels)`` blocks.
+
+        Only the current minibatch is densified; the result equals
+        ``fit(concatenated blocks, shuffle=False)`` for every producer
+        chunking.
+        """
+        if self.shuffle:
+            raise ConfigurationError(
+                "shuffle=True cannot be honored by fit_stream (a one-pass "
+                "block stream has no random row access); construct the model "
+                "with shuffle=None or shuffle=False for streaming training"
+            )
+        source = resolve_block_source(blocks)
+        num_features = peek_block_width(source)
+
+        def epoch_batches(rng: np.random.Generator):
+            def canonical_blocks():
+                for block_features, block_labels in source():
+                    yield block_features, as_soft_labels(block_labels)
+
+            for batch_features, batch_soft in iter_rebatched(canonical_blocks(), self.batch_size):
+                yield (
+                    as_dense_features(batch_features),
+                    batch_soft,
+                    np.ones(batch_soft.shape[0]),
+                )
+
+        return self._train_minibatches(num_features, epoch_batches)
+
+    def _train_minibatches(self, num_features: int, epoch_batches) -> "NoiseAwareMLP":
+        rng = ensure_rng(self.seed)
+        layer_sizes = [num_features, *self.hidden_sizes, 1]
         layers = []
         for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
             scale = np.sqrt(2.0 / fan_in)
             layers.append((rng.normal(scale=scale, size=(fan_in, fan_out)), np.zeros(fan_out)))
         optimizer = AdamOptimizer(learning_rate=self.learning_rate)
-        batch_size = min(self.batch_size, features.shape[0])
 
         for _ in range(self.epochs):
-            order = rng.permutation(features.shape[0])
-            for start in range(0, features.shape[0], batch_size):
-                rows = order[start : start + batch_size]
-                batch = features[rows]
+            for batch, batch_soft, batch_weights in require_nonempty_batches(
+                epoch_batches(rng)
+            ):
                 if self.dropout > 0.0:
                     mask = rng.random(batch.shape) >= self.dropout
                     batch = batch * mask / (1.0 - self.dropout)
-                gradients = self._gradients(layers, batch, soft[rows], weights[rows])
+                gradients = self._gradients(layers, batch, batch_soft, batch_weights)
                 packed = self._pack(layers)
                 packed_grad = self._pack(gradients)
                 packed = optimizer.step(packed, packed_grad)

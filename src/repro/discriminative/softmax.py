@@ -1,18 +1,34 @@
 """Noise-aware multi-class softmax regression.
 
-Used by the Crowd sentiment task (five classes): the Dawid–Skene label model
+Used by the Crowd sentiment task (five classes): the generative label model
 produces a full posterior over classes per tweet, and this model minimizes
 the expected cross-entropy against that posterior — the multi-class analogue
 of the binary noise-aware loss.
+
+Like the binary models, training runs through one minibatch core with two
+front doors: the materialized :meth:`NoiseAwareSoftmaxRegression.fit`
+(shuffled by default, contiguous row order with ``shuffle=False``) and the
+out-of-core :meth:`NoiseAwareSoftmaxRegression.fit_stream`, which re-chunks
+a re-iterable ``(feature block, distribution block)`` source into exact
+``batch_size`` minibatches — only one minibatch is ever densified, so CSR
+block streams train without a dense ``(m, d)`` matrix existing at any point.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.discriminative.adam import AdamOptimizer
+from repro.discriminative.base import (
+    BlockSource,
+    iter_materialized_batches,
+    iter_rebatched,
+    peek_block_width,
+    require_nonempty_batches,
+    resolve_block_source,
+)
 from repro.discriminative.sparse_features import as_dense_features
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.mathutils import softmax
@@ -28,6 +44,11 @@ class NoiseAwareSoftmaxRegression:
         Number of classes; predictions are in ``1..num_classes``.
     epochs, batch_size, learning_rate, reg_strength:
         Optimization hyperparameters (Adam + ℓ2).
+    shuffle:
+        ``None`` (default) = auto: shuffled :meth:`fit`, stream-order
+        :meth:`fit_stream`.  ``False`` forces stream order in both; an
+        explicit ``True`` makes :meth:`fit_stream` raise instead of
+        silently ignoring the request.
     """
 
     def __init__(
@@ -37,6 +58,7 @@ class NoiseAwareSoftmaxRegression:
         batch_size: int = 64,
         learning_rate: float = 0.05,
         reg_strength: float = 1e-4,
+        shuffle: Optional[bool] = None,
         seed: SeedLike = 0,
     ) -> None:
         if num_classes < 2:
@@ -46,10 +68,12 @@ class NoiseAwareSoftmaxRegression:
         self.batch_size = batch_size
         self.learning_rate = learning_rate
         self.reg_strength = reg_strength
+        self.shuffle = shuffle
         self.seed = seed
         self.weights: Optional[np.ndarray] = None
         self.bias: Optional[np.ndarray] = None
 
+    # ----------------------------------------------------------------- fitting
     def fit(
         self,
         features: np.ndarray,
@@ -63,20 +87,58 @@ class NoiseAwareSoftmaxRegression:
         """
         features = as_dense_features(features)
         targets = self._as_distributions(soft_labels, features.shape[0])
+
+        def epoch_batches(rng: np.random.Generator):
+            return iter_materialized_batches(
+                rng, self.shuffle is not False, self.batch_size, features, targets
+            )
+
+        return self._train_minibatches(features.shape[1], epoch_batches)
+
+    def fit_stream(self, blocks: BlockSource) -> "NoiseAwareSoftmaxRegression":
+        """Train from a re-iterable stream of ``(features, targets)`` blocks.
+
+        Targets per block follow the same conventions as :meth:`fit` (a
+        ``(b, num_classes)`` distribution block or hard labels in
+        ``1..num_classes``).  Only the current minibatch is densified, so a
+        CSR block stream trains without any ``(m, d)`` dense matrix.
+        """
+        if self.shuffle:
+            raise ConfigurationError(
+                "shuffle=True cannot be honored by fit_stream (a one-pass "
+                "block stream has no random row access); construct the model "
+                "with shuffle=None or shuffle=False for streaming training"
+            )
+        source = resolve_block_source(blocks)
+        num_features = peek_block_width(source)
+
+        def epoch_batches(rng: np.random.Generator):
+            def canonical_blocks():
+                for block_features, block_targets in source():
+                    yield (
+                        block_features,
+                        self._as_distributions(block_targets, int(block_features.shape[0])),
+                    )
+
+            for batch_features, batch_targets in iter_rebatched(canonical_blocks(), self.batch_size):
+                yield as_dense_features(batch_features), batch_targets
+
+        return self._train_minibatches(num_features, epoch_batches)
+
+    def _train_minibatches(
+        self,
+        num_features: int,
+        epoch_batches: Callable[[np.random.Generator], Iterable[tuple]],
+    ) -> "NoiseAwareSoftmaxRegression":
         rng = ensure_rng(self.seed)
-        num_examples, num_features = features.shape
         weights = rng.normal(scale=0.01, size=(num_features, self.num_classes))
         bias = np.zeros(self.num_classes)
         optimizer = AdamOptimizer(learning_rate=self.learning_rate)
-        batch_size = min(self.batch_size, num_examples)
 
         for _ in range(self.epochs):
-            order = rng.permutation(num_examples)
-            for start in range(0, num_examples, batch_size):
-                rows = order[start : start + batch_size]
-                batch = features[rows]
+            for batch, batch_targets in require_nonempty_batches(epoch_batches(rng)):
                 probs = softmax(batch @ weights + bias, axis=1)
-                errors = (probs - targets[rows]) / rows.size
+                errors = (probs - batch_targets) / batch.shape[0]
                 grad_weights = batch.T @ errors + self.reg_strength * weights
                 grad_bias = errors.sum(axis=0)
                 packed = np.concatenate([weights.ravel(), bias])
@@ -98,6 +160,8 @@ class NoiseAwareSoftmaxRegression:
                 raise ConfigurationError(
                     f"got {targets.shape[0]} labels for {num_examples} examples"
                 )
+            if targets.size == 0:
+                return np.zeros((0, self.num_classes))
             classes = targets.astype(int)
             if classes.min() < 1 or classes.max() > self.num_classes:
                 raise ConfigurationError(

@@ -26,6 +26,19 @@ from repro.exceptions import ConfigurationError
 from repro.labeling.sparse import HAVE_SCIPY, _ranges_gather, _scipy_sparse, _use_scipy
 
 
+def sorted_entry_arrays(entries: Mapping[int, float]) -> tuple[np.ndarray, np.ndarray]:
+    """One sparse row's ``{column: value}`` mapping as sorted parallel arrays.
+
+    The canonical row extraction shared by :meth:`CSRFeatureMatrix.
+    from_row_entries` and the engine's per-candidate featurization task —
+    one sort, one pass, columns strictly ascending.
+    """
+    items = sorted(entries.items())
+    cols = np.fromiter((column for column, _ in items), dtype=np.int64, count=len(items))
+    values = np.fromiter((value for _, value in items), dtype=np.float64, count=len(items))
+    return cols, values
+
+
 class CSRFeatureMatrix:
     """CSR storage of a float feature matrix.
 
@@ -71,9 +84,9 @@ class CSRFeatureMatrix:
         indices_blocks: list[np.ndarray] = []
         data_blocks: list[np.ndarray] = []
         for i, entries in enumerate(rows):
-            cols = np.fromiter(sorted(entries), dtype=np.int64, count=len(entries))
+            cols, values = sorted_entry_arrays(entries)
             indices_blocks.append(cols)
-            data_blocks.append(np.array([entries[int(c)] for c in cols], dtype=np.float64))
+            data_blocks.append(values)
             indptr[i + 1] = indptr[i] + cols.size
         empty_i, empty_d = np.empty(0, np.int64), np.empty(0, np.float64)
         return cls(
@@ -81,6 +94,53 @@ class CSRFeatureMatrix:
             np.concatenate(indices_blocks) if indices_blocks else empty_i,
             np.concatenate(data_blocks) if data_blocks else empty_d,
             (len(rows), num_features),
+        )
+
+    @classmethod
+    def from_triples(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CSRFeatureMatrix":
+        """Build from row-major ``(row, col, value)`` triples.
+
+        ``rows`` must be non-decreasing (the engine accumulator's merge
+        order); columns are assumed ascending within each row, exactly what
+        :func:`repro.labeling.engine.tasks.featurize_chunk` emits.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and np.any(np.diff(rows) < 0):
+            raise ConfigurationError("triple rows must be non-decreasing (row-major order)")
+        indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=shape[0]), out=indptr[1:])
+        return cls(indptr, np.asarray(cols, dtype=np.int64), np.asarray(values, dtype=np.float64), shape)
+
+    @classmethod
+    def vstack(cls, blocks: Sequence["CSRFeatureMatrix"]) -> "CSRFeatureMatrix":
+        """Stack row blocks vertically (all blocks must share the width)."""
+        if not blocks:
+            raise ConfigurationError("vstack requires at least one block")
+        width = blocks[0].shape[1]
+        for block in blocks:
+            if block.shape[1] != width:
+                raise ConfigurationError(
+                    f"cannot vstack feature blocks of widths {width} and {block.shape[1]}"
+                )
+        num_rows = sum(block.shape[0] for block in blocks)
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        offset_row, offset_nnz = 0, 0
+        for block in blocks:
+            m = block.shape[0]
+            indptr[offset_row + 1 : offset_row + m + 1] = block.indptr[1:] + offset_nnz
+            offset_row += m
+            offset_nnz += block.nnz
+        return cls(
+            indptr,
+            np.concatenate([block.indices for block in blocks]),
+            np.concatenate([block.data for block in blocks]),
+            (num_rows, width),
         )
 
     @classmethod
@@ -116,6 +176,23 @@ class CSRFeatureMatrix:
 
     def _entry_rows(self) -> np.ndarray:
         return np.repeat(np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr))
+
+    def row_range(self, start: int, stop: int) -> "CSRFeatureMatrix":
+        """Contiguous row slice ``[start, stop)`` — pure array slicing, O(rows).
+
+        The minibatch re-batcher's workhorse: no index gather, and the
+        sliced block's entries are the parent's entries verbatim.
+        """
+        m = self.shape[0]
+        if not (0 <= start <= stop <= m):
+            raise ConfigurationError(f"row range [{start}, {stop}) invalid for {m} rows")
+        lo, hi = int(self.indptr[start]), int(self.indptr[stop])
+        return CSRFeatureMatrix(
+            self.indptr[start : stop + 1] - lo,
+            self.indices[lo:hi],
+            self.data[lo:hi],
+            (stop - start, self.shape[1]),
+        )
 
     # ------------------------------------------------------------------ algebra
     def __getitem__(self, row_indices) -> "CSRFeatureMatrix":

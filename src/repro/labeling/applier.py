@@ -27,16 +27,20 @@ backends and input types: same labels, same error counts, same matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import LabelingError
-from repro.labeling.engine import ExecutionPlan, run_plan
+from repro.labeling.engine import ExecutionPlan, label_and_featurize_chunk, run_plan
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labeling.sparse import SparseLabelMatrix
 from repro.types import ABSTAIN
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.discriminative.featurizers import RelationFeaturizer
+    from repro.discriminative.sparse_features import CSRFeatureMatrix
 
 
 @dataclass
@@ -198,3 +202,101 @@ class LFApplier:
             matrix = np.full(shape, ABSTAIN, dtype=np.int64)
             matrix[result.rows, result.cols] = result.values
         return LabelMatrix(matrix, lf_names=self.lf_names, cardinality=self.cardinality)
+
+    def apply_with_features(
+        self,
+        candidates: Iterable,
+        featurizer: "RelationFeaturizer",
+        sparse: bool = False,
+    ) -> tuple[LabelMatrix, list["CSRFeatureMatrix"]]:
+        """Label *and* featurize every candidate in one streaming pass.
+
+        The fused engine task (:func:`repro.labeling.engine.tasks.
+        label_and_featurize_chunk`) runs the LF suite and the fitted
+        ``featurizer`` over each chunk; the label triples merge into Λ
+        exactly as in :meth:`apply`, while each chunk's feature triples are
+        claimed on arrival (master-side, via the accumulator ``transform``)
+        as a chunk-ordered :class:`CSRFeatureMatrix` block.  Neither the
+        candidate list nor any dense ``(m, d)`` feature matrix is ever
+        materialized — this is the streaming pipeline's single pass over a
+        candidate generator.  Labels, feature values, and block order are
+        identical for every backend and chunk size.
+        """
+        from repro.discriminative.sparse_features import CSRFeatureMatrix
+
+        featurizer.require_fitted()
+        output_dim = featurizer.output_dim
+        num_lfs = len(self.lfs)
+        feature_blocks: dict[int, CSRFeatureMatrix] = {}
+        # Dense-label runs scatter each chunk on arrival into a growing sink
+        # (the generator's total row count is unknown upfront), mirroring
+        # apply()'s scatter-on-arrival path: label triples are released per
+        # chunk instead of accumulating next to the dense matrix until the
+        # merge.  The transform runs in the master thread for every backend.
+        dense_sink: Optional[np.ndarray] = None if sparse else np.full(
+            (0, num_lfs), ABSTAIN, dtype=np.int64
+        )
+
+        def transform(result):
+            nonlocal dense_sink
+            block = result.features
+            feature_blocks[result.index] = CSRFeatureMatrix.from_triples(
+                block.row_offsets,
+                block.cols,
+                block.values,
+                (block.num_candidates, output_dim),
+            )
+            if dense_sink is None:
+                result.features = None
+                return result
+            needed = result.start_row + result.num_candidates
+            if dense_sink.shape[0] < needed:
+                grown = np.full(
+                    (max(needed, 2 * dense_sink.shape[0]), num_lfs),
+                    ABSTAIN,
+                    dtype=np.int64,
+                )
+                grown[: dense_sink.shape[0]] = dense_sink
+                dense_sink = grown
+            dense_sink[result.row_offsets + result.start_row, result.cols] = result.values
+            return result.stripped()
+
+        plan = ExecutionPlan(
+            chunk_size=self.chunk_size,
+            backend=self.backend,
+            num_workers=self.num_workers,
+            fault_tolerant=self.fault_tolerant,
+        )
+        result = run_plan(
+            (self.lfs, featurizer),
+            candidates,
+            plan,
+            transform=transform,
+            task=label_and_featurize_chunk,
+        )
+        self.last_report = ApplyReport(
+            num_candidates=result.num_candidates,
+            num_lfs=num_lfs,
+            num_chunks=result.num_chunks,
+            errors=result.errors,
+            backend=result.backend,
+            num_workers=result.num_workers,
+            chunk_seconds=result.chunk_seconds,
+        )
+        shape = (result.num_candidates, num_lfs)
+        if sparse:
+            storage = SparseLabelMatrix.from_triples(
+                result.rows, result.cols, result.values, shape
+            )
+            label_matrix = LabelMatrix(
+                storage, lf_names=self.lf_names, cardinality=self.cardinality
+            )
+        else:
+            matrix = dense_sink
+            if matrix.shape[0] != result.num_candidates:
+                matrix = matrix[: result.num_candidates].copy()
+            label_matrix = LabelMatrix(
+                matrix, lf_names=self.lf_names, cardinality=self.cardinality
+            )
+        blocks = [feature_blocks[index] for index in sorted(feature_blocks)]
+        return label_matrix, blocks

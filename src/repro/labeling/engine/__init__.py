@@ -18,6 +18,7 @@ blocks fan back in, and the result is identical for every backend.  The
 
 from repro.labeling.engine.accumulator import ChunkResult, CSRAccumulator, apply_chunk
 from repro.labeling.engine.executors import (
+    ChunkTask,
     EngineResult,
     ProcessPoolChunkExecutor,
     SequentialExecutor,
@@ -26,11 +27,13 @@ from repro.labeling.engine.executors import (
     run_plan,
 )
 from repro.labeling.engine.plan import BACKENDS, Chunk, ExecutionPlan, available_workers, iter_chunks
+from repro.labeling.engine.tasks import featurize_chunk, label_and_featurize_chunk
 
 __all__ = [
     "BACKENDS",
     "Chunk",
     "ChunkResult",
+    "ChunkTask",
     "CSRAccumulator",
     "EngineResult",
     "ExecutionPlan",
@@ -39,7 +42,9 @@ __all__ = [
     "ThreadPoolChunkExecutor",
     "apply_chunk",
     "available_workers",
+    "featurize_chunk",
     "get_executor",
     "iter_chunks",
+    "label_and_featurize_chunk",
     "run_plan",
 ]

@@ -25,7 +25,14 @@ from repro.types import ABSTAIN
 
 @dataclass
 class ChunkResult:
-    """Labels emitted by one chunk, in chunk-local coordinates."""
+    """Triples emitted by one chunk, in chunk-local coordinates.
+
+    The values are integer labels for the LF-application task and float
+    feature values for the featurization task — the accumulator is
+    dtype-agnostic.  A fused task (labels *and* features in one pass over
+    the chunk) attaches its secondary block as ``features``; the primary
+    triples always describe the label matrix.
+    """
 
     index: int
     start_row: int
@@ -35,15 +42,21 @@ class ChunkResult:
     values: np.ndarray
     errors: dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
+    #: Secondary triple block produced by a fused chunk task (e.g. the CSR
+    #: feature block riding along with the labels); consumed master-side by
+    #: a :class:`CSRAccumulator` ``transform`` and never merged here.
+    features: "ChunkResult | None" = None
 
     def stripped(self) -> "ChunkResult":
         """Copy without the triple arrays (statistics only).
 
         For :class:`CSRAccumulator` ``transform`` consumers that scatter the
         triples elsewhere on arrival and only need the merge's bookkeeping.
+        Any attached ``features`` block is dropped too — the consumer has
+        already claimed it.
         """
         empty = np.empty(0, dtype=np.int64)
-        return replace(self, row_offsets=empty, cols=empty, values=empty)
+        return replace(self, row_offsets=empty, cols=empty, values=empty, features=None)
 
 
 def apply_chunk(

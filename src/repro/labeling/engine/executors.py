@@ -1,18 +1,23 @@
 """Pluggable chunk executors and the engine's top-level ``run_plan``.
 
 Three executors implement the same contract — consume a lazy chunk stream,
-run :func:`repro.labeling.engine.accumulator.apply_chunk` on each unit, and
-feed every result into a :class:`CSRAccumulator`:
+run a **chunk task** on each unit, and feed every result into a
+:class:`CSRAccumulator`.  A chunk task is any picklable callable with the
+:func:`repro.labeling.engine.accumulator.apply_chunk` signature
+``task(payload, fault_tolerant, index, start_row, candidates) ->
+ChunkResult``; ``apply_chunk`` (the LF suite) is the default, and
+:mod:`repro.labeling.engine.tasks` adds featurization and fused
+label+featurize tasks that ride the same executors.  The executors are:
 
 * :class:`SequentialExecutor` — the in-process loop (no pool overhead);
 * :class:`ThreadPoolChunkExecutor` — ``concurrent.futures`` threads, the
   right choice for latency-bound LFs (I/O, external services) where workers
   overlap waiting rather than computation;
 * :class:`ProcessPoolChunkExecutor` — ``concurrent.futures`` processes for
-  CPU-bound LF suites.  The LF list travels to the workers through the pool
-  initializer (with the ``fork`` start method it is inherited by memory and
-  never pickled, so closures work); the candidate chunks go through the task
-  queue and must be picklable.
+  CPU-bound work.  The task payload (LF list, featurizer, ...) travels to
+  the workers through the pool initializer (with the ``fork`` start method
+  it is inherited by memory and never pickled, so closures work); the
+  candidate chunks go through the task queue and must be picklable.
 
 The pool executors use windowed submission: at most ``plan.pending_limit()``
 chunks are in flight, so a generator-fed run keeps bounded memory no matter
@@ -26,7 +31,7 @@ import multiprocessing
 from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -38,6 +43,12 @@ from repro.labeling.engine.accumulator import (
     apply_chunk,
 )
 from repro.labeling.engine.plan import Chunk, ExecutionPlan, iter_chunks
+
+
+#: Signature of a chunk task: ``(payload, fault_tolerant, index, start_row,
+#: candidates) -> ChunkResult``.  Must be picklable (a module-level function)
+#: for the process backend.
+ChunkTask = Callable[[object, bool, int, int, list], ChunkResult]
 
 
 @dataclass
@@ -61,13 +72,14 @@ class SequentialExecutor:
     def execute(
         self,
         plan: ExecutionPlan,
-        lfs: Sequence,
+        payload: object,
         chunks: Iterator[Chunk],
         accumulator: CSRAccumulator,
+        task: ChunkTask = apply_chunk,
     ) -> None:
         for chunk in chunks:
             accumulator.add(
-                apply_chunk(lfs, plan.fault_tolerant, chunk.index, chunk.start_row, chunk.candidates)
+                task(payload, plan.fault_tolerant, chunk.index, chunk.start_row, chunk.candidates)
             )
 
 
@@ -106,16 +118,17 @@ class ThreadPoolChunkExecutor:
     def execute(
         self,
         plan: ExecutionPlan,
-        lfs: Sequence,
+        payload: object,
         chunks: Iterator[Chunk],
         accumulator: CSRAccumulator,
+        task: ChunkTask = apply_chunk,
     ) -> None:
         with ThreadPoolExecutor(max_workers=plan.effective_workers()) as pool:
             _windowed_submit(
                 pool,
                 lambda chunk: pool.submit(
-                    apply_chunk,
-                    lfs,
+                    task,
+                    payload,
                     plan.fault_tolerant,
                     chunk.index,
                     chunk.start_row,
@@ -128,19 +141,24 @@ class ThreadPoolChunkExecutor:
 
 
 # Worker-process state, populated once per worker by the pool initializer so
-# the LF suite is not re-pickled with every chunk.
-_PROCESS_LFS: Sequence = ()
+# the task payload (LF suite, featurizer, ...) is not re-pickled with every
+# chunk.
+_PROCESS_PAYLOAD: object = ()
 _PROCESS_FAULT_TOLERANT = False
+_PROCESS_TASK: ChunkTask = apply_chunk
 
 
-def _process_worker_init(lfs: Sequence, fault_tolerant: bool) -> None:
-    global _PROCESS_LFS, _PROCESS_FAULT_TOLERANT
-    _PROCESS_LFS = lfs
+def _process_worker_init(payload: object, fault_tolerant: bool, task: ChunkTask) -> None:
+    global _PROCESS_PAYLOAD, _PROCESS_FAULT_TOLERANT, _PROCESS_TASK
+    _PROCESS_PAYLOAD = payload
     _PROCESS_FAULT_TOLERANT = fault_tolerant
+    _PROCESS_TASK = task
 
 
 def _process_chunk_entry(index: int, start_row: int, candidates: list) -> ChunkResult:
-    return apply_chunk(_PROCESS_LFS, _PROCESS_FAULT_TOLERANT, index, start_row, candidates)
+    return _PROCESS_TASK(
+        _PROCESS_PAYLOAD, _PROCESS_FAULT_TOLERANT, index, start_row, candidates
+    )
 
 
 class ProcessPoolChunkExecutor:
@@ -148,16 +166,17 @@ class ProcessPoolChunkExecutor:
 
     Prefers the ``fork`` start method (Linux): worker initializer arguments
     are inherited by memory, so LFs built from closures or lambdas work
-    unchanged.  Under ``spawn`` (macOS / Windows) the LF list itself must be
-    picklable.
+    unchanged.  Under ``spawn`` (macOS / Windows) the task payload itself
+    must be picklable.
     """
 
     def execute(
         self,
         plan: ExecutionPlan,
-        lfs: Sequence,
+        payload: object,
         chunks: Iterator[Chunk],
         accumulator: CSRAccumulator,
+        task: ChunkTask = apply_chunk,
     ) -> None:
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
@@ -167,7 +186,7 @@ class ProcessPoolChunkExecutor:
             max_workers=plan.effective_workers(),
             mp_context=context,
             initializer=_process_worker_init,
-            initargs=(lfs, plan.fault_tolerant),
+            initargs=(payload, plan.fault_tolerant, task),
         ) as pool:
             _windowed_submit(
                 pool,
@@ -198,22 +217,26 @@ def get_executor(backend: str):
 
 
 def run_plan(
-    lfs: Sequence,
+    payload: object,
     candidates: Iterable,
     plan: ExecutionPlan,
     transform: Callable[[ChunkResult], ChunkResult] | None = None,
+    task: ChunkTask = apply_chunk,
 ) -> EngineResult:
-    """Execute the LF suite over a candidate iterable under ``plan``.
+    """Execute a chunk task over a candidate iterable under ``plan``.
 
-    The candidate iterable is consumed lazily (chunk in, CSR triple block
-    out); only the emitted triples, per-chunk statistics, and the bounded
-    in-flight window are held in memory.  ``transform`` (see
-    :class:`CSRAccumulator`) lets the caller consume each block's triples on
-    arrival instead of keeping them for the final merge.
+    ``task`` defaults to :func:`apply_chunk` (the LF suite, with ``payload``
+    the LF list); :mod:`repro.labeling.engine.tasks` provides featurization
+    and fused label+featurize tasks for the same executors.  The candidate
+    iterable is consumed lazily (chunk in, CSR triple block out); only the
+    emitted triples, per-chunk statistics, and the bounded in-flight window
+    are held in memory.  ``transform`` (see :class:`CSRAccumulator`) lets
+    the caller consume each block's triples on arrival instead of keeping
+    them for the final merge.
     """
     accumulator = CSRAccumulator(transform=transform)
     executor = get_executor(plan.backend)
-    executor.execute(plan, lfs, iter_chunks(candidates, plan.chunk_size), accumulator)
+    executor.execute(plan, payload, iter_chunks(candidates, plan.chunk_size), accumulator, task)
     merged = accumulator.merge()
     return EngineResult(
         num_candidates=merged.num_candidates,

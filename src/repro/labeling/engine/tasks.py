@@ -1,0 +1,95 @@
+"""Chunk tasks beyond LF application: featurization and fused label+featurize.
+
+The execution engine schedules *chunk tasks* — picklable callables with the
+:func:`repro.labeling.engine.accumulator.apply_chunk` signature — over any
+candidate iterable.  This module adds the discriminative stage's tasks:
+
+* :func:`featurize_chunk` maps one candidate chunk to its sparse feature
+  triples (``payload`` is a fitted
+  :class:`repro.discriminative.featurizers.RelationFeaturizer`), giving
+  featurization the same streaming, parallel, deterministically-merged
+  execution path LF application has had since PR 2;
+* :func:`label_and_featurize_chunk` runs the LF suite *and* the featurizer
+  over each chunk in one pass (``payload`` is ``(lfs, featurizer)``), so an
+  out-of-core pipeline run touches every candidate exactly once — the label
+  triples are the primary block and the feature triples ride along as
+  ``ChunkResult.features``, to be claimed master-side by an accumulator
+  ``transform``.
+
+Feature values are floats; the accumulator concatenates them untouched, and
+because every chunk emits its rows in ascending order with ascending columns
+within each row, the merged triples are already in canonical CSR order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.labeling.engine.accumulator import ChunkResult, apply_chunk
+
+
+def featurize_chunk(
+    featurizer,
+    fault_tolerant: bool,
+    index: int,
+    start_row: int,
+    candidates: Sequence,
+) -> ChunkResult:
+    """Featurize one chunk of candidates into sparse feature triples.
+
+    ``featurizer`` must expose ``candidate_entries(candidate) ->
+    {column: value}`` and be *fitted* (see
+    :meth:`repro.discriminative.featurizers.RelationFeaturizer.fit`) — the
+    fitted check runs worker-side so a stale featurizer shipped to a pool
+    worker fails loudly instead of emitting misaligned columns.
+    ``fault_tolerant`` is accepted for signature compatibility but ignored:
+    featurization failures are library bugs, not user-LF misbehavior, and
+    always propagate.
+    """
+    from repro.discriminative.sparse_features import sorted_entry_arrays
+
+    start = time.perf_counter()
+    featurizer.require_fitted()
+    row_offsets: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+    for offset, candidate in enumerate(candidates):
+        columns, row_values = sorted_entry_arrays(featurizer.candidate_entries(candidate))
+        row_offsets.append(np.full(columns.size, offset, dtype=np.int64))
+        cols.append(columns)
+        values.append(row_values)
+    empty_i, empty_f = np.empty(0, np.int64), np.empty(0, np.float64)
+    return ChunkResult(
+        index=index,
+        start_row=start_row,
+        num_candidates=len(candidates),
+        row_offsets=np.concatenate(row_offsets) if row_offsets else empty_i,
+        cols=np.concatenate(cols) if cols else empty_i,
+        values=np.concatenate(values) if values else empty_f,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def label_and_featurize_chunk(
+    payload: tuple,
+    fault_tolerant: bool,
+    index: int,
+    start_row: int,
+    candidates: Sequence,
+) -> ChunkResult:
+    """Run the LF suite and the featurizer over one chunk in a single pass.
+
+    ``payload`` is ``(lfs, featurizer)``.  Returns the label
+    :class:`ChunkResult` with the feature block attached as ``features`` —
+    the streaming pipeline's one-pass work unit.
+    """
+    lfs, featurizer = payload
+    result = apply_chunk(lfs, fault_tolerant, index, start_row, candidates)
+    result.features = featurize_chunk(
+        featurizer, fault_tolerant, index, start_row, candidates
+    )
+    result.seconds += result.features.seconds
+    return result

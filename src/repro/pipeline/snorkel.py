@@ -26,6 +26,17 @@
   modeling-advantage decision is binary theory, so Algorithm 1 always
   selects the generative model here (the structure sweep still runs).
 
+**Out-of-core mode.**  With ``PipelineConfig(streaming=True)`` (or via
+:meth:`SnorkelPipeline.run_streams` directly) the run is one pass over a
+candidate generator per split: the fused engine task labels *and* featurizes
+each chunk (:meth:`repro.labeling.applier.LFApplier.apply_with_features`),
+Λ accumulates as triples, features accumulate as chunk-ordered CSR blocks,
+and the end model trains from the block stream via ``fit_stream`` — neither
+the candidate list nor a dense ``(m, d)`` feature matrix ever exists.  Both
+modes train the end model on the deterministic stream-order minibatch
+schedule (``shuffle=False``), so streaming and materialized runs produce
+value-identical end-model probabilities.
+
 The pipeline never touches training-split gold labels; they exist in the
 task datasets purely so the benchmark harness can report oracle statistics.
 """
@@ -34,7 +45,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -86,6 +97,22 @@ class PipelineConfig:
     #: Featurize candidates into CSR feature matrices and train the end model
     #: sparsely; feature values and trained weights match the dense run.
     sparse_features: bool = False
+    #: Run the whole pipeline out-of-core: one pass over a candidate
+    #: generator per split, fused LF application + featurization through the
+    #: execution engine, and minibatch end-model training from CSR feature
+    #: blocks.  Neither the candidate list nor a dense ``(m, d)`` feature
+    #: matrix is ever materialized; end-model probabilities are
+    #: value-identical to the materialized run.
+    streaming: bool = False
+    #: Candidates per engine work unit, shared by LF application and
+    #: streaming featurization.  Results are independent of this value.
+    chunk_size: int = 1024
+    #: Restore the historical per-epoch shuffled end-model schedule (the
+    #: pre-streaming default).  Off, both modes train in deterministic
+    #: stream order, which is what makes ``streaming=True`` value-identical
+    #: to the materialized run; a one-pass block stream cannot realize a
+    #: global shuffle, so this flag is incompatible with ``streaming=True``.
+    end_model_shuffle: bool = False
     #: Sampling kernel of the generative stage's Gibbs chains (CD training):
     #: ``"auto"``/``"vectorized"`` for the plan-based fused-color updates of
     #: :mod:`repro.labelmodel.kernels`, ``"reference"`` for the exact
@@ -116,6 +143,15 @@ class PipelineConfig:
         if self.gibbs_kernel not in KERNELS:
             raise ConfigurationError(
                 f"gibbs_kernel must be one of {KERNELS}, got {self.gibbs_kernel!r}"
+            )
+        if self.chunk_size <= 0:
+            raise ConfigurationError(
+                f"chunk_size must be positive, got {self.chunk_size}"
+            )
+        if self.streaming and self.end_model_shuffle:
+            raise ConfigurationError(
+                "end_model_shuffle requires random row access and cannot be "
+                "honored by a streaming run; unset one of the two"
             )
 
 
@@ -169,20 +205,36 @@ class SnorkelPipeline:
 
     # ------------------------------------------------------------------ running
     def run(self, task: TaskDataset) -> PipelineResult:
-        """Run the full pipeline on a task dataset (binary or categorical)."""
+        """Run the full pipeline on a task dataset (binary or categorical).
+
+        With ``config.streaming=True`` the run is delegated to
+        :meth:`run_streams` over ``task.stream_candidates(...)`` generators —
+        the candidate lists the task happens to hold in memory are never
+        handed over as lists, so the same code path serves splits backed by
+        out-of-core storage.
+        """
         lfs = self.lfs if self.lfs is not None else task.lfs
+        if self.config.streaming:
+            return self.run_streams(
+                task.stream_candidates("train"),
+                task.stream_candidates("test"),
+                task.split_gold("test"),
+                lfs=lfs,
+                task_name=task.name,
+            )
         timings: dict[str, float] = {}
 
         start = time.perf_counter()
+        self.featurizer.fit()
         applier = LFApplier(
             lfs,
+            chunk_size=self.config.chunk_size,
             backend=self.config.applier_backend,
             num_workers=self.config.applier_workers,
         )
         # The candidate lists are needed later for featurization, so hand the
         # applier the lists themselves (engaging its dense scatter-on-arrival
-        # path) rather than a stream; out-of-core callers should drive
-        # LFApplier.apply directly with task.stream_candidates(...).
+        # path) rather than a stream; out-of-core callers use streaming=True.
         train_candidates = task.split_candidates("train")
         test_candidates = task.split_candidates("test")
         label_matrix = applier.apply(train_candidates, sparse=self.config.sparse_labels)
@@ -193,21 +245,9 @@ class SnorkelPipeline:
         strategy, generative_model, training_probs = self._label_modeling(label_matrix)
         timings["label_modeling"] = time.perf_counter() - start
 
-        # Generative-stage evaluation on the test split.
-        if generative_model is not None:
-            test_probs = generative_model.predict_proba(test_matrix)
-        elif task.cardinality == 2:
-            test_probs = MajorityVoter().predict_proba(test_matrix)
-        else:
-            test_probs = MultiClassMajorityVoter(task.cardinality).predict_proba(test_matrix)
-        if task.cardinality == 2:
-            generative_report: AnyScoreReport = BinaryScorer().score_probabilities(
-                task.split_gold("test"), test_probs
-            )
-        else:
-            generative_report = MultiClassScorer(task.cardinality).score_probabilities(
-                task.split_gold("test"), test_probs
-            )
+        generative_report = self._generative_report(
+            task.cardinality, generative_model, test_matrix, task.split_gold("test")
+        )
 
         start = time.perf_counter()
         discriminative_model, discriminative_report = self._discriminative_stage(
@@ -217,6 +257,78 @@ class SnorkelPipeline:
 
         return PipelineResult(
             task_name=task.name,
+            strategy=strategy,
+            label_matrix=label_matrix,
+            training_probs=training_probs,
+            generative_test_report=generative_report,
+            discriminative_test_report=discriminative_report,
+            generative_model=generative_model,
+            discriminative_model=discriminative_model,
+            timings=timings,
+        )
+
+    def run_streams(
+        self,
+        train_candidates: Iterable[Candidate],
+        test_candidates: Iterable[Candidate],
+        test_gold: np.ndarray,
+        lfs: Optional[Sequence[LabelingFunction]] = None,
+        task_name: str = "stream",
+    ) -> PipelineResult:
+        """Run the pipeline end-to-end from raw candidate iterables.
+
+        The out-of-core entry point: ``train_candidates`` / ``test_candidates``
+        may be generators (each is consumed exactly once, chunk by chunk);
+        only ``test_gold`` must be a materialized vector, for evaluation.
+        Per split the engine makes a single fused pass — LF application and
+        featurization on the same chunk — and the end model then trains from
+        the accumulated CSR feature blocks without a dense ``(m, d)`` matrix
+        or candidate list ever existing.  End-model probabilities are
+        value-identical to the materialized pipeline on the same candidates.
+        """
+        config = self.config
+        lfs = list(lfs) if lfs is not None else self.lfs
+        if not lfs:
+            raise ConfigurationError(
+                "run_streams needs labeling functions (pass lfs= here or to the "
+                "pipeline constructor)"
+            )
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        self.featurizer.fit()
+        applier = LFApplier(
+            lfs,
+            chunk_size=config.chunk_size,
+            backend=config.applier_backend,
+            num_workers=config.applier_workers,
+        )
+        label_matrix, train_blocks = applier.apply_with_features(
+            train_candidates, self.featurizer, sparse=config.sparse_labels
+        )
+        test_matrix, test_blocks = applier.apply_with_features(
+            test_candidates, self.featurizer, sparse=config.sparse_labels
+        )
+        timings["lf_application"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        strategy, generative_model, training_probs = self._label_modeling(label_matrix)
+        timings["label_modeling"] = time.perf_counter() - start
+
+        cardinality = label_matrix.cardinality
+        test_gold = np.asarray(test_gold)
+        generative_report = self._generative_report(
+            cardinality, generative_model, test_matrix, test_gold
+        )
+
+        start = time.perf_counter()
+        discriminative_model, discriminative_report = self._discriminative_stage_streaming(
+            cardinality, train_blocks, test_blocks, training_probs, label_matrix, test_gold
+        )
+        timings["discriminative_training"] = time.perf_counter() - start
+
+        return PipelineResult(
+            task_name=task_name,
             strategy=strategy,
             label_matrix=label_matrix,
             training_probs=training_probs,
@@ -275,6 +387,88 @@ class SnorkelPipeline:
         model.fit(label_matrix, correlations=correlations)
         return strategy, model, model.predict_proba(label_matrix)
 
+    def _generative_report(
+        self,
+        cardinality: int,
+        generative_model: Optional[GenerativeModel],
+        test_matrix: LabelMatrix,
+        test_gold: np.ndarray,
+    ) -> AnyScoreReport:
+        """Evaluate the label-model stage on the test split."""
+        if generative_model is not None:
+            test_probs = generative_model.predict_proba(test_matrix)
+        elif cardinality == 2:
+            test_probs = MajorityVoter().predict_proba(test_matrix)
+        else:
+            test_probs = MultiClassMajorityVoter(cardinality).predict_proba(test_matrix)
+        return self._score_probabilities(cardinality, test_gold, test_probs)
+
+    def _keep_rows(
+        self, num_candidates: int, training_probs: np.ndarray, label_matrix: LabelMatrix
+    ) -> np.ndarray:
+        """Training rows the end model sees (ascending global indices)."""
+        if self.config.keep_uncovered:
+            return np.arange(num_candidates)
+        # Drop candidates no LF covered, plus covered rows whose
+        # probability is uninformative (exactly 0.5 for binary tasks,
+        # exactly uniform for categorical ones — ties carry no
+        # supervision signal); the paper's end models similarly train on
+        # the covered set.  Coverage is taken from Λ itself — an
+        # estimated class balance gives uncovered rows a non-uniform
+        # prior probability, which is not supervision signal either.
+        if training_probs.ndim == 2:
+            uninformative = np.isclose(
+                training_probs.max(axis=1), 1.0 / training_probs.shape[1]
+            )
+        else:
+            uninformative = np.isclose(training_probs, 0.5)
+        keep = np.flatnonzero(label_matrix.covered_rows() & ~uninformative)
+        if keep.size == 0:
+            keep = np.arange(num_candidates)
+        return keep
+
+    def _make_end_model(self, cardinality: int) -> NoiseAwareClassifier:
+        """The default noise-aware end model for one task cardinality.
+
+        By default both pipeline modes train on the deterministic
+        stream-order minibatch schedule (``shuffle=False``): it is the only
+        schedule a one-pass block stream can realize, and using it for the
+        materialized mode too is what makes ``streaming=True``
+        value-identical to the default run.
+        ``PipelineConfig.end_model_shuffle`` restores the historical
+        shuffled schedule (materialized mode only).
+        """
+        config = self.config
+        if self._discriminative_model is not None:
+            return self._discriminative_model
+        if cardinality == 2:
+            return NoiseAwareLogisticRegression(
+                epochs=config.discriminative_epochs,
+                class_balance=config.class_balance,
+                shuffle=config.end_model_shuffle,
+                seed=config.seed,
+            )
+        if config.class_balance is not None:
+            raise ConfigurationError(
+                "PipelineConfig.class_balance is a binary-end-model setting "
+                "(scalar positive-class fraction) and has no effect on "
+                f"cardinality-{cardinality} tasks; unset it"
+            )
+        return NoiseAwareSoftmaxRegression(
+            num_classes=cardinality,
+            epochs=config.discriminative_epochs,
+            shuffle=config.end_model_shuffle,
+            seed=config.seed,
+        )
+
+    def _score_probabilities(
+        self, cardinality: int, test_gold: np.ndarray, probs: np.ndarray
+    ) -> AnyScoreReport:
+        """Score test-split probabilities with the cardinality's scorer."""
+        if cardinality == 2:
+            return BinaryScorer().score_probabilities(test_gold, probs)
+        return MultiClassScorer(cardinality).score_probabilities(test_gold, probs)
+
     def _discriminative_stage(
         self,
         task: TaskDataset,
@@ -300,55 +494,49 @@ class SnorkelPipeline:
         test_features = self.featurizer.transform(
             test_candidates, sparse=config.sparse_features
         )
-
-        if config.keep_uncovered:
-            keep = np.arange(len(train_candidates))
-        else:
-            # Drop candidates no LF covered, plus covered rows whose
-            # probability is uninformative (exactly 0.5 for binary tasks,
-            # exactly uniform for categorical ones — ties carry no
-            # supervision signal); the paper's end models similarly train on
-            # the covered set.  Coverage is taken from Λ itself — an
-            # estimated class balance gives uncovered rows a non-uniform
-            # prior probability, which is not supervision signal either.
-            if training_probs.ndim == 2:
-                uninformative = np.isclose(
-                    training_probs.max(axis=1), 1.0 / training_probs.shape[1]
-                )
-            else:
-                uninformative = np.isclose(training_probs, 0.5)
-            keep = np.flatnonzero(label_matrix.covered_rows() & ~uninformative)
-            if keep.size == 0:
-                keep = np.arange(len(train_candidates))
-
-        if self._discriminative_model is not None:
-            model = self._discriminative_model
-        elif cardinality == 2:
-            model = NoiseAwareLogisticRegression(
-                epochs=config.discriminative_epochs,
-                class_balance=config.class_balance,
-                seed=config.seed,
-            )
-        else:
-            if config.class_balance is not None:
-                raise ConfigurationError(
-                    "PipelineConfig.class_balance is a binary-end-model setting "
-                    "(scalar positive-class fraction) and has no effect on "
-                    f"cardinality-{cardinality} tasks; unset it"
-                )
-            model = NoiseAwareSoftmaxRegression(
-                num_classes=cardinality,
-                epochs=config.discriminative_epochs,
-                seed=config.seed,
-            )
+        keep = self._keep_rows(len(train_candidates), training_probs, label_matrix)
+        model = self._make_end_model(cardinality)
         model.fit(train_features[keep], training_probs[keep])
         probs = model.predict_proba(test_features)
-        if cardinality == 2:
-            report: AnyScoreReport = BinaryScorer().score_probabilities(
-                task.split_gold("test"), probs
+        return model, self._score_probabilities(cardinality, task.split_gold("test"), probs)
+
+    def _discriminative_stage_streaming(
+        self,
+        cardinality: int,
+        train_blocks: Sequence,
+        test_blocks: Sequence,
+        training_probs: np.ndarray,
+        label_matrix: LabelMatrix,
+        test_gold: np.ndarray,
+    ) -> tuple[NoiseAwareClassifier, AnyScoreReport]:
+        """Train the end model from CSR feature blocks and evaluate block-wise.
+
+        The kept training rows (covered + informative, same rule as the
+        materialized stage) are carved out of each block in place, so the
+        minibatch stream visits exactly the rows ``fit(X[keep], Ỹ[keep])``
+        would — in the same order — and the trained model is value-identical.
+        """
+        num_candidates = training_probs.shape[0]
+        keep = self._keep_rows(num_candidates, training_probs, label_matrix)
+        keep_mask = np.zeros(num_candidates, dtype=bool)
+        keep_mask[keep] = True
+
+        def kept_blocks():
+            start = 0
+            for block in train_blocks:
+                stop = start + block.shape[0]
+                local = np.flatnonzero(keep_mask[start:stop])
+                if local.size:
+                    yield block[local], training_probs[start + local]
+                start = stop
+
+        model = self._make_end_model(cardinality)
+        model.fit_stream(kept_blocks)
+
+        if test_blocks:
+            probs = np.concatenate(
+                [model.predict_proba(block) for block in test_blocks], axis=0
             )
         else:
-            report = MultiClassScorer(cardinality).score_probabilities(
-                task.split_gold("test"), probs
-            )
-        return model, report
+            probs = np.zeros((0, cardinality) if cardinality > 2 else 0)
+        return model, self._score_probabilities(cardinality, test_gold, probs)

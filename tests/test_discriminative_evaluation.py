@@ -90,7 +90,7 @@ def test_hashing_vectorizer_deterministic_and_shaped():
 
 
 def test_relation_featurizer_output_dim():
-    featurizer = RelationFeaturizer(num_features=128)
+    featurizer = RelationFeaturizer(num_features=128).fit()
     candidate = Candidate(
         uid=0,
         span1=SpanView("magnesium", 0, 1),

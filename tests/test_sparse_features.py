@@ -53,7 +53,7 @@ CANDIDATES = [
 
 # ------------------------------------------------------------------ transforms
 def test_hashing_vectorizer_sparse_matches_dense(backend):
-    vectorizer = HashingVectorizer(num_features=64)
+    vectorizer = HashingVectorizer(num_features=64).fit()
     sequences = [c.sentence.words for c in CANDIDATES]
     dense = vectorizer.transform(sequences)
     sparse = vectorizer.transform(sequences, sparse=True)
@@ -66,7 +66,7 @@ def test_hashing_vectorizer_sparse_matches_dense(backend):
 
 
 def test_relation_featurizer_sparse_matches_dense(backend):
-    featurizer = RelationFeaturizer(num_features=128)
+    featurizer = RelationFeaturizer(num_features=128).fit()
     dense = featurizer.transform(CANDIDATES)
     sparse = featurizer.transform(CANDIDATES, sparse=True)
     assert sparse.shape == (len(CANDIDATES), featurizer.output_dim)
@@ -74,18 +74,18 @@ def test_relation_featurizer_sparse_matches_dense(backend):
 
 
 def test_empty_transforms(backend):
-    featurizer = RelationFeaturizer(num_features=32)
+    featurizer = RelationFeaturizer(num_features=32).fit()
     assert featurizer.transform([]).shape == (0, featurizer.output_dim)
     sparse = featurizer.transform([], sparse=True)
     assert sparse.shape == (0, featurizer.output_dim)
     assert sparse.nnz == 0
-    vectorizer = HashingVectorizer(num_features=16)
+    vectorizer = HashingVectorizer(num_features=16).fit()
     assert vectorizer.transform([], sparse=True).shape == (0, 16)
 
 
 # --------------------------------------------------------------------- algebra
 def reference_matrix():
-    featurizer = RelationFeaturizer(num_features=64)
+    featurizer = RelationFeaturizer(num_features=64).fit()
     return featurizer.transform(CANDIDATES), featurizer.transform(CANDIDATES, sparse=True)
 
 

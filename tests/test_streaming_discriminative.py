@@ -1,0 +1,425 @@
+"""Differential suite for the out-of-core discriminative stage.
+
+Discipline borrowed from coverage-guided differential DBMS fuzzing: every
+streaming/vectorized path must be *value-identical* (here: ≤ 1e-8, and in
+most cases bit-identical) to its materialized reference path on randomized
+workloads.  Pinned down here:
+
+* engine-routed featurization (:func:`featurize_stream`, and the fused
+  :meth:`LFApplier.apply_with_features`) against ``transform`` — across
+  executor backends, chunk sizes, and sparse/dense output;
+* minibatch streaming training (``fit_stream``) against materialized
+  ``fit(..., shuffle=False)`` for the logistic, softmax, and MLP end
+  models — across block chunkings and storage kinds;
+* the end-to-end ``SnorkelPipeline(streaming=True)`` against the default
+  materialized run, binary (k=2) and categorical (k=3);
+* the featurizer fitted-state regression: ``transform`` before ``fit``
+  raises :class:`NotFittedError` instead of silently emitting misaligned
+  columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import load_task
+from repro.datasets.synthetic import (
+    build_multiclass_task,
+    stream_text_candidates,
+    stream_text_gold,
+    text_vote_lfs,
+)
+from repro.discriminative import (
+    CSRFeatureMatrix,
+    HashingVectorizer,
+    NoiseAwareLogisticRegression,
+    NoiseAwareMLP,
+    RelationFeaturizer,
+)
+from repro.discriminative.base import iter_rebatched
+from repro.discriminative.softmax import NoiseAwareSoftmaxRegression
+from repro.discriminative.streaming import featurize_stream
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.labeling.applier import LFApplier
+from repro.pipeline.snorkel import PipelineConfig, SnorkelPipeline
+
+BACKENDS = [("sequential", 1), ("threads", 2), ("processes", 2)]
+
+NUM_LFS = 8
+
+
+def text_candidates(num_points, seed=0, cardinality=2):
+    return list(
+        stream_text_candidates(
+            num_points=num_points, num_lfs=NUM_LFS, cardinality=cardinality, seed=seed
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return text_candidates(157, seed=0)
+
+
+@pytest.fixture(scope="module")
+def featurizer():
+    return RelationFeaturizer(num_features=128).fit()
+
+
+# --------------------------------------------------------- streaming featurization
+@pytest.mark.parametrize("backend,workers", BACKENDS)
+@pytest.mark.parametrize("chunk_size", [13, 64, 500])
+def test_featurize_stream_bit_identical(corpus, featurizer, backend, workers, chunk_size):
+    reference = featurizer.transform(corpus, sparse=True)
+    streamed = featurize_stream(
+        featurizer,
+        iter(corpus),  # generator input: the candidate list is never handed over
+        chunk_size=chunk_size,
+        backend=backend,
+        num_workers=workers,
+    )
+    assert streamed.shape == reference.shape
+    assert np.array_equal(streamed.indptr, reference.indptr)
+    assert np.array_equal(streamed.indices, reference.indices)
+    assert np.array_equal(streamed.data, reference.data)
+
+
+def test_featurize_stream_matches_dense(corpus, featurizer):
+    dense = featurizer.transform(corpus)
+    streamed = featurize_stream(featurizer, iter(corpus), chunk_size=40)
+    assert np.array_equal(streamed.toarray(), dense)
+
+
+@pytest.mark.parametrize("backend,workers", BACKENDS)
+def test_apply_with_features_fused_pass(corpus, featurizer, backend, workers):
+    lfs = text_vote_lfs(NUM_LFS)
+    applier = LFApplier(lfs, chunk_size=29, backend=backend, num_workers=workers)
+    label_matrix, blocks = applier.apply_with_features(iter(corpus), featurizer, sparse=True)
+    reference_labels = LFApplier(lfs).apply(corpus)
+    assert np.array_equal(label_matrix.values, reference_labels.values)
+    assert applier.last_report.num_candidates == len(corpus)
+    stacked = CSRFeatureMatrix.vstack(blocks)
+    reference_features = featurizer.transform(corpus, sparse=True)
+    assert np.array_equal(stacked.toarray(), reference_features.toarray())
+    # Block boundaries follow the chunking: all but the last are chunk-sized.
+    assert [b.shape[0] for b in blocks[:-1]] == [29] * (len(blocks) - 1)
+
+
+def test_featurize_stream_requires_fitted(corpus):
+    unfitted = RelationFeaturizer(num_features=64)
+    with pytest.raises(NotFittedError):
+        featurize_stream(unfitted, iter(corpus))
+
+
+# ------------------------------------------------------------------- rebatching
+def blocks_of(features, targets, sizes):
+    out, start = [], 0
+    for size in sizes:
+        out.append((features.row_range(start, start + size), targets[start : start + size]))
+        start += size
+    assert start == features.shape[0]
+    return out
+
+
+def test_rebatching_is_chunking_invariant(corpus, featurizer):
+    features = featurizer.transform(corpus, sparse=True)
+    targets = np.random.default_rng(0).random(features.shape[0])
+    m = features.shape[0]
+    chunkings = [[m], [50, 50, 57], [13] * 12 + [1], [1] * m]
+    reference = list(iter_rebatched(blocks_of(features, targets, chunkings[0]), 32))
+    for sizes in chunkings[1:]:
+        batches = list(iter_rebatched(blocks_of(features, targets, sizes), 32))
+        assert len(batches) == len(reference)
+        for (xa, ya), (xb, yb) in zip(reference, batches):
+            assert np.array_equal(xa.toarray(), xb.toarray())
+            assert np.array_equal(ya, yb)
+
+
+def test_rebatched_batches_are_exact_slices(corpus, featurizer):
+    features = featurizer.transform(corpus, sparse=True)
+    targets = np.arange(features.shape[0], dtype=float)
+    batches = list(iter_rebatched(blocks_of(features, targets, [40, 40, 77]), 50))
+    sizes = [y.size for _, y in batches]
+    assert sizes == [50, 50, 50, 7]
+    assert np.array_equal(np.concatenate([y for _, y in batches]), targets)
+
+
+# ------------------------------------------------------------- streaming training
+def feature_blocks(features, targets, block_size):
+    sizes = []
+    remaining = features.shape[0]
+    while remaining > 0:
+        sizes.append(min(block_size, remaining))
+        remaining -= sizes[-1]
+    return blocks_of(features, targets, sizes)
+
+
+@pytest.mark.parametrize("block_size", [9, 64, 157])
+def test_logistic_fit_stream_identical_to_materialized(corpus, featurizer, block_size):
+    features = featurizer.transform(corpus, sparse=True)
+    soft = np.random.default_rng(1).random(features.shape[0])
+    reference = NoiseAwareLogisticRegression(epochs=7, shuffle=False, seed=0).fit(features, soft)
+    streamed = NoiseAwareLogisticRegression(epochs=7, shuffle=False, seed=0).fit_stream(
+        feature_blocks(features, soft, block_size)
+    )
+    assert np.array_equal(reference.weights, streamed.weights)
+    assert reference.bias == streamed.bias
+    assert reference.loss_history == streamed.loss_history
+
+
+def test_logistic_fit_stream_dense_blocks(corpus, featurizer):
+    dense = featurizer.transform(corpus)
+    soft = np.random.default_rng(2).random(dense.shape[0])
+    reference = NoiseAwareLogisticRegression(epochs=5, shuffle=False, seed=0).fit(dense, soft)
+    blocks = [(dense[i : i + 31], soft[i : i + 31]) for i in range(0, dense.shape[0], 31)]
+    streamed = NoiseAwareLogisticRegression(epochs=5, shuffle=False, seed=0).fit_stream(blocks)
+    assert np.abs(reference.weights - streamed.weights).max() < 1e-8
+    assert np.allclose(reference.predict_proba(dense), streamed.predict_proba(dense), atol=1e-8)
+
+
+def test_logistic_fit_stream_class_balance(corpus, featurizer):
+    features = featurizer.transform(corpus, sparse=True)
+    soft = np.random.default_rng(3).random(features.shape[0])
+    reference = NoiseAwareLogisticRegression(
+        epochs=4, class_balance=0.3, shuffle=False, seed=0
+    ).fit(features, soft)
+    streamed = NoiseAwareLogisticRegression(
+        epochs=4, class_balance=0.3, shuffle=False, seed=0
+    ).fit_stream(feature_blocks(features, soft, 25))
+    # The streaming pre-pass accumulates the positive mass blockwise, so the
+    # class-balance scale factors can differ from np.mean's pairwise sum in
+    # the last ulp — value-identical, not bit-identical.
+    assert np.abs(reference.weights - streamed.weights).max() < 1e-10
+
+
+@pytest.mark.parametrize("block_size", [17, 80])
+def test_softmax_fit_stream_identical_to_materialized(block_size):
+    candidates = text_candidates(140, seed=4, cardinality=3)
+    featurizer = RelationFeaturizer(num_features=96).fit()
+    features = featurizer.transform(candidates, sparse=True)
+    rng = np.random.default_rng(4)
+    targets = rng.random((features.shape[0], 3))
+    targets /= targets.sum(axis=1, keepdims=True)
+    reference = NoiseAwareSoftmaxRegression(num_classes=3, epochs=6, shuffle=False, seed=0).fit(
+        features, targets
+    )
+    streamed = NoiseAwareSoftmaxRegression(num_classes=3, epochs=6, shuffle=False, seed=0).fit_stream(
+        feature_blocks(features, targets, block_size)
+    )
+    assert np.array_equal(reference.weights, streamed.weights)
+    assert np.array_equal(reference.bias, streamed.bias)
+
+
+def test_mlp_fit_stream_identical_to_materialized(corpus, featurizer):
+    features = featurizer.transform(corpus, sparse=True)
+    soft = np.random.default_rng(5).random(features.shape[0])
+    reference = NoiseAwareMLP(hidden_sizes=(8,), epochs=3, shuffle=False, seed=0).fit(
+        features, soft
+    )
+    streamed = NoiseAwareMLP(hidden_sizes=(8,), epochs=3, shuffle=False, seed=0).fit_stream(
+        feature_blocks(features, soft, 21)
+    )
+    probe = featurizer.transform(text_candidates(31, seed=6))
+    assert np.array_equal(reference.predict_proba(probe), streamed.predict_proba(probe))
+
+
+def test_fit_stream_from_callable_source(corpus, featurizer):
+    """A generator *factory* (re-featurize per epoch) is a valid block source."""
+    soft = np.random.default_rng(6).random(len(corpus))
+
+    def source():
+        for start in range(0, len(corpus), 50):
+            chunk = corpus[start : start + 50]
+            yield featurizer.transform(chunk, sparse=True), soft[start : start + 50]
+
+    features = featurizer.transform(corpus, sparse=True)
+    reference = NoiseAwareLogisticRegression(epochs=3, shuffle=False, seed=0).fit(features, soft)
+    streamed = NoiseAwareLogisticRegression(epochs=3, shuffle=False, seed=0).fit_stream(source)
+    assert np.array_equal(reference.weights, streamed.weights)
+
+
+def test_fit_stream_rejects_one_shot_iterators(corpus, featurizer):
+    features = featurizer.transform(corpus, sparse=True)
+    soft = np.zeros(features.shape[0])
+    one_shot = iter(feature_blocks(features, soft, 50))
+    with pytest.raises(ConfigurationError):
+        NoiseAwareLogisticRegression(epochs=2).fit_stream(one_shot)
+
+
+def test_fit_stream_rejects_empty_stream():
+    with pytest.raises(ConfigurationError):
+        NoiseAwareLogisticRegression().fit_stream([])
+
+
+def test_fit_stream_rejects_explicit_shuffle(corpus, featurizer):
+    """An explicitly demanded shuffled schedule cannot be silently dropped."""
+    features = featurizer.transform(corpus, sparse=True)
+    blocks = [(features, np.zeros(features.shape[0]))]
+    for model in (
+        NoiseAwareLogisticRegression(epochs=1, shuffle=True),
+        NoiseAwareSoftmaxRegression(num_classes=3, epochs=1, shuffle=True),
+        NoiseAwareMLP(hidden_sizes=(4,), epochs=1, shuffle=True),
+    ):
+        with pytest.raises(ConfigurationError):
+            model.fit_stream(blocks)
+
+
+def test_fit_stream_rejects_width_mismatch(corpus):
+    a = RelationFeaturizer(num_features=64).fit().transform(corpus[:50], sparse=True)
+    b = RelationFeaturizer(num_features=32).fit().transform(corpus[50:], sparse=True)
+    soft = np.zeros(50)
+    with pytest.raises(ConfigurationError):
+        NoiseAwareLogisticRegression(epochs=1).fit_stream([(a, soft), (b, soft)])
+
+
+def test_shuffled_fit_unchanged_by_refactor(corpus, featurizer):
+    """shuffle=True (the default) keeps the historical per-epoch permutation."""
+    features = featurizer.transform(corpus)
+    soft = np.random.default_rng(7).random(features.shape[0])
+    shuffled = NoiseAwareLogisticRegression(epochs=5, seed=0).fit(features, soft)
+    ordered = NoiseAwareLogisticRegression(epochs=5, shuffle=False, seed=0).fit(features, soft)
+    assert not np.array_equal(shuffled.weights, ordered.weights)
+
+
+# ----------------------------------------------------------------- end-to-end
+@pytest.mark.parametrize("backend,workers", BACKENDS)
+def test_pipeline_streaming_identical_binary(backend, workers):
+    task = load_task("cdr", scale=0.05, seed=0)
+    dense = SnorkelPipeline(config=PipelineConfig(seed=0)).run(task)
+    sparse = SnorkelPipeline(config=PipelineConfig(seed=0, sparse_features=True)).run(task)
+    stream = SnorkelPipeline(
+        config=PipelineConfig(
+            seed=0,
+            streaming=True,
+            chunk_size=37,
+            applier_backend=backend,
+            applier_workers=workers,
+        )
+    ).run(task)
+    assert np.array_equal(dense.label_matrix.values, stream.label_matrix.values)
+    assert np.array_equal(dense.training_probs, stream.training_probs)
+    # Bit-identical to the CSR-materialized path, ≤1e-8 to the dense one
+    # (the only difference is dense vs sparse matvec summation order).
+    assert np.array_equal(
+        sparse.discriminative_model.weights, stream.discriminative_model.weights
+    )
+    assert np.abs(
+        dense.discriminative_model.weights - stream.discriminative_model.weights
+    ).max() < 1e-8
+    featurizer = SnorkelPipeline().featurizer.fit()
+    test_features = featurizer.transform(task.split_candidates("test"))
+    assert np.allclose(
+        dense.discriminative_model.predict_proba(test_features),
+        stream.discriminative_model.predict_proba(test_features),
+        atol=1e-8,
+    )
+    assert dense.generative_f1 == stream.generative_f1
+    assert abs(dense.discriminative_f1 - stream.discriminative_f1) < 1e-8
+
+
+@pytest.mark.parametrize("chunk_size", [23, 256])
+def test_pipeline_streaming_identical_multiclass(chunk_size):
+    task = build_multiclass_task(num_points=200, num_lfs=10, cardinality=3, seed=3)
+    config = dict(seed=0, use_optimizer=False, generative_epochs=5, discriminative_epochs=8)
+    base = SnorkelPipeline(config=PipelineConfig(**config)).run(task)
+    stream = SnorkelPipeline(
+        config=PipelineConfig(**config, streaming=True, chunk_size=chunk_size)
+    ).run(task)
+    assert np.array_equal(base.label_matrix.values, stream.label_matrix.values)
+    assert np.array_equal(base.training_probs, stream.training_probs)
+    # The softmax path densifies per minibatch: bit-identical end model.
+    assert np.array_equal(
+        base.discriminative_model.weights, stream.discriminative_model.weights
+    )
+    assert base.discriminative_f1 == stream.discriminative_f1
+
+
+def test_pipeline_streaming_sparse_labels_end_to_end():
+    task = load_task("cdr", scale=0.05, seed=0)
+    default = SnorkelPipeline(config=PipelineConfig(seed=0, streaming=True)).run(task)
+    sparse_labels = SnorkelPipeline(
+        config=PipelineConfig(seed=0, streaming=True, sparse_labels=True, chunk_size=64)
+    ).run(task)
+    assert np.array_equal(default.label_matrix.values, sparse_labels.label_matrix.values)
+    # Dense and sparse label-model storage agree to 1e-10 (not bitwise), so
+    # the end models trained on those probs agree to the same tolerance.
+    assert np.abs(default.training_probs - sparse_labels.training_probs).max() < 1e-10
+    assert np.abs(
+        default.discriminative_model.weights - sparse_labels.discriminative_model.weights
+    ).max() < 1e-8
+
+
+def test_run_streams_generator_fed():
+    """A pure generator front-end: candidates never exist as a list."""
+    lfs = text_vote_lfs(NUM_LFS)
+    config = PipelineConfig(
+        seed=0, streaming=True, chunk_size=64, generative_epochs=5, discriminative_epochs=6
+    )
+    result = SnorkelPipeline(lfs=lfs, config=config).run_streams(
+        stream_text_candidates(num_points=300, num_lfs=NUM_LFS, seed=0),
+        stream_text_candidates(num_points=90, num_lfs=NUM_LFS, seed=1),
+        stream_text_gold(90, seed=1),
+    )
+    # Same run, materialized by hand for comparison.
+    train = text_candidates(300, seed=0)
+    test = text_candidates(90, seed=1)
+    applier = LFApplier(lfs)
+    reference_labels = applier.apply(train)
+    assert np.array_equal(result.label_matrix.values, reference_labels.values)
+    assert 0.0 <= result.discriminative_f1 <= 1.0
+    assert result.task_name == "stream"
+    assert set(result.timings) == {"lf_application", "label_modeling", "discriminative_training"}
+
+
+def test_end_model_shuffle_restores_historical_schedule():
+    task = load_task("cdr", scale=0.05, seed=0)
+    shuffled = SnorkelPipeline(
+        config=PipelineConfig(seed=0, end_model_shuffle=True)
+    ).run(task)
+    legacy = SnorkelPipeline(
+        config=PipelineConfig(seed=0),
+        discriminative_model=NoiseAwareLogisticRegression(epochs=40, shuffle=True, seed=0),
+    ).run(task)
+    assert np.array_equal(
+        shuffled.discriminative_model.weights, legacy.discriminative_model.weights
+    )
+    with pytest.raises(ConfigurationError):
+        PipelineConfig(streaming=True, end_model_shuffle=True)
+
+
+def test_run_streams_requires_lfs():
+    with pytest.raises(ConfigurationError):
+        SnorkelPipeline(config=PipelineConfig(streaming=True)).run_streams(
+            iter(()), iter(()), np.zeros(0)
+        )
+
+
+# ------------------------------------------------- featurizer fitted-state bugfix
+def test_transform_before_fit_raises(corpus):
+    featurizer = RelationFeaturizer(num_features=64)
+    with pytest.raises(NotFittedError):
+        featurizer.transform(corpus[:3])
+    with pytest.raises(NotFittedError):
+        featurizer.transform(corpus[:3], sparse=True)
+    vectorizer = HashingVectorizer(num_features=32)
+    with pytest.raises(NotFittedError):
+        vectorizer.transform([["some", "words"]])
+    # After fit, both paths work and agree.
+    featurizer.fit()
+    assert featurizer.transform(corpus[:3]).shape == (3, featurizer.output_dim)
+
+
+def test_config_mutation_after_fit_raises(corpus):
+    featurizer = RelationFeaturizer(num_features=64).fit()
+    featurizer.num_features = 128  # would silently misalign every column
+    with pytest.raises(ConfigurationError):
+        featurizer.transform(corpus[:3])
+    vectorizer = HashingVectorizer(num_features=32).fit()
+    vectorizer.num_features = 64
+    with pytest.raises(ConfigurationError):
+        vectorizer.transform([["some", "words"]])
+
+
+def test_fit_does_not_consume_generators():
+    generator = stream_text_candidates(num_points=5, num_lfs=2, seed=0)
+    RelationFeaturizer(num_features=16).fit(generator)
+    assert len(list(generator)) == 5
