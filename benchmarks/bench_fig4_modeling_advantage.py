@@ -10,7 +10,8 @@ def test_fig4_modeling_advantage(run_once):
         lf_counts=(1, 2, 5, 10, 20, 50, 100),
         epochs=8,
     )
-    print("\n[Figure 4] modeling advantage vs label density\n" + fig4_advantage.format_table(points))
+    print("\n[Figure 4] modeling advantage vs label density")
+    print(fig4_advantage.format_table(points))
     densities = [p.label_density for p in points]
     advantages = [p.optimal_advantage for p in points]
     # Shape check: the advantage peaks in the mid-density regime (not at the extremes).

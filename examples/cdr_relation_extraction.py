@@ -12,6 +12,11 @@ from repro.datasets import load_task
 from repro.pipeline import PipelineConfig, SnorkelPipeline
 
 
+def LINT_LFS():
+    """The task's LF suite, for ``python -m repro.analysis`` self-linting."""
+    return load_task("cdr", scale=0.05, seed=0).lfs
+
+
 def main() -> None:
     task = load_task("cdr", scale=0.15, seed=0)
     print(f"Task: {task.name} — {len(task.lfs)} LFs, "

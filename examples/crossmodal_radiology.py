@@ -6,7 +6,6 @@ the paper's Section 4.1.2 radiology setting.
 Run with ``python examples/crossmodal_radiology.py``.
 """
 
-import numpy as np
 
 from repro.datasets import load_task
 from repro.discriminative.image import ImageFeatureClassifier, extract_image_features
@@ -14,6 +13,11 @@ from repro.evaluation import roc_auc
 from repro.labeling import LFApplier
 from repro.labelmodel import GenerativeModel
 from repro.types import POSITIVE
+
+
+def LINT_LFS():
+    """The report-LF suite, for ``python -m repro.analysis`` self-linting."""
+    return load_task("radiology", scale=0.05, seed=0).lfs
 
 
 def main() -> None:

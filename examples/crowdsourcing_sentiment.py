@@ -17,6 +17,11 @@ from repro.labelmodel import GenerativeModel, MultiClassMajorityVoter
 from repro.labelmodel.dawid_skene import DawidSkeneModel
 
 
+def LINT_LFS():
+    """The crowd-worker LF suite, for ``python -m repro.analysis`` self-linting."""
+    return load_task("crowd", scale=0.25, seed=0).lfs
+
+
 def main() -> None:
     task = load_task("crowd", scale=1.0, seed=0)
     train = task.split_candidates("train")

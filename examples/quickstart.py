@@ -36,6 +36,11 @@ def lf_far_apart(x):
     return NEGATIVE if x.token_distance() > 12 else None
 
 
+def LINT_LFS():
+    """Hand-written LFs plus the task suite, for ``python -m repro.analysis``."""
+    return [lf_causes, lf_treats, lf_far_apart] + load_task("cdr", scale=0.05, seed=0).lfs
+
+
 def main() -> None:
     # 2. Load a small synthetic CDR-style task; take its curated LF suite plus ours.
     task = load_task("cdr", scale=0.08, seed=0)
@@ -65,7 +70,10 @@ def main() -> None:
         task.split_gold("test"), end_model.predict_proba(featurizer.transform(test))
     )
     hand = hand_supervision_baseline(task, epochs=30)
-    print(f"\nSnorkel end model:  P={report.precision:.2f} R={report.recall:.2f} F1={report.f1:.2f}")
+    print(
+        f"\nSnorkel end model:  P={report.precision:.2f} "
+        f"R={report.recall:.2f} F1={report.f1:.2f}"
+    )
     print(f"Hand supervision :  F1={hand.f1:.2f}")
 
 

@@ -31,6 +31,11 @@ NUM_TEST = 1_000
 NUM_LFS = 12
 
 
+def LINT_LFS():
+    """The synthetic text-vote LF suite, for ``python -m repro.analysis``."""
+    return text_vote_lfs(NUM_LFS)
+
+
 def main() -> None:
     lfs = text_vote_lfs(NUM_LFS)
     test_gold = stream_text_gold(NUM_TEST, seed=1)
@@ -67,7 +72,9 @@ def main() -> None:
         TaskDataset(
             name="stream-example",
             candidates={
-                "train": list(stream_text_candidates(num_points=NUM_TRAIN, num_lfs=NUM_LFS, seed=0)),
+                "train": list(
+                    stream_text_candidates(num_points=NUM_TRAIN, num_lfs=NUM_LFS, seed=0)
+                ),
                 "test": list(stream_text_candidates(num_points=NUM_TEST, num_lfs=NUM_LFS, seed=1)),
             },
             gold={"test": test_gold},

@@ -24,7 +24,11 @@ snapshot (default ``BENCH_sparse.json`` in the repository root):
   apply+featurize engine pass, CSR-block minibatch end-model training) vs
   the materialized pipeline on a 50k-candidate synthetic text task:
   throughput, peak traced memory, and value parity
-  (``benchmarks/bench_discriminative_streaming.py``).
+  (``benchmarks/bench_discriminative_streaming.py``);
+* ``lf_analysis`` — static-analysis amortization: the analyze-call count is
+  per-suite rather than per-candidate (asserted structurally), plus the
+  one-time validation cost relative to the apply itself
+  (``benchmarks/bench_lf_analysis.py``).
 
 ``--compare`` re-measures and checks every ``*_seconds`` metric against the
 committed snapshot, failing (exit code 1) on a more-than-``--threshold``-fold
@@ -116,6 +120,7 @@ def measure(quick: bool = False) -> dict:
     em_epoch = _load_bench_module("bench_em_epoch")
     featurizer = _load_bench_module("bench_featurizer_throughput")
     streaming = _load_bench_module("bench_discriminative_streaming")
+    lf_analysis = _load_bench_module("bench_lf_analysis")
 
     print("[sparse_scaling]")
     scaling_records = scaling.run_scaling(
@@ -170,6 +175,18 @@ def measure(quick: bool = False) -> dict:
         )
     )
     print(streaming.format_record(streaming_record))
+    print("\n[lf_analysis]")
+    lf_analysis_record = lf_analysis.run_lf_analysis_benchmark(
+        **({"small_corpus": 100, "large_corpus": 1_000} if quick else {})
+    )
+    print(lf_analysis.format_record(lf_analysis_record))
+    # The subsystem's cost-model claim, asserted on every snapshot: analysis
+    # is per-suite, not per-candidate — the 10x corpus performs the same
+    # number of analyze calls.
+    assert (
+        lf_analysis_record["analyze_calls_small_corpus"]
+        == lf_analysis_record["analyze_calls_large_corpus"]
+    ), "LF analysis ran per-candidate, not per-suite"
 
     return {
         "python": platform.python_version(),
@@ -185,6 +202,7 @@ def measure(quick: bool = False) -> dict:
             "em_epoch": {"records": em_epoch_records},
             "featurizer_throughput": {"record": featurizer_record},
             "discriminative_streaming": {"record": streaming_record},
+            "lf_analysis": {"record": lf_analysis_record},
         },
     }
 

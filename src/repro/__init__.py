@@ -6,12 +6,11 @@ generative label model, the modeling-strategy optimizer, noise-aware end
 models, and the end-to-end :class:`repro.pipeline.snorkel.SnorkelPipeline`.
 """
 
-from repro.types import ABSTAIN, NEGATIVE, POSITIVE, Label
 from repro.labeling import (
+    LabelingFunction,
+    LabelMatrix,
     LFAnalysis,
     LFApplier,
-    LabelMatrix,
-    LabelingFunction,
     labeling_function,
 )
 from repro.labelmodel import (
@@ -19,6 +18,7 @@ from repro.labelmodel import (
     MajorityVoter,
     ModelingStrategyOptimizer,
 )
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE, Label
 
 __version__ = "0.1.0"
 

@@ -1,0 +1,178 @@
+"""Static analysis of labeling functions and engine chunk tasks.
+
+Labeling functions are arbitrary user Python, yet the system's guarantees —
+deterministic label matrices, bit-identical results across executor
+backends, labels inside the declared cardinality — all assume properties no
+one checks.  This package checks them *before* the first candidate is
+labeled:
+
+* :func:`analyze_lf` — one LF in, an
+  :class:`~repro.analysis.diagnostics.LFAnalysisResult` out: coded
+  diagnostics (``LF001``+, see :mod:`repro.analysis.diagnostics`) from the
+  AST lint passes (:mod:`repro.analysis.lint`), a picklability probe, and
+  the pushdown-compilability verdict (:mod:`repro.analysis.pushdown`).
+* :func:`analyze_suite` — a whole LF suite into one
+  :class:`~repro.analysis.diagnostics.AnalysisReport`; this is what
+  ``LFApplier(validate="warn"|"error")`` runs before applying.
+* :func:`repro.analysis.contracts.check_task` /
+  :func:`~repro.analysis.contracts.check_engine_tasks` — purity contracts
+  over engine chunk tasks.
+* :mod:`repro.analysis.runtime` — dynamic cross-checks (differential
+  static-vs-observed verification) and the debug-mode purity shim.
+* ``python -m repro.analysis <module_or_path> ...`` — the standalone linter
+  CLI (:mod:`repro.analysis.cli`), which CI runs over the library's own LFs.
+
+The analysis cost is per-*LF*, not per-candidate: a suite is analyzed once
+per apply call, so validation overhead is independent of corpus size (the
+``lf_analysis`` benchmark section asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterable, Optional
+
+from repro.analysis.contracts import check_engine_tasks, check_task
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    LFAnalysisResult,
+    PushdownVerdict,
+    Severity,
+    make_diagnostic,
+    merge_reports,
+)
+from repro.analysis.lint import FunctionScope, lint_function
+from repro.analysis.pushdown import classify_pushdown
+from repro.analysis.runtime import (
+    ObservedBehavior,
+    PurityCheckedTask,
+    crosscheck,
+    observe_lf,
+    observe_task_purity,
+)
+from repro.analysis.source import extract_source, resolve_function
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "Diagnostic",
+    "FunctionScope",
+    "LFAnalysisResult",
+    "ObservedBehavior",
+    "PurityCheckedTask",
+    "PushdownVerdict",
+    "Severity",
+    "analyze_lf",
+    "analyze_suite",
+    "check_engine_tasks",
+    "check_task",
+    "classify_pushdown",
+    "crosscheck",
+    "extract_source",
+    "lint_function",
+    "make_diagnostic",
+    "merge_reports",
+    "observe_lf",
+    "observe_task_purity",
+    "resolve_function",
+]
+
+#: Hazard code prefixes that disqualify an LF from pushdown compilation even
+#: when its predicate shape matched: a nondeterministic, state-mutating, or
+#: I/O-performing body cannot be replayed as a columnar expression.
+_PUSHDOWN_HAZARD_PREFIXES = ("LF2", "LF3", "LF4")
+
+
+def _lf_name_of(fn: Any) -> str:
+    name = getattr(fn, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return getattr(fn, "__name__", None) or type(fn).__name__
+
+
+def analyze_lf(
+    fn: Any,
+    cardinality: Optional[int] = None,
+    backend: Optional[str] = None,
+    probe_pickle: bool = True,
+) -> LFAnalysisResult:
+    """Run every static check over one LF callable.
+
+    Parameters
+    ----------
+    fn:
+        The LF — a :class:`~repro.labeling.lf.LabelingFunction`, a plain
+        function, a closure, or a callable instance.
+    cardinality:
+        Declared task cardinality for the label-range checks; defaults to
+        the wrapper's ``cardinality`` attribute, else 2.
+    backend:
+        The executor backend the LF is about to run under, if known; only
+        sharpens the picklability message (``"processes"``).
+    probe_pickle:
+        Run the ``pickle.dumps`` pre-flight probe (cheap; disable for pure
+        source-level linting of already-imported suites).
+    """
+    if cardinality is None:
+        declared = getattr(fn, "cardinality", None)
+        cardinality = int(declared) if isinstance(declared, int) else 2
+    lf_name = _lf_name_of(fn)
+    info = extract_source(fn)
+    diagnostics, inferred = lint_function(info, lf_name, cardinality=cardinality)
+    result = LFAnalysisResult(
+        lf_name=lf_name,
+        diagnostics=diagnostics,
+        inferred_labels=inferred,
+        source_available=info.tree is not None,
+    )
+    result.pushdown = classify_pushdown(info)
+    hazards = sorted(
+        code for code in result.codes() if code.startswith(_PUSHDOWN_HAZARD_PREFIXES)
+    )
+    if hazards and result.pushdown.compilable:
+        result.pushdown = PushdownVerdict(
+            "OPAQUE", detail=f"predicate shape matched but hazards remain: {', '.join(hazards)}"
+        )
+    if probe_pickle:
+        try:
+            pickle.dumps(fn)
+            result.picklable = True
+        except Exception as exc:
+            result.picklable = False
+            hint = (
+                "the processes backend relies on fork-side memory inheritance "
+                "for this LF; spawn platforms will fail at pool startup"
+                if backend == "processes"
+                else "the processes backend under spawn (macOS/Windows) will "
+                "fail at pool startup"
+            )
+            result.diagnostics.append(
+                make_diagnostic(
+                    "LF501",
+                    f"pickling failed with {type(exc).__name__}: {exc}; {hint}",
+                    lf_name=lf_name,
+                )
+            )
+    return result
+
+
+def analyze_suite(
+    lfs: Iterable[Any],
+    cardinality: Optional[int] = None,
+    backend: Optional[str] = None,
+    probe_pickle: bool = True,
+) -> AnalysisReport:
+    """Analyze a whole LF suite into one :class:`AnalysisReport`."""
+    report = AnalysisReport()
+    for fn in lfs:
+        report.results.append(
+            analyze_lf(
+                fn,
+                cardinality=cardinality,
+                backend=backend,
+                probe_pickle=probe_pickle,
+            )
+        )
+    return report

@@ -7,16 +7,16 @@ parent/child relationships, persisted through the ORM layer in
 tuples of contexts (here: pairs of entity-tagged spans in a sentence).
 """
 
-from repro.context.contexts import Document, Sentence, Span, EntityMention
 from repro.context.candidates import Candidate
+from repro.context.contexts import Document, EntityMention, Sentence, Span
 from repro.context.corpus import Corpus
+from repro.context.extraction import CandidateExtractor, PairedEntityCandidateSpace
 from repro.context.preprocessing import (
     DictionaryEntityTagger,
     SimpleSentenceSplitter,
     SimpleTokenizer,
     TextPreprocessor,
 )
-from repro.context.extraction import CandidateExtractor, PairedEntityCandidateSpace
 
 __all__ = [
     "Document",

@@ -8,7 +8,7 @@ views — the denormalized objects labeling functions receive.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.context.candidates import Candidate, CandidateRecord, SentenceView, SpanView
 from repro.context.contexts import CONTEXT_RECORD_TYPES, Document, EntityMention, Sentence, Span

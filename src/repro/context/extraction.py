@@ -12,9 +12,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.context.candidates import Candidate, CandidateRecord
-from repro.context.contexts import Document, EntityMention, Sentence, Span
+from repro.context.contexts import Document, EntityMention, Span
 from repro.context.corpus import Corpus
-from repro.exceptions import ContextError
 
 
 @dataclass(frozen=True)
@@ -45,7 +44,9 @@ class PairedEntityCandidateSpace:
     ) -> list[tuple[Span, Span]]:
         """Enumerate candidate span pairs for one sentence's tagged entities."""
         first = [(span, mention) for span, mention in entities if mention.entity_type == self.type1]
-        second = [(span, mention) for span, mention in entities if mention.entity_type == self.type2]
+        second = [
+            (span, mention) for span, mention in entities if mention.entity_type == self.type2
+        ]
         pairs: list[tuple[Span, Span]] = []
         if self.type1 == self.type2:
             for i in range(len(first)):

@@ -11,7 +11,7 @@ as typed spans that candidate extraction consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.utils.textutils import normalize, split_sentences, tokenize_with_offsets
 

@@ -9,7 +9,7 @@ type), and summary statistics matching the paper's Table 2 / Table 7 columns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
@@ -105,7 +105,9 @@ class TaskDataset:
         try:
             return self.gold[split]
         except KeyError:
-            raise DatasetError(f"task {self.name!r} has no gold labels for split {split!r}") from None
+            raise DatasetError(
+                f"task {self.name!r} has no gold labels for split {split!r}"
+            ) from None
 
     @property
     def num_candidates(self) -> int:

@@ -71,7 +71,12 @@ NEGATIVE_CUES = [
 ]
 
 #: Regex stems that deliberately overlap with the keyword LFs (correlated LFs).
-CORRELATED_STEMS = [("caus", POSITIVE), ("induc", POSITIVE), ("treat", NEGATIVE), ("prevent", NEGATIVE)]
+CORRELATED_STEMS = [
+    ("caus", POSITIVE),
+    ("induc", POSITIVE),
+    ("treat", NEGATIVE),
+    ("prevent", NEGATIVE),
+]
 
 
 def build_spec(scale: float = 1.0) -> RelationTaskSpec:

@@ -30,7 +30,7 @@ from repro.datasets.vocab import (
 )
 from repro.evaluation.splits import assign_document_splits
 from repro.labeling.generators import CrowdWorkerLFGenerator
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import ensure_rng
 
 #: The five sentiment classes of the CrowdFlower task.
 CROWD_CLASSES = {

@@ -12,7 +12,7 @@ generator consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro.exceptions import DatasetError
 from repro.utils.rng import SeedLike, ensure_rng

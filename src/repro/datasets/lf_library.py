@@ -10,11 +10,11 @@ modules only supply vocabulary.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.context.candidates import Candidate
 from repro.datasets.kb import KnowledgeBase
-from repro.labeling.declarative import keyword_lf, lf_search, pattern_lf
+from repro.labeling.declarative import lf_search, pattern_lf
 from repro.labeling.generators import OntologyLFGenerator
 from repro.labeling.lf import LabelingFunction
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE
@@ -125,3 +125,27 @@ def structure_based_lfs(
 
 def _slug(text: str) -> str:
     return "".join(ch if ch.isalnum() else "_" for ch in text.lower()).strip("_")
+
+
+def LINT_LFS() -> list[LabelingFunction]:
+    """Representative suite for ``python -m repro.analysis`` (see its CLI docs).
+
+    The library's LFs are built by parameterized factories, so there is
+    nothing at module level for the linter to collect; this hook instantiates
+    one of each factory family with sample vocabulary.  CI self-lints this
+    suite, so a factory change that introduces an out-of-range label, hidden
+    randomness, or shared-state mutation fails the build.
+    """
+    kb = KnowledgeBase(
+        name="lint_kb",
+        subsets={
+            "known_pairs": {("aspirin", "headache")},
+            "known_negatives": {("water", "headache")},
+        },
+    )
+    return (
+        keyword_pattern_lfs(["causes"], ["treats"])
+        + regex_variant_lfs([("caus", POSITIVE), ("treat", NEGATIVE)])
+        + distant_supervision_lfs(kb, "known_pairs", "known_negatives")
+        + structure_based_lfs()
+    )

@@ -31,7 +31,7 @@ from repro.evaluation.splits import assign_document_splits
 from repro.labeling.declarative import keyword_lf
 from repro.labeling.lf import LabelingFunction
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import ensure_rng
 from repro.utils.textutils import normalize
 
 ABNORMAL_TEMPLATES = [

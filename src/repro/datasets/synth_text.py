@@ -212,8 +212,9 @@ def _generate_sentence(
     if spec.entity_type1 == spec.entity_type2:
         while surface2 == surface1:
             surface2 = surfaces2[int(rng.integers(len(surfaces2)))]
-    canonical1 = spec.entities1[surface1] if surface1 in spec.entities1 else spec.entities2[surface1]
-    canonical2 = spec.entities2[surface2] if surface2 in spec.entities2 else spec.entities1[surface2]
+    entities1, entities2 = spec.entities1, spec.entities2
+    canonical1 = entities1[surface1] if surface1 in entities1 else entities2[surface1]
+    canonical2 = entities2[surface2] if surface2 in entities2 else entities1[surface2]
     gold = gold_lookup((canonical1, canonical2))
 
     use_neutral = spec.neutral_templates and rng.random() < spec.neutral_probability

@@ -16,10 +16,10 @@ store are built on top of it, exactly as Snorkel's data model sits on its ORM
 layer.
 """
 
+from repro.db.orm import MappedRecord, Session
+from repro.db.query import Query
 from repro.db.schema import Column, ColumnType, ForeignKey, Schema, Table
 from repro.db.storage import Database
-from repro.db.query import Query
-from repro.db.orm import Session, MappedRecord
 
 __all__ = [
     "Column",

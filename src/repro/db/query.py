@@ -8,7 +8,7 @@ keys — the subset of SQL the context hierarchy and label store actually need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.exceptions import QueryError

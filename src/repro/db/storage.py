@@ -5,7 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterable, Iterator, Mapping, Optional
 
-from repro.db.schema import ColumnType, Schema, Table
+from repro.db.schema import Schema, Table
 from repro.exceptions import IntegrityError, QueryError, SchemaError
 
 

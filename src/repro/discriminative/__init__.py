@@ -10,9 +10,9 @@ noise-aware loss ``Σ_i E_{y~Ỹ_i}[ℓ(h_θ(x_i), y)]`` (paper Section 2.3).
 
 from repro.discriminative.adam import AdamOptimizer
 from repro.discriminative.featurizers import HashingVectorizer, RelationFeaturizer
+from repro.discriminative.image import ImageFeatureClassifier
 from repro.discriminative.logistic import NoiseAwareLogisticRegression
 from repro.discriminative.mlp import NoiseAwareMLP
-from repro.discriminative.image import ImageFeatureClassifier
 from repro.discriminative.sparse_features import CSRFeatureMatrix, as_float_features
 
 __all__ = [

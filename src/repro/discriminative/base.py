@@ -32,7 +32,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 import numpy as np
 
 from repro.discriminative.sparse_features import CSRFeatureMatrix
-from repro.exceptions import ConfigurationError, NotFittedError
+from repro.exceptions import ConfigurationError
 from repro.types import NEGATIVE, POSITIVE
 from repro.utils.mathutils import clip_probabilities
 

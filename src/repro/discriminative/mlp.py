@@ -13,7 +13,6 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.discriminative.adam import AdamOptimizer
-from repro.discriminative.sparse_features import as_dense_features
 from repro.discriminative.base import (
     BlockSource,
     NoiseAwareClassifier,
@@ -24,6 +23,7 @@ from repro.discriminative.base import (
     require_nonempty_batches,
     resolve_block_source,
 )
+from repro.discriminative.sparse_features import as_dense_features
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.mathutils import sigmoid
 from repro.utils.rng import SeedLike, ensure_rng
@@ -172,7 +172,8 @@ class NoiseAwareMLP(NoiseAwareClassifier):
             activations.append(hidden)
         probs = np.asarray(sigmoid(pre_activations[-1][:, 0]))
         delta = ((probs - soft) * weights / batch.shape[0])[:, None]
-        gradients: list[tuple[np.ndarray, np.ndarray]] = [None] * len(layers)  # type: ignore[list-item]
+        gradients: list[tuple[np.ndarray, np.ndarray]]
+        gradients = [None] * len(layers)  # type: ignore[list-item]
         for index in range(len(layers) - 1, -1, -1):
             weight, _ = layers[index]
             grad_weight = activations[index].T @ delta + self.reg_strength * weight

@@ -120,7 +120,8 @@ class NoiseAwareSoftmaxRegression:
                         self._as_distributions(block_targets, int(block_features.shape[0])),
                     )
 
-            for batch_features, batch_targets in iter_rebatched(canonical_blocks(), self.batch_size):
+            batches = iter_rebatched(canonical_blocks(), self.batch_size)
+            for batch_features, batch_targets in batches:
                 yield as_dense_features(batch_features), batch_targets
 
         return self._train_minibatches(num_features, epoch_batches)

@@ -18,7 +18,7 @@ sparse features without densifying anything beyond one minibatch's scores.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence, Union
+from typing import Mapping, Sequence, Union
 
 import numpy as np
 
@@ -115,7 +115,9 @@ class CSRFeatureMatrix:
             raise ConfigurationError("triple rows must be non-decreasing (row-major order)")
         indptr = np.zeros(shape[0] + 1, dtype=np.int64)
         np.cumsum(np.bincount(rows, minlength=shape[0]), out=indptr[1:])
-        return cls(indptr, np.asarray(cols, dtype=np.int64), np.asarray(values, dtype=np.float64), shape)
+        return cls(
+            indptr, np.asarray(cols, dtype=np.int64), np.asarray(values, dtype=np.float64), shape
+        )
 
     @classmethod
     def vstack(cls, blocks: Sequence["CSRFeatureMatrix"]) -> "CSRFeatureMatrix":
@@ -204,7 +206,9 @@ class CSRFeatureMatrix:
             row_indices = row_indices.astype(np.int64)
         if _use_scipy():
             selected = self.to_scipy()[row_indices]
-            return CSRFeatureMatrix(selected.indptr, selected.indices, selected.data, selected.shape)
+            return CSRFeatureMatrix(
+                selected.indptr, selected.indices, selected.data, selected.shape
+            )
         starts = self.indptr[row_indices]
         counts = self.indptr[row_indices + 1] - starts
         gather = _ranges_gather(starts, counts)

@@ -12,8 +12,8 @@ from repro.evaluation.metrics import (
 )
 from repro.evaluation.scorer import (
     BinaryScorer,
-    MultiClassScoreReport,
     MultiClassScorer,
+    MultiClassScoreReport,
     ScoreReport,
 )
 from repro.evaluation.splits import SplitSizes, split_indices

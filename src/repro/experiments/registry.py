@@ -30,7 +30,9 @@ EXPERIMENTS: list[ExperimentSpec] = [
         "repro.experiments.fig6_cdr_advantage.run", "benchmarks/bench_fig6_cdr_advantage.py",
     ),
     ExperimentSpec(
-        "table1", "Table 1", "Modeling advantage, optimizer bound, strategy, label density per task",
+        "table1",
+        "Table 1",
+        "Modeling advantage, optimizer bound, strategy, label density per task",
         "repro.experiments.table1_advantage.run", "benchmarks/bench_table1_advantage.py",
     ),
     ExperimentSpec(
@@ -39,7 +41,8 @@ EXPERIMENTS: list[ExperimentSpec] = [
     ),
     ExperimentSpec(
         "table3", "Table 3", "Relation extraction: DS vs Snorkel (gen/disc) vs hand supervision",
-        "repro.experiments.table3_relation_extraction.run", "benchmarks/bench_table3_relation_extraction.py",
+        "repro.experiments.table3_relation_extraction.run",
+        "benchmarks/bench_table3_relation_extraction.py",
     ),
     ExperimentSpec(
         "table4", "Table 4", "Cross-modal tasks: radiology AUC and crowd accuracy",
@@ -47,7 +50,8 @@ EXPERIMENTS: list[ExperimentSpec] = [
     ),
     ExperimentSpec(
         "table5", "Table 5", "Discriminative model on unweighted LFs vs Snorkel labels",
-        "repro.experiments.table5_generative_effect.run", "benchmarks/bench_table5_generative_effect.py",
+        "repro.experiments.table5_generative_effect.run",
+        "benchmarks/bench_table5_generative_effect.py",
     ),
     ExperimentSpec(
         "table6", "Table 6", "Labeling-function type ablation on CDR",

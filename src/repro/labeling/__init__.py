@@ -20,7 +20,8 @@ blocks are merged deterministically, so ``LFApplier.apply`` streams over any
 candidate iterable without materializing it.
 """
 
-from repro.labeling.lf import LabelingFunction, labeling_function
+from repro.labeling.analysis import LFAnalysis
+from repro.labeling.applier import ApplyReport, LFApplier
 from repro.labeling.declarative import (
     dictionary_lf,
     keyword_lf,
@@ -28,12 +29,11 @@ from repro.labeling.declarative import (
     pattern_lf,
     weak_classifier_lf,
 )
-from repro.labeling.generators import OntologyLFGenerator, CrowdWorkerLFGenerator
-from repro.labeling.applier import ApplyReport, LFApplier
 from repro.labeling.engine import ExecutionPlan, run_plan
+from repro.labeling.generators import CrowdWorkerLFGenerator, OntologyLFGenerator
+from repro.labeling.lf import LabelingFunction, labeling_function
 from repro.labeling.matrix import LabelMatrix
 from repro.labeling.sparse import SparseLabelMatrix
-from repro.labeling.analysis import LFAnalysis
 
 __all__ = [
     "ApplyReport",

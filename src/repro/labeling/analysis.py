@@ -160,7 +160,8 @@ class LFAnalysis:
         header = f"{'LF':<40}{'Cov.':>8}{'Overlap':>10}{'Conflict':>10}{'Acc.':>8}"
         lines = [header, "-" * len(header)]
         for row in rows:
-            accuracy = f"{row.empirical_accuracy:.2f}" if row.empirical_accuracy is not None else "  -"
+            empirical = row.empirical_accuracy
+            accuracy = f"{empirical:.2f}" if empirical is not None else "  -"
             lines.append(
                 f"{row.name:<40}{row.coverage:>8.2f}{row.overlap:>10.2f}"
                 f"{row.conflict:>10.2f}{accuracy:>8}"

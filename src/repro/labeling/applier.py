@@ -33,14 +33,19 @@ import numpy as np
 
 from repro.exceptions import LabelingError
 from repro.labeling.engine import ExecutionPlan, label_and_featurize_chunk, run_plan
+from repro.labeling.engine.accumulator import LFErrorDetail
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labeling.sparse import SparseLabelMatrix
 from repro.types import ABSTAIN
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.analysis.diagnostics import AnalysisReport
     from repro.discriminative.featurizers import RelationFeaturizer
     from repro.discriminative.sparse_features import CSRFeatureMatrix
+
+#: Accepted values for ``LFApplier(validate=...)`` / ``PipelineConfig.lf_validate``.
+VALIDATE_MODES = ("off", "warn", "error")
 
 
 @dataclass
@@ -56,21 +61,30 @@ class ApplyReport:
     errors:
         Mapping ``lf name -> number of suppressed exceptions`` (only populated
         when ``fault_tolerant=True``), merged across workers in chunk order.
+    error_details:
+        Per-LF exception breakdown behind ``errors``: counts per exception
+        class plus the first retained traceback, in chunk order (see
+        :class:`repro.labeling.engine.accumulator.LFErrorDetail`).
     backend:
         Executor backend that ran the chunks.
     num_workers:
         Worker count the executor used (1 for the sequential backend).
     chunk_seconds:
         Per-chunk wall-clock seconds, in chunk order (not completion order).
+    analysis:
+        The static-analysis report produced by ``validate="warn"|"error"``
+        before the run, or ``None`` when validation was off.
     """
 
     num_candidates: int = 0
     num_lfs: int = 0
     num_chunks: int = 0
     errors: dict[str, int] = field(default_factory=dict)
+    error_details: dict[str, LFErrorDetail] = field(default_factory=dict)
     backend: str = "sequential"
     num_workers: int = 1
     chunk_seconds: list[float] = field(default_factory=list)
+    analysis: Optional["AnalysisReport"] = None
 
     @property
     def num_errors(self) -> int:
@@ -105,6 +119,13 @@ class LFApplier:
     num_workers:
         Worker count for the pool backends (``None`` = one per available
         CPU); ignored by the sequential backend.
+    validate:
+        Static-analysis gate run once per apply call, before any candidate
+        is labeled (see :mod:`repro.analysis`).  ``"off"`` (default) skips
+        it; ``"warn"`` attaches the :class:`AnalysisReport` to the
+        :class:`ApplyReport` and prints nothing; ``"error"`` additionally
+        raises :class:`LabelingError` when any ERROR-severity diagnostic is
+        found (out-of-range labels, unseeded randomness, global mutation).
     """
 
     def __init__(
@@ -114,6 +135,7 @@ class LFApplier:
         chunk_size: int = 1024,
         backend: str = "sequential",
         num_workers: Optional[int] = 1,
+        validate: str = "off",
     ) -> None:
         if not lfs:
             raise LabelingError("LFApplier requires at least one labeling function")
@@ -126,6 +148,10 @@ class LFApplier:
             raise LabelingError(
                 f"labeling functions disagree on cardinality: {cardinalities}; "
                 "an LF suite must label one task"
+            )
+        if validate not in VALIDATE_MODES:
+            raise LabelingError(
+                f"unknown validate mode {validate!r}; expected one of {VALIDATE_MODES}"
             )
         # Eager validation of chunk_size / backend / num_workers; the plan is
         # rebuilt from the (public, mutable) attributes on every apply.
@@ -141,7 +167,29 @@ class LFApplier:
         self.chunk_size = chunk_size
         self.backend = backend
         self.num_workers = num_workers
+        self.validate = validate
         self.last_report: Optional[ApplyReport] = None
+
+    def _validate_suite(self) -> Optional["AnalysisReport"]:
+        """Run the static-analysis pass the ``validate`` mode asks for.
+
+        Analysis cost is per-LF, not per-candidate — one pass before the run,
+        however large the candidate stream is.  Returns the report (attached
+        to the :class:`ApplyReport` afterwards) or ``None`` when off.
+        """
+        if self.validate == "off":
+            return None
+        from repro.analysis import analyze_suite
+
+        report = analyze_suite(
+            self.lfs, cardinality=self.cardinality, backend=self.backend
+        )
+        if self.validate == "error" and report.has_errors:
+            raise LabelingError(
+                "labeling-function validation failed "
+                f"({len(report.errors)} error diagnostic(s)):\n{report.format()}"
+            )
+        return report
 
     @property
     def lf_names(self) -> list[str]:
@@ -159,6 +207,7 @@ class LFApplier:
         the number of emitted labels rather than with ``m·n``.  The labels
         themselves are identical in both modes and across all backends.
         """
+        analysis = self._validate_suite()
         dense_sink: Optional[np.ndarray] = None
         transform = None
         if not sparse and isinstance(candidates, Sequence):
@@ -186,9 +235,11 @@ class LFApplier:
             num_lfs=len(self.lfs),
             num_chunks=result.num_chunks,
             errors=result.errors,
+            error_details=result.error_details,
             backend=result.backend,
             num_workers=result.num_workers,
             chunk_seconds=result.chunk_seconds,
+            analysis=analysis,
         )
         shape = (result.num_candidates, len(self.lfs))
         if sparse:
@@ -224,6 +275,7 @@ class LFApplier:
         """
         from repro.discriminative.sparse_features import CSRFeatureMatrix
 
+        analysis = self._validate_suite()
         featurizer.require_fitted()
         output_dim = featurizer.output_dim
         num_lfs = len(self.lfs)
@@ -279,9 +331,11 @@ class LFApplier:
             num_lfs=num_lfs,
             num_chunks=result.num_chunks,
             errors=result.errors,
+            error_details=result.error_details,
             backend=result.backend,
             num_workers=result.num_workers,
             chunk_seconds=result.chunk_seconds,
+            analysis=analysis,
         )
         shape = (result.num_candidates, num_lfs)
         if sparse:

@@ -9,7 +9,7 @@ argument pair (distant supervision), and wrapping a weak classifier.
 from __future__ import annotations
 
 import re
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.context.candidates import Candidate
 from repro.labeling.lf import LabelingFunction

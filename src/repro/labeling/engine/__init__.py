@@ -26,7 +26,13 @@ from repro.labeling.engine.executors import (
     get_executor,
     run_plan,
 )
-from repro.labeling.engine.plan import BACKENDS, Chunk, ExecutionPlan, available_workers, iter_chunks
+from repro.labeling.engine.plan import (
+    BACKENDS,
+    Chunk,
+    ExecutionPlan,
+    available_workers,
+    iter_chunks,
+)
 from repro.labeling.engine.tasks import featurize_chunk, label_and_featurize_chunk
 
 __all__ = [

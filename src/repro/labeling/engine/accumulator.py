@@ -14,6 +14,7 @@ are deterministic for every backend.
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
@@ -21,6 +22,36 @@ import numpy as np
 
 from repro.exceptions import LabelingError
 from repro.types import ABSTAIN
+
+
+@dataclass
+class LFErrorDetail:
+    """Per-LF record of the exceptions a fault-tolerant run suppressed.
+
+    ``count`` mirrors the plain error tally; ``type_counts`` breaks it down
+    by exception class name, and ``first_traceback`` retains the formatted
+    traceback of the *first* suppressed exception (in chunk order) so
+    analyzer warnings can be correlated with the runtime failure they
+    predicted without re-running the LF.
+    """
+
+    count: int = 0
+    type_counts: dict[str, int] = field(default_factory=dict)
+    first_traceback: Optional[str] = None
+
+    def record(self, exc_type_name: str, formatted_traceback: str) -> None:
+        self.count += 1
+        self.type_counts[exc_type_name] = self.type_counts.get(exc_type_name, 0) + 1
+        if self.first_traceback is None:
+            self.first_traceback = formatted_traceback
+
+    def merge(self, other: "LFErrorDetail") -> None:
+        """Fold ``other`` into this record (callers iterate in chunk order)."""
+        self.count += other.count
+        for name, count in other.type_counts.items():
+            self.type_counts[name] = self.type_counts.get(name, 0) + count
+        if self.first_traceback is None:
+            self.first_traceback = other.first_traceback
 
 
 @dataclass
@@ -41,6 +72,9 @@ class ChunkResult:
     cols: np.ndarray
     values: np.ndarray
     errors: dict[str, int] = field(default_factory=dict)
+    #: Exception breakdown behind ``errors``: per-LF type counts plus the
+    #: chunk's first retained traceback (fault-tolerant runs only).
+    error_details: dict[str, LFErrorDetail] = field(default_factory=dict)
     seconds: float = 0.0
     #: Secondary triple block produced by a fused chunk task (e.g. the CSR
     #: feature block riding along with the labels); consumed master-side by
@@ -72,6 +106,7 @@ def apply_chunk(
     cols: list[int] = []
     values: list[int] = []
     errors: dict[str, int] = {}
+    error_details: dict[str, LFErrorDetail] = {}
     for offset, candidate in enumerate(candidates):
         for column, lf in enumerate(lfs):
             # Catch every Exception, not just LabelingError: user LFs are
@@ -80,10 +115,15 @@ def apply_chunk(
             # subclasses and still propagate.
             try:
                 label = lf(candidate)
-            except Exception:
+            except Exception as exc:
                 if not fault_tolerant:
                     raise
                 errors[lf.name] = errors.get(lf.name, 0) + 1
+                detail = error_details.setdefault(lf.name, LFErrorDetail())
+                # LabelingError wraps the user exception; report the original
+                # class so the breakdown matches what the LF actually raised.
+                cause = exc.__cause__ if isinstance(exc, LabelingError) and exc.__cause__ else exc
+                detail.record(type(cause).__name__, traceback.format_exc())
                 label = ABSTAIN
             if label != ABSTAIN:
                 row_offsets.append(offset)
@@ -97,6 +137,7 @@ def apply_chunk(
         cols=np.asarray(cols, dtype=np.int64),
         values=np.asarray(values, dtype=np.int64),
         errors=errors,
+        error_details=error_details,
         seconds=time.perf_counter() - start,
     )
 
@@ -111,6 +152,7 @@ class MergedTriples:
     cols: np.ndarray
     values: np.ndarray
     errors: dict[str, int]
+    error_details: dict[str, LFErrorDetail]
     chunk_seconds: list[float]
 
 
@@ -157,9 +199,14 @@ class CSRAccumulator:
             expected_row += result.num_candidates
         rows = [result.row_offsets + result.start_row for result in ordered]
         errors: dict[str, int] = {}
+        error_details: dict[str, LFErrorDetail] = {}
         for result in ordered:
             for name, count in result.errors.items():
                 errors[name] = errors.get(name, 0) + count
+            # Chunk order makes the retained "first" traceback deterministic
+            # for every backend, whatever the completion order was.
+            for name, detail in result.error_details.items():
+                error_details.setdefault(name, LFErrorDetail()).merge(detail)
         empty = np.empty(0, dtype=np.int64)
         return MergedTriples(
             num_candidates=expected_row,
@@ -168,5 +215,6 @@ class CSRAccumulator:
             cols=np.concatenate([r.cols for r in ordered]) if ordered else empty,
             values=np.concatenate([r.values for r in ordered]) if ordered else empty,
             errors=errors,
+            error_details=error_details,
             chunk_seconds=[result.seconds for result in ordered],
         )

@@ -39,7 +39,7 @@ from repro.exceptions import LabelingError
 from repro.labeling.engine.accumulator import (
     ChunkResult,
     CSRAccumulator,
-    MergedTriples,
+    LFErrorDetail,
     apply_chunk,
 )
 from repro.labeling.engine.plan import Chunk, ExecutionPlan, iter_chunks
@@ -61,6 +61,7 @@ class EngineResult:
     cols: np.ndarray
     values: np.ndarray
     errors: dict[str, int]
+    error_details: dict[str, LFErrorDetail]
     chunk_seconds: list[float]
     backend: str
     num_workers: int
@@ -245,6 +246,7 @@ def run_plan(
         cols=merged.cols,
         values=merged.values,
         errors=merged.errors,
+        error_details=merged.error_details,
         chunk_seconds=merged.chunk_seconds,
         backend=plan.backend,
         num_workers=plan.effective_workers(),

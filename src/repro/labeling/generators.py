@@ -7,7 +7,7 @@ a crowdsourcing table with one LF per worker.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 from repro.context.candidates import Candidate
 from repro.labeling.declarative import dictionary_lf

@@ -46,24 +46,24 @@ crowdsourcing experiment train through the main factor-graph model, with
 :class:`DawidSkeneModel` retained as a cross-check baseline.
 """
 
-from repro.labelmodel.majority import (
-    MajorityVoter,
-    MultiClassMajorityVoter,
-    WeightedMajorityVoter,
-)
-from repro.labelmodel.factor_graph import FactorGraphSpec
-from repro.labelmodel.generative import GenerativeModel
-from repro.labelmodel.dawid_skene import DawidSkeneModel
 from repro.labelmodel.advantage import (
     estimate_advantage_bound,
     modeling_advantage,
     optimal_advantage,
 )
-from repro.labelmodel.structure import StructureLearner, learn_structure
+from repro.labelmodel.dawid_skene import DawidSkeneModel
 from repro.labelmodel.elbow import select_elbow_point
+from repro.labelmodel.factor_graph import FactorGraphSpec
+from repro.labelmodel.generative import GenerativeModel
 from repro.labelmodel.gibbs import GibbsSampler
 from repro.labelmodel.kernels import KERNELS, SamplerPlan, SamplerWorkspace, color_columns
+from repro.labelmodel.majority import (
+    MajorityVoter,
+    MultiClassMajorityVoter,
+    WeightedMajorityVoter,
+)
 from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
+from repro.labelmodel.structure import StructureLearner, learn_structure
 from repro.labelmodel.theory import high_density_upper_bound, low_density_upper_bound
 
 __all__ = [

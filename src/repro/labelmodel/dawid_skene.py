@@ -12,7 +12,7 @@ estimator for multi-class tasks with abstentions, with an optional symmetric
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -26,8 +26,8 @@ vector and the row-wise energy for observed or sampled assignments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 

@@ -63,12 +63,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.exceptions import LabelModelError
-from repro.labeling.sparse import (
-    SparseLabelMatrix,
-    as_sparse_storage,
-    intersect_sorted,
-    ranges_gather,
-)
+from repro.labeling.sparse import as_sparse_storage, intersect_sorted, ranges_gather
 from repro.labelmodel.factor_graph import FactorGraphSpec
 from repro.types import ABSTAIN, NEGATIVE, POSITIVE
 from repro.utils.mathutils import sigmoid

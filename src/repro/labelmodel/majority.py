@@ -145,7 +145,9 @@ class MultiClassMajorityVoter:
         probs[voted] = counts[voted] / totals[voted]
         return probs
 
-    def predict(self, label_matrix: LabelMatrix | np.ndarray, deterministic: bool = True) -> np.ndarray:
+    def predict(
+        self, label_matrix: LabelMatrix | np.ndarray, deterministic: bool = True
+    ) -> np.ndarray:
         """Hard class predictions in ``1..cardinality``."""
         probs = self.predict_proba(label_matrix)
         if deterministic:

@@ -15,7 +15,7 @@ Given only the label matrix Λ, the optimizer decides (paper Section 3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

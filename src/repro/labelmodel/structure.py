@@ -42,7 +42,7 @@ agrees with LF ``j`` beyond what the shared label explains".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -57,12 +57,12 @@ from repro.discriminative.logistic import NoiseAwareLogisticRegression
 from repro.discriminative.softmax import NoiseAwareSoftmaxRegression
 from repro.evaluation.scorer import (
     BinaryScorer,
-    MultiClassScoreReport,
     MultiClassScorer,
+    MultiClassScoreReport,
     ScoreReport,
 )
 from repro.exceptions import ConfigurationError
-from repro.labeling.applier import LFApplier
+from repro.labeling.applier import VALIDATE_MODES, LFApplier
 from repro.labeling.engine import BACKENDS
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
@@ -70,7 +70,6 @@ from repro.labelmodel.generative import GenerativeModel
 from repro.labelmodel.kernels import KERNELS
 from repro.labelmodel.majority import MajorityVoter, MultiClassMajorityVoter
 from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
-from repro.types import NEGATIVE, POSITIVE
 
 AnyScoreReport = Union[ScoreReport, MultiClassScoreReport]
 
@@ -94,6 +93,11 @@ class PipelineConfig:
     #: Worker count for the pool backends (``None`` = one per available CPU);
     #: ignored by the sequential backend.
     applier_workers: Optional[int] = 1
+    #: Static-analysis gate over the LF suite before application (see
+    #: :mod:`repro.analysis`): ``"off"`` (default), ``"warn"`` to attach an
+    #: :class:`~repro.analysis.diagnostics.AnalysisReport` to the apply
+    #: report, or ``"error"`` to abort the run on ERROR-severity findings.
+    lf_validate: str = "off"
     #: Featurize candidates into CSR feature matrices and train the end model
     #: sparsely; feature values and trained weights match the dense run.
     sparse_features: bool = False
@@ -139,6 +143,10 @@ class PipelineConfig:
         if self.applier_workers is not None and self.applier_workers < 1:
             raise ConfigurationError(
                 f"applier_workers must be >= 1 or None, got {self.applier_workers}"
+            )
+        if self.lf_validate not in VALIDATE_MODES:
+            raise ConfigurationError(
+                f"lf_validate must be one of {VALIDATE_MODES}, got {self.lf_validate!r}"
             )
         if self.gibbs_kernel not in KERNELS:
             raise ConfigurationError(
@@ -231,6 +239,7 @@ class SnorkelPipeline:
             chunk_size=self.config.chunk_size,
             backend=self.config.applier_backend,
             num_workers=self.config.applier_workers,
+            validate=self.config.lf_validate,
         )
         # The candidate lists are needed later for featurization, so hand the
         # applier the lists themselves (engaging its dense scatter-on-arrival
@@ -302,6 +311,7 @@ class SnorkelPipeline:
             chunk_size=config.chunk_size,
             backend=config.applier_backend,
             num_workers=config.applier_workers,
+            validate=config.lf_validate,
         )
         label_matrix, train_blocks = applier.apply_with_features(
             train_candidates, self.featurizer, sparse=config.sparse_labels

@@ -26,14 +26,14 @@ the spread of outcomes tracks participant skill.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from repro.baselines.hand_supervision import hand_supervision_baseline
 from repro.datasets.base import TaskDataset
 from repro.datasets.spouses import NEGATIVE_CUES, POSITIVE_CUES
-from repro.labeling.declarative import keyword_lf, pattern_lf
+from repro.labeling.declarative import pattern_lf
 from repro.labeling.lf import LabelingFunction
 from repro.pipeline.snorkel import PipelineConfig, SnorkelPipeline
 from repro.types import NEGATIVE, POSITIVE
@@ -167,7 +167,9 @@ def participant_lfs(
     num_lfs = int(np.clip(round(4 + 8 * skill + rng.normal(scale=1.5)), 3, 14))
     good_pool = [(cue, POSITIVE) for cue in POSITIVE_CUES + EXTRA_POSITIVE_CUES]
     good_pool += [(cue, NEGATIVE) for cue in NEGATIVE_CUES + EXTRA_NEGATIVE_CUES]
-    distractor_pool = [(cue, POSITIVE if rng.random() < 0.5 else NEGATIVE) for cue in DISTRACTOR_CUES]
+    distractor_pool = [
+        (cue, POSITIVE if rng.random() < 0.5 else NEGATIVE) for cue in DISTRACTOR_CUES
+    ]
 
     lfs: list[LabelingFunction] = []
     seen_names: set[str] = set()

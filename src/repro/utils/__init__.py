@@ -1,7 +1,13 @@
 """Small shared utilities: seeded RNG handling, math helpers, text helpers."""
 
+from repro.utils.mathutils import (
+    accuracy_to_log_odds,
+    log_odds_to_accuracy,
+    logit,
+    sigmoid,
+    softmax,
+)
 from repro.utils.rng import ensure_rng, spawn_rngs
-from repro.utils.mathutils import sigmoid, logit, log_odds_to_accuracy, accuracy_to_log_odds, softmax
 
 __all__ = [
     "ensure_rng",

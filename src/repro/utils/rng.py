@@ -9,7 +9,7 @@ streams via :func:`spawn_rngs`).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

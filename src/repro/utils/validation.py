@@ -45,7 +45,9 @@ def require_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> N
         )
 
 
-def as_float_array(name: str, values: Sequence[float] | np.ndarray, ndim: int | None = None) -> np.ndarray:
+def as_float_array(
+    name: str, values: Sequence[float] | np.ndarray, ndim: int | None = None
+) -> np.ndarray:
     """Convert to a float array, optionally checking dimensionality."""
     array = np.asarray(values, dtype=float)
     if ndim is not None and array.ndim != ndim:

@@ -17,7 +17,10 @@ from repro.exceptions import ContextError
 
 def make_corpus():
     tagger = DictionaryEntityTagger(
-        {"chemical": {"magnesium": "chem:1"}, "disease": {"preeclampsia": "dis:1", "renal failure": "dis:2"}}
+        {
+            "chemical": {"magnesium": "chem:1"},
+            "disease": {"preeclampsia": "dis:1", "renal failure": "dis:2"},
+        }
     )
     return Corpus("test", preprocessor=TextPreprocessor(entity_tagger=tagger))
 
@@ -64,7 +67,9 @@ def test_same_type_pairs_unordered():
     corpus = Corpus(
         "p",
         preprocessor=TextPreprocessor(
-            entity_tagger=DictionaryEntityTagger({"person": {"ada": "p1", "bob": "p2", "cam": "p3"}})
+            entity_tagger=DictionaryEntityTagger(
+                {"person": {"ada": "p1", "bob": "p2", "cam": "p3"}}
+            )
         ),
     )
     corpus.add_document("d", "Ada married Bob while Cam watched.", split="train")
@@ -100,5 +105,7 @@ def test_candidate_validate_rejects_bad_spans():
 def test_max_token_distance_filter():
     space = PairedEntityCandidateSpace("r", "chemical", "disease", max_token_distance=1)
     corpus = make_corpus()
-    corpus.add_document("d", "Magnesium was given long before preeclampsia developed.", split="train")
+    corpus.add_document(
+        "d", "Magnesium was given long before preeclampsia developed.", split="train"
+    )
     assert CandidateExtractor(space).extract(corpus) == 0

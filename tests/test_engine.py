@@ -18,7 +18,7 @@ from repro.datasets.synthetic import (
     synthetic_vote_lfs,
 )
 from repro.exceptions import ConfigurationError, LabelingError
-from repro.labeling import LFApplier, LabelingFunction
+from repro.labeling import LabelingFunction, LFApplier
 from repro.labeling.engine import ExecutionPlan, iter_chunks, run_plan
 from repro.pipeline.snorkel import PipelineConfig
 

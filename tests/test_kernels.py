@@ -34,7 +34,6 @@ from repro.labelmodel.factor_graph import FactorGraphSpec
 from repro.labelmodel.generative import GenerativeModel
 from repro.labelmodel.gibbs import GibbsSampler
 from repro.labelmodel.kernels import (
-    KERNELS,
     SamplerPlan,
     SamplerWorkspace,
     color_columns,

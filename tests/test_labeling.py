@@ -6,14 +6,14 @@ import pytest
 from repro.context.candidates import Candidate, SentenceView, SpanView
 from repro.exceptions import LabelingError
 from repro.labeling import (
+    LabelingFunction,
+    LabelMatrix,
     LFAnalysis,
     LFApplier,
-    LabelMatrix,
-    LabelingFunction,
+    dictionary_lf,
     labeling_function,
     lf_search,
     pattern_lf,
-    dictionary_lf,
     weak_classifier_lf,
 )
 from repro.labeling.generators import CrowdWorkerLFGenerator, OntologyLFGenerator

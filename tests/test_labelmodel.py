@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.synthetic import (
-    generate_correlated_label_matrix,
-    generate_label_matrix,
-    generate_misspecification_example,
-)
+from repro.datasets.synthetic import generate_label_matrix, generate_misspecification_example
 from repro.exceptions import LabelModelError, NotFittedError
 from repro.labelmodel import (
     GenerativeModel,
@@ -19,7 +15,6 @@ from repro.labelmodel import (
 )
 from repro.labelmodel.dawid_skene import DawidSkeneModel
 from repro.labelmodel.majority import MultiClassMajorityVoter
-from repro.types import ABSTAIN, NEGATIVE, POSITIVE
 
 
 def test_majority_voter_basic():

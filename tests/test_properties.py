@@ -184,7 +184,8 @@ def test_fuzz_coloring_is_valid_distance_two(graph):
 def test_fuzz_dense_and_sparse_plans_draw_identical(workload):
     spec, matrix, weights, seed = workload
     dense_plan = SamplerPlan.compile(spec, matrix)
-    sparse_plan = SamplerPlan.compile(spec, LabelMatrix(matrix, cardinality=spec.cardinality).to_sparse().storage)
+    sparse_storage = LabelMatrix(matrix, cardinality=spec.cardinality).to_sparse().storage
+    sparse_plan = SamplerPlan.compile(spec, sparse_storage)
     assert np.array_equal(dense_plan.entry_rows, sparse_plan.entry_rows)
     assert np.array_equal(dense_plan.entry_cols, sparse_plan.entry_cols)
     assert np.array_equal(dense_plan.entry_values, sparse_plan.entry_values)

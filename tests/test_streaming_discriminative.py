@@ -202,7 +202,8 @@ def test_softmax_fit_stream_identical_to_materialized(block_size):
     reference = NoiseAwareSoftmaxRegression(num_classes=3, epochs=6, shuffle=False, seed=0).fit(
         features, targets
     )
-    streamed = NoiseAwareSoftmaxRegression(num_classes=3, epochs=6, shuffle=False, seed=0).fit_stream(
+    streamed_model = NoiseAwareSoftmaxRegression(num_classes=3, epochs=6, shuffle=False, seed=0)
+    streamed = streamed_model.fit_stream(
         feature_blocks(features, targets, block_size)
     )
     assert np.array_equal(reference.weights, streamed.weights)
