@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Pushdown self-check: our own LF suites must compile, and compiled == interpreted.
+
+The pushdown compiler ships with the claim that every labeling function the
+repo's own library builds from the declarative factories is ``COMPILABLE``
+and compiles — no silent drift into the interpreted fallback tier as the
+library or the compiler evolves.  This script is the CI gate on that claim:
+
+* every LF in ``LINT_LFS()`` (one of each factory family) and in the CDR
+  task suite (32 ``lf_library``-built LFs) must land in the compiled tier,
+  with any refusal printed with the analyzer's or compiler's reason;
+* the compiled labels must be **bit-identical** to the interpreted ones on
+  a streamed corpus, including per-LF suppressed-error counts, with planted
+  per-row failures (``error_rate``) exercising the fallback guards.
+
+Exit status is 1 when any suite leaks into fallback or any label diverges.
+
+    PYTHONPATH=src python scripts/check_pushdown.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def check_suite(name: str, lfs, candidates) -> list[str]:
+    import numpy as np
+
+    from repro.labeling import LFApplier, build_plan
+
+    problems: list[str] = []
+    plan = build_plan(lfs)
+    for lf_name, reason in sorted(plan.fallback_reasons.items()):
+        problems.append(f"{name}: {lf_name} fell back to interpreted: {reason}")
+
+    base = LFApplier(lfs, fault_tolerant=True)
+    base_matrix = base.apply(candidates)
+    push = LFApplier(lfs, fault_tolerant=True, pushdown="auto")
+    push_matrix = push.apply(candidates)
+    diff = int(np.abs(base_matrix.values - push_matrix.values).max(initial=0))
+    if diff:
+        problems.append(f"{name}: compiled labels diverge (max|diff|={diff})")
+    if base.last_report.errors != push.last_report.errors:
+        problems.append(
+            f"{name}: suppressed-error counts diverge: "
+            f"{base.last_report.errors} != {push.last_report.errors}"
+        )
+    if not problems:
+        compiled = len(plan.compiled)
+        errors = sum(base.last_report.errors.values())
+        print(
+            f"ok: {name}: {compiled}/{plan.num_lfs} LFs compiled, "
+            f"{len(candidates)} candidates identical ({errors} errors matched)"
+        )
+    return problems
+
+
+def main() -> int:
+    from repro.datasets.cdr import build_cdr_task
+    from repro.datasets.lf_library import LINT_LFS
+    from repro.datasets.synthetic import stream_relation_candidates
+
+    clean = list(stream_relation_candidates(num_points=600, seed=0))
+    dirty = list(stream_relation_candidates(num_points=600, seed=1, error_rate=0.1))
+
+    problems: list[str] = []
+    problems += check_suite("LINT_LFS", LINT_LFS(), clean)
+    problems += check_suite("LINT_LFS+errors", LINT_LFS(), dirty)
+    problems += check_suite("cdr_task", build_cdr_task().lfs, clean)
+    problems += check_suite("cdr_task+errors", build_cdr_task().lfs, dirty)
+
+    if problems:
+        print(f"\n{len(problems)} pushdown problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("pushdown self-check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

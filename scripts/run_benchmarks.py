@@ -28,7 +28,11 @@ snapshot (default ``BENCH_sparse.json`` in the repository root):
 * ``lf_analysis`` — static-analysis amortization: the analyze-call count is
   per-suite rather than per-candidate (asserted structurally), plus the
   one-time validation cost relative to the apply itself
-  (``benchmarks/bench_lf_analysis.py``).
+  (``benchmarks/bench_lf_analysis.py``);
+* ``lf_pushdown`` — compiled columnar LF kernels vs the interpreted
+  per-candidate loop on the CDR ``lf_library`` suite, with bit-identity
+  asserted on every measurement, including a mixed compiled/fallback suite
+  (``benchmarks/bench_lf_pushdown.py``).
 
 ``--compare`` re-measures and checks every ``*_seconds`` metric against the
 committed snapshot, failing (exit code 1) on a more-than-``--threshold``-fold
@@ -121,6 +125,7 @@ def measure(quick: bool = False) -> dict:
     featurizer = _load_bench_module("bench_featurizer_throughput")
     streaming = _load_bench_module("bench_discriminative_streaming")
     lf_analysis = _load_bench_module("bench_lf_analysis")
+    lf_pushdown = _load_bench_module("bench_lf_pushdown")
 
     print("[sparse_scaling]")
     scaling_records = scaling.run_scaling(
@@ -187,6 +192,18 @@ def measure(quick: bool = False) -> dict:
         lf_analysis_record["analyze_calls_small_corpus"]
         == lf_analysis_record["analyze_calls_large_corpus"]
     ), "LF analysis ran per-candidate, not per-suite"
+    print("\n[lf_pushdown]")
+    lf_pushdown_record = lf_pushdown.run_lf_pushdown_benchmark(
+        num_candidates=1_000 if quick else lf_pushdown.DEFAULT_NUM_CANDIDATES
+    )
+    print(lf_pushdown.format_record(lf_pushdown_record))
+    # The subsystem's cardinal rule, asserted on every snapshot (quick or
+    # full): compiled labels are bit-identical to interpreted, including
+    # with an uncompilable LF planted next to the compiled columns.
+    assert lf_pushdown_record["max_abs_diff"] == 0, "pushdown labels diverged"
+    assert (
+        lf_pushdown_record["mixed_max_abs_diff"] == 0
+    ), "mixed compiled/fallback labels diverged"
 
     return {
         "python": platform.python_version(),
@@ -203,6 +220,7 @@ def measure(quick: bool = False) -> dict:
             "featurizer_throughput": {"record": featurizer_record},
             "discriminative_streaming": {"record": streaming_record},
             "lf_analysis": {"record": lf_analysis_record},
+            "lf_pushdown": {"record": lf_pushdown_record},
         },
     }
 

@@ -30,6 +30,7 @@ per apply call, so validation overhead is independent of corpus size (the
 from __future__ import annotations
 
 import pickle
+import weakref
 from typing import Any, Iterable, Optional
 
 from repro.analysis.contracts import check_engine_tasks, check_task
@@ -38,6 +39,7 @@ from repro.analysis.diagnostics import (
     AnalysisReport,
     Diagnostic,
     LFAnalysisResult,
+    PredicatePayload,
     PushdownVerdict,
     Severity,
     make_diagnostic,
@@ -61,6 +63,7 @@ __all__ = [
     "FunctionScope",
     "LFAnalysisResult",
     "ObservedBehavior",
+    "PredicatePayload",
     "PurityCheckedTask",
     "PushdownVerdict",
     "Severity",
@@ -69,6 +72,7 @@ __all__ = [
     "check_engine_tasks",
     "check_task",
     "classify_pushdown",
+    "clear_analysis_cache",
     "crosscheck",
     "extract_source",
     "lint_function",
@@ -83,6 +87,18 @@ __all__ = [
 #: when its predicate shape matched: a nondeterministic, state-mutating, or
 #: I/O-performing body cannot be replayed as a columnar expression.
 _PUSHDOWN_HAZARD_PREFIXES = ("LF2", "LF3", "LF4")
+
+#: Memoized :func:`analyze_lf` results keyed on the LF object itself (weakly,
+#: so cached reports never keep dead suites alive) and, per object, on the
+#: ``(cardinality, backend, probe_pickle)`` arguments.  Source resolution and
+#: the AST passes are pure functions of the LF object, so apply→apply and
+#: validate→pushdown reuse one pass instead of re-resolving source every time.
+_ANALYSIS_CACHE: "weakref.WeakKeyDictionary[Any, dict]" = weakref.WeakKeyDictionary()
+
+
+def clear_analysis_cache() -> None:
+    """Drop every memoized :func:`analyze_lf` result (test isolation hook)."""
+    _ANALYSIS_CACHE.clear()
 
 
 def _lf_name_of(fn: Any) -> str:
@@ -114,10 +130,21 @@ def analyze_lf(
     probe_pickle:
         Run the ``pickle.dumps`` pre-flight probe (cheap; disable for pure
         source-level linting of already-imported suites).
+
+    Results are memoized per LF *object* (see :data:`_ANALYSIS_CACHE`): the
+    second analysis of the same suite under the same arguments returns the
+    cached :class:`LFAnalysisResult` without touching source or AST again.
     """
     if cardinality is None:
         declared = getattr(fn, "cardinality", None)
         cardinality = int(declared) if isinstance(declared, int) else 2
+    cache_key = (cardinality, backend, probe_pickle)
+    try:
+        per_fn = _ANALYSIS_CACHE.setdefault(fn, {})
+    except TypeError:  # non-weakrefable callable (builtins, some C objects)
+        per_fn = None
+    if per_fn is not None and cache_key in per_fn:
+        return per_fn[cache_key]
     lf_name = _lf_name_of(fn)
     info = extract_source(fn)
     diagnostics, inferred = lint_function(info, lf_name, cardinality=cardinality)
@@ -155,6 +182,8 @@ def analyze_lf(
                     lf_name=lf_name,
                 )
             )
+    if per_fn is not None:
+        per_fn[cache_key] = result
     return result
 
 

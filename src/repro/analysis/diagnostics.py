@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional
 
 
 class Severity(enum.IntEnum):
@@ -99,6 +99,27 @@ def make_diagnostic(
 
 
 @dataclass(frozen=True)
+class PredicatePayload:
+    """One predicate site the pushdown classifier extracted from an LF body.
+
+    The structured half of a ``COMPILABLE`` verdict: ``shape`` names the
+    predicate shape the site matched, ``description`` is the source
+    expression involved (best effort), and ``constant`` is the resolved
+    closure/global value the site compares against when the classifier
+    could bind one — a compiled ``re.Pattern`` for ``regex_match``, the
+    keyword/pair container for ``membership``, the numeric bound for
+    ``threshold_compare``, and so on.  Payloads are what the compiler
+    backend (:mod:`repro.labeling.pushdown`) reports and plans from;
+    control flow is still recovered from the AST itself.
+    """
+
+    shape: str
+    description: str = ""
+    constant: Any = None
+    lineno: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class PushdownVerdict:
     """Outcome of the pushdown-compilability classification of one LF.
 
@@ -106,13 +127,17 @@ class PushdownVerdict:
     declarative subset (see :mod:`repro.analysis.pushdown`), in which case
     ``shape`` names the matched shape (``"regex_match"``,
     ``"membership"``, ``"threshold_compare"``, ``"field_equality"``,
-    ``"field_projection"``, or ``"constant"``); otherwise ``status`` is
-    ``"OPAQUE"`` and ``detail`` says which construct broke compilability.
+    ``"field_projection"``, or ``"constant"``) and ``predicates`` carries
+    one :class:`PredicatePayload` per predicate site, with the resolved
+    constants a compiler backend evaluates against; otherwise ``status``
+    is ``"OPAQUE"`` and ``detail`` says which construct broke
+    compilability.
     """
 
     status: str
     shape: Optional[str] = None
     detail: str = ""
+    predicates: tuple = ()
 
     @property
     def compilable(self) -> bool:

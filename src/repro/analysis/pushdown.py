@@ -16,6 +16,10 @@ execution — and if so, which shape it matched.  The contract:
   closure container), ``threshold_compare`` (candidate-derived number vs. a
   constant), ``field_equality`` (candidate field vs. constant),
   ``field_projection`` (the label *is* a candidate field), or ``constant``.
+  Each predicate site additionally contributes a
+  :class:`~repro.analysis.diagnostics.PredicatePayload` (the source
+  expression plus the resolved pattern / container / bound constant), so
+  the compiler backend can report and plan without re-resolving closures.
 * ``OPAQUE`` means at least one construct escapes the subset; ``detail``
   names the first offender.  Opaque callables (weak classifiers, arbitrary
   globals) are the canonical cause.
@@ -32,7 +36,7 @@ import builtins as _builtins
 import re
 from typing import Any, Optional
 
-from repro.analysis.diagnostics import PushdownVerdict
+from repro.analysis.diagnostics import PredicatePayload, PushdownVerdict
 from repro.analysis.lint import FunctionScope, dotted_chain, root_name
 from repro.analysis.source import SourceInfo, is_unresolved
 
@@ -104,6 +108,7 @@ class _PushdownVisitor(ast.NodeVisitor):
         self.info = info
         self.scope = scope
         self.signals: set[str] = set()
+        self.predicates: list[PredicatePayload] = []
         self.opaque_reasons: list[str] = []
 
     # ------------------------------------------------------------------ utils
@@ -112,6 +117,22 @@ class _PushdownVisitor(ast.NodeVisitor):
         if lineno is not None:
             reason = f"{reason} (line {lineno})"
         self.opaque_reasons.append(reason)
+
+    def _signal(self, shape: str, node: ast.AST, constant: Any = None) -> None:
+        """Record a predicate site: the shape signal plus its payload."""
+        self.signals.add(shape)
+        try:
+            description = ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on our subset
+            description = type(node).__name__
+        self.predicates.append(
+            PredicatePayload(
+                shape=shape,
+                description=description,
+                constant=constant,
+                lineno=getattr(node, "lineno", None),
+            )
+        )
 
     def _resolve(self, name: str) -> Any:
         return self.info.resolve_name(name)
@@ -172,7 +193,8 @@ class _PushdownVisitor(ast.NodeVisitor):
         if helper_key in _PURE_HELPERS:
             shape = _PURE_HELPERS[helper_key]
             if shape is not None:
-                self.signals.add(shape)
+                constant = self._closure_value(node.args[1]) if len(node.args) > 1 else None
+                self._signal(shape, node, constant)
             return
         self._opaque(f"calls opaque callable {name!r}", node)
 
@@ -193,7 +215,7 @@ class _PushdownVisitor(ast.NodeVisitor):
             return
         resolved = _resolve_attribute_base(value, func.value)
         if isinstance(resolved, re.Pattern) and func.attr in _REGEX_METHODS:
-            self.signals.add("regex_match")
+            self._signal("regex_match", node, resolved)
             return
         if isinstance(resolved, str):
             return  # pure string-method call on a closure constant
@@ -205,11 +227,11 @@ class _PushdownVisitor(ast.NodeVisitor):
         operands = [node.left, *node.comparators]
         for op, left, right in zip(node.ops, operands, operands[1:]):
             if isinstance(op, (ast.In, ast.NotIn)):
-                self._check_membership(left, right)
+                self._check_membership(left, right, node)
             elif isinstance(op, (ast.Lt, ast.Gt, ast.LtE, ast.GtE)):
-                self._check_threshold(left, right)
+                self._check_threshold(left, right, node)
             elif isinstance(op, (ast.Eq, ast.NotEq)):
-                self._check_equality(left, right)
+                self._check_equality(left, right, node)
         self.generic_visit(node)
 
     def _closure_value(self, node: ast.AST) -> Any:
@@ -226,26 +248,26 @@ class _PushdownVisitor(ast.NodeVisitor):
                 return -inner
         return None
 
-    def _check_membership(self, member: ast.AST, container: ast.AST) -> None:
+    def _check_membership(self, member: ast.AST, container: ast.AST, node: ast.AST) -> None:
         value = self._closure_value(container)
         if isinstance(value, (set, frozenset, dict, tuple, list)) and self._involves_candidate(
             member
         ):
-            self.signals.add("membership")
+            self._signal("membership", node, value)
 
-    def _check_threshold(self, left: ast.AST, right: ast.AST) -> None:
+    def _check_threshold(self, left: ast.AST, right: ast.AST, node: ast.AST) -> None:
         for probe, bound in ((left, right), (right, left)):
             value = self._closure_value(bound)
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 if self._involves_candidate(probe):
-                    self.signals.add("threshold_compare")
+                    self._signal("threshold_compare", node, value)
                     return
 
-    def _check_equality(self, left: ast.AST, right: ast.AST) -> None:
+    def _check_equality(self, left: ast.AST, right: ast.AST, node: ast.AST) -> None:
         for probe, bound in ((left, right), (right, left)):
             value = self._closure_value(bound)
             if value is not None and self._involves_candidate(probe):
-                self.signals.add("field_equality")
+                self._signal("field_equality", node, value)
                 return
 
     # ----------------------------------------------------------- set algebra
@@ -254,7 +276,7 @@ class _PushdownVisitor(ast.NodeVisitor):
             for operand, other in ((node.left, node.right), (node.right, node.left)):
                 value = self._closure_value(operand)
                 if isinstance(value, (set, frozenset)) and self._involves_candidate(other):
-                    self.signals.add("membership")
+                    self._signal("membership", node, value)
                     break
         self.generic_visit(node)
 
@@ -283,8 +305,11 @@ def classify_pushdown(info: SourceInfo, scope: Optional[FunctionScope] = None) -
     if visitor.opaque_reasons:
         return PushdownVerdict("OPAQUE", detail=visitor.opaque_reasons[0])
     signals = visitor.signals
+    predicates = list(visitor.predicates)
     if not signals:
-        signals = {_projection_shape(info, scope)}
+        shape = _projection_shape(info, scope)
+        signals = {shape}
+        predicates.append(PredicatePayload(shape=shape, description="return expression"))
     for shape in _SHAPE_ORDER:
         if shape in signals:
             matched = sorted(signals)
@@ -292,6 +317,7 @@ def classify_pushdown(info: SourceInfo, scope: Optional[FunctionScope] = None) -
                 "COMPILABLE",
                 shape=shape,
                 detail=f"matched predicate(s): {', '.join(matched)}",
+                predicates=tuple(predicates),
             )
     return PushdownVerdict("OPAQUE", detail="no recognizable predicate shape")
 

@@ -622,6 +622,105 @@ def stream_text_gold(
     return gold
 
 
+# ------------------------------------------------- streaming relation candidates
+#: Cue vocabulary planted between the argument spans; covers every cue family
+#: the library suite (:func:`repro.datasets.lf_library.LINT_LFS`) reacts to —
+#: causal/treatment stems, passive-reversal cues, and neutral-context cues.
+_RELATION_CUES = (
+    "causes", "caused", "causing", "treats", "treated", "treating",
+    "given", "received", "measured", "monitored", "history", "prevents",
+)
+#: Argument pairs; the first two match the ``LINT_LFS`` knowledge base.
+_RELATION_PAIRS = (
+    ("aspirin", "headache"),
+    ("water", "headache"),
+    ("ibuprofen", "fever"),
+    ("caffeine", "insomnia"),
+)
+
+
+def stream_relation_candidates(
+    num_points: int = 1000,
+    seed: int = 0,
+    error_rate: float = 0.0,
+) -> "Iterator[Candidate]":
+    """Lazily generate relation candidates exercising a full library LF suite.
+
+    The relation-extraction companion of :func:`stream_text_candidates`,
+    built for the pushdown differential tests and the ``lf_pushdown``
+    benchmark: every candidate is a real two-span
+    :class:`repro.context.candidates.Candidate` whose geometry and
+    vocabulary tickle all the :mod:`repro.datasets.lf_library` LF families —
+    cue words between the spans (keyword/pattern/regex LFs), canonical KB
+    ids matching the ``LINT_LFS`` knowledge base (distant supervision),
+    token distances from 0 to ~20 including adjacent and far-apart extremes,
+    reversed span order (passive-voice heuristics), and varying sentence
+    positions (late-sentence heuristic).
+
+    ``error_rate`` plants a non-string token between the spans on that
+    fraction of candidates, so token-reading LFs raise on exactly those rows
+    — the differential tests use this to check compiled error accounting
+    against the interpreted path.  Candidates come from per-``(seed, uid)``
+    RNGs: reproducible, order-independent, O(1) memory, picklable chunks.
+    """
+    from repro.context.candidates import Candidate, SentenceView, SpanView
+
+    if num_points < 0:
+        raise DatasetError(f"num_points must be non-negative, got {num_points}")
+    if not 0.0 <= error_rate <= 1.0:
+        raise DatasetError(f"error_rate must lie in [0, 1], got {error_rate}")
+    filler = [f"w{i}" for i in range(12)]
+    for uid in range(num_points):
+        rng = _candidate_rng(seed, uid)
+        entity1, entity2 = _RELATION_PAIRS[int(rng.integers(len(_RELATION_PAIRS)))]
+        has_ids = rng.random() < 0.7
+        distance = int(rng.integers(0, 21))
+        between: list = [
+            _RELATION_CUES[int(rng.integers(len(_RELATION_CUES)))]
+            if rng.random() < 0.35
+            else filler[int(rng.integers(len(filler)))]
+            for _ in range(distance)
+        ]
+        if between and rng.random() < error_rate:
+            between[int(rng.integers(len(between)))] = 7  # non-string token
+        reverse = rng.random() < 0.25
+        left = [filler[int(rng.integers(len(filler)))] for _ in range(int(rng.integers(0, 4)))]
+        right = [filler[int(rng.integers(len(filler)))] for _ in range(int(rng.integers(0, 4)))]
+        first_text, second_text = (entity2, entity1) if reverse else (entity1, entity2)
+        words = left + [first_text] + between + [second_text] + right
+        first_start = len(left)
+        second_start = first_start + 1 + distance
+        spans = {
+            first_text: SpanView(
+                text=first_text,
+                word_start=first_start,
+                word_end=first_start + 1,
+                entity_type="chemical" if first_text == entity1 else "disease",
+                canonical_id=first_text if has_ids else None,
+            ),
+            second_text: SpanView(
+                text=second_text,
+                word_start=second_start,
+                word_end=second_start + 1,
+                entity_type="chemical" if second_text == entity1 else "disease",
+                canonical_id=second_text if has_ids else None,
+            ),
+        }
+        yield Candidate(
+            uid=uid,
+            span1=spans[entity1],
+            span2=spans[entity2],
+            sentence=SentenceView(
+                words=words,
+                text=" ".join(str(word) for word in words),
+                position=int(rng.integers(0, 12)),
+                document_name=f"relation-{uid:06d}",
+            ),
+            relation_type="chemical_disease",
+            split="train",
+        )
+
+
 def _broadcast(name: str, value: float | Sequence[float], length: int) -> np.ndarray:
     array = np.asarray(value, dtype=float)
     if array.ndim == 0:

@@ -21,7 +21,7 @@ candidate iterable without materializing it.
 """
 
 from repro.labeling.analysis import LFAnalysis
-from repro.labeling.applier import ApplyReport, LFApplier
+from repro.labeling.applier import PUSHDOWN_MODES, VALIDATE_MODES, ApplyReport, LFApplier
 from repro.labeling.declarative import (
     dictionary_lf,
     keyword_lf,
@@ -33,10 +33,16 @@ from repro.labeling.engine import ExecutionPlan, run_plan
 from repro.labeling.generators import CrowdWorkerLFGenerator, OntologyLFGenerator
 from repro.labeling.lf import LabelingFunction, labeling_function
 from repro.labeling.matrix import LabelMatrix
+from repro.labeling.pushdown import PushdownPlan, PushdownSummary, build_plan
 from repro.labeling.sparse import SparseLabelMatrix
 
 __all__ = [
     "ApplyReport",
+    "PUSHDOWN_MODES",
+    "VALIDATE_MODES",
+    "PushdownPlan",
+    "PushdownSummary",
+    "build_plan",
     "ExecutionPlan",
     "run_plan",
     "SparseLabelMatrix",

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.exceptions import LabelingError
 from repro.labeling.engine import ExecutionPlan, label_and_featurize_chunk, run_plan
-from repro.labeling.engine.accumulator import LFErrorDetail
+from repro.labeling.engine.accumulator import LFErrorDetail, apply_chunk
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labeling.sparse import SparseLabelMatrix
@@ -43,9 +43,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.analysis.diagnostics import AnalysisReport
     from repro.discriminative.featurizers import RelationFeaturizer
     from repro.discriminative.sparse_features import CSRFeatureMatrix
+    from repro.labeling.pushdown import PushdownPlan, PushdownSummary
 
 #: Accepted values for ``LFApplier(validate=...)`` / ``PipelineConfig.lf_validate``.
 VALIDATE_MODES = ("off", "warn", "error")
+
+#: Accepted values for ``LFApplier(pushdown=...)`` / ``PipelineConfig.lf_pushdown``.
+#: ``"off"`` interprets every LF; ``"auto"`` compiles what the analyzer and
+#: compiler admit and falls back per-LF; ``"require"`` raises if any LF in
+#: the suite cannot be compiled, naming each offender and why.
+PUSHDOWN_MODES = ("off", "auto", "require")
 
 
 @dataclass
@@ -71,9 +78,18 @@ class ApplyReport:
         Worker count the executor used (1 for the sequential backend).
     chunk_seconds:
         Per-chunk wall-clock seconds, in chunk order (not completion order).
+    lf_seconds:
+        Per-LF wall-clock totals, summed over chunks in chunk order.  Under
+        pushdown, shared per-chunk work (field extraction, token indexes) is
+        charged to the first LF that triggers it, so these are attribution
+        totals, not marginal costs.
     analysis:
         The static-analysis report produced by ``validate="warn"|"error"``
         before the run, or ``None`` when validation was off.
+    pushdown:
+        Compiled/fallback partition and per-tier seconds for a pushdown run
+        (see :class:`repro.labeling.pushdown.PushdownSummary`), or ``None``
+        when ``pushdown="off"``.
     """
 
     num_candidates: int = 0
@@ -84,7 +100,9 @@ class ApplyReport:
     backend: str = "sequential"
     num_workers: int = 1
     chunk_seconds: list[float] = field(default_factory=list)
+    lf_seconds: dict[str, float] = field(default_factory=dict)
     analysis: Optional["AnalysisReport"] = None
+    pushdown: Optional["PushdownSummary"] = None
 
     @property
     def num_errors(self) -> int:
@@ -126,6 +144,17 @@ class LFApplier:
         :class:`ApplyReport` and prints nothing; ``"error"`` additionally
         raises :class:`LabelingError` when any ERROR-severity diagnostic is
         found (out-of-range labels, unseeded randomness, global mutation).
+    pushdown:
+        Columnar-kernel execution of the suite (see
+        :mod:`repro.labeling.pushdown`).  ``"off"`` (default) interprets
+        every LF per candidate; ``"auto"`` compiles every LF the analyzer
+        classifies ``COMPILABLE`` and the compiler accepts into vectorized
+        kernels — the rest run interpreted, per LF, inside the same chunk
+        task; ``"require"`` raises :class:`LabelingError` before labeling
+        anything if any LF cannot be compiled, naming each offender with
+        the analyzer's or compiler's reason.  Labels, error counts, and
+        error breakdowns are bit-identical to ``"off"`` in every mode, for
+        every backend and chunk size.
     """
 
     def __init__(
@@ -136,6 +165,7 @@ class LFApplier:
         backend: str = "sequential",
         num_workers: Optional[int] = 1,
         validate: str = "off",
+        pushdown: str = "off",
     ) -> None:
         if not lfs:
             raise LabelingError("LFApplier requires at least one labeling function")
@@ -153,6 +183,10 @@ class LFApplier:
             raise LabelingError(
                 f"unknown validate mode {validate!r}; expected one of {VALIDATE_MODES}"
             )
+        if pushdown not in PUSHDOWN_MODES:
+            raise LabelingError(
+                f"unknown pushdown mode {pushdown!r}; expected one of {PUSHDOWN_MODES}"
+            )
         # Eager validation of chunk_size / backend / num_workers; the plan is
         # rebuilt from the (public, mutable) attributes on every apply.
         ExecutionPlan(
@@ -168,7 +202,12 @@ class LFApplier:
         self.backend = backend
         self.num_workers = num_workers
         self.validate = validate
+        self.pushdown = pushdown
         self.last_report: Optional[ApplyReport] = None
+        # Compiled plans keyed by the identity of the LF suite (the public
+        # ``lfs`` attribute is mutable); hit again on every apply call with
+        # an unchanged suite, so compilation cost is paid once per suite.
+        self._pushdown_plans: dict[tuple, "PushdownPlan"] = {}
 
     def _validate_suite(self) -> Optional["AnalysisReport"]:
         """Run the static-analysis pass the ``validate`` mode asks for.
@@ -191,10 +230,64 @@ class LFApplier:
             )
         return report
 
+    def _pushdown_plan(self) -> Optional["PushdownPlan"]:
+        """Build (or fetch) the compiled plan the ``pushdown`` mode asks for.
+
+        ``"require"`` turns an incomplete partition into an error listing
+        every non-compiled LF with the analyzer's OPAQUE detail or the
+        compiler's refusal, so the offender can be rewritten or the mode
+        relaxed to ``"auto"``.
+        """
+        if self.pushdown == "off":
+            return None
+        from repro.labeling.pushdown import build_plan
+
+        key = (tuple(id(lf) for lf in self.lfs), self.cardinality, self.backend)
+        plan = self._pushdown_plans.get(key)
+        if plan is None:
+            plan = build_plan(
+                self.lfs, cardinality=self.cardinality, backend=self.backend
+            )
+            self._pushdown_plans[key] = plan
+        if self.pushdown == "require" and plan.fallback:
+            reasons = "\n".join(
+                f"  - {name}: {plan.fallback_reasons[name]}"
+                for name in plan.fallback_names
+            )
+            raise LabelingError(
+                f'pushdown="require" but {len(plan.fallback)} labeling '
+                f"function(s) could not be compiled:\n{reasons}"
+            )
+        return plan
+
     @property
     def lf_names(self) -> list[str]:
         """Column names of the produced label matrix."""
         return [lf.name for lf in self.lfs]
+
+    def _build_report(
+        self, result, analysis, pushdown_plan: Optional["PushdownPlan"]
+    ) -> ApplyReport:
+        pushdown_summary = None
+        if pushdown_plan is not None:
+            from repro.labeling.pushdown import PushdownSummary
+
+            pushdown_summary = PushdownSummary.from_run(
+                pushdown_plan, result.lf_seconds
+            )
+        return ApplyReport(
+            num_candidates=result.num_candidates,
+            num_lfs=len(self.lfs),
+            num_chunks=result.num_chunks,
+            errors=result.errors,
+            error_details=result.error_details,
+            backend=result.backend,
+            num_workers=result.num_workers,
+            chunk_seconds=result.chunk_seconds,
+            lf_seconds=result.lf_seconds,
+            analysis=analysis,
+            pushdown=pushdown_summary,
+        )
 
     def apply(self, candidates: Iterable, sparse: bool = False) -> LabelMatrix:
         """Apply every LF to every candidate and return the label matrix Λ.
@@ -229,18 +322,15 @@ class LFApplier:
             num_workers=self.num_workers,
             fault_tolerant=self.fault_tolerant,
         )
-        result = run_plan(self.lfs, candidates, plan, transform=transform)
-        self.last_report = ApplyReport(
-            num_candidates=result.num_candidates,
-            num_lfs=len(self.lfs),
-            num_chunks=result.num_chunks,
-            errors=result.errors,
-            error_details=result.error_details,
-            backend=result.backend,
-            num_workers=result.num_workers,
-            chunk_seconds=result.chunk_seconds,
-            analysis=analysis,
-        )
+        pushdown_plan = self._pushdown_plan()
+        if pushdown_plan is not None:
+            from repro.labeling.pushdown import label_chunk_pushdown
+
+            payload, task = pushdown_plan, label_chunk_pushdown
+        else:
+            payload, task = self.lfs, apply_chunk
+        result = run_plan(payload, candidates, plan, transform=transform, task=task)
+        self.last_report = self._build_report(result, analysis, pushdown_plan)
         shape = (result.num_candidates, len(self.lfs))
         if sparse:
             storage = SparseLabelMatrix.from_triples(
@@ -319,24 +409,21 @@ class LFApplier:
             num_workers=self.num_workers,
             fault_tolerant=self.fault_tolerant,
         )
+        pushdown_plan = self._pushdown_plan()
+        if pushdown_plan is not None:
+            from repro.labeling.pushdown import label_pushdown_and_featurize_chunk
+
+            payload, task = (pushdown_plan, featurizer), label_pushdown_and_featurize_chunk
+        else:
+            payload, task = (self.lfs, featurizer), label_and_featurize_chunk
         result = run_plan(
-            (self.lfs, featurizer),
+            payload,
             candidates,
             plan,
             transform=transform,
-            task=label_and_featurize_chunk,
+            task=task,
         )
-        self.last_report = ApplyReport(
-            num_candidates=result.num_candidates,
-            num_lfs=num_lfs,
-            num_chunks=result.num_chunks,
-            errors=result.errors,
-            error_details=result.error_details,
-            backend=result.backend,
-            num_workers=result.num_workers,
-            chunk_seconds=result.chunk_seconds,
-            analysis=analysis,
-        )
+        self.last_report = self._build_report(result, analysis, pushdown_plan)
         shape = (result.num_candidates, num_lfs)
         if sparse:
             storage = SparseLabelMatrix.from_triples(

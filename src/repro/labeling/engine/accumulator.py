@@ -76,6 +76,9 @@ class ChunkResult:
     #: chunk's first retained traceback (fault-tolerant runs only).
     error_details: dict[str, LFErrorDetail] = field(default_factory=dict)
     seconds: float = 0.0
+    #: Per-LF wall-clock seconds spent inside this chunk, keyed by LF name
+    #: (``None`` for tasks that don't track it, e.g. featurization).
+    lf_seconds: Optional[dict[str, float]] = None
     #: Secondary triple block produced by a fused chunk task (e.g. the CSR
     #: feature block riding along with the labels); consumed master-side by
     #: a :class:`CSRAccumulator` ``transform`` and never merged here.
@@ -107,8 +110,10 @@ def apply_chunk(
     values: list[int] = []
     errors: dict[str, int] = {}
     error_details: dict[str, LFErrorDetail] = {}
+    lf_times = [0.0] * len(lfs)
     for offset, candidate in enumerate(candidates):
         for column, lf in enumerate(lfs):
+            lf_start = time.perf_counter()
             # Catch every Exception, not just LabelingError: user LFs are
             # black boxes and may raise anything (KeyError, AttributeError,
             # ...).  KeyboardInterrupt/SystemExit are not Exception
@@ -125,6 +130,7 @@ def apply_chunk(
                 cause = exc.__cause__ if isinstance(exc, LabelingError) and exc.__cause__ else exc
                 detail.record(type(cause).__name__, traceback.format_exc())
                 label = ABSTAIN
+            lf_times[column] += time.perf_counter() - lf_start
             if label != ABSTAIN:
                 row_offsets.append(offset)
                 cols.append(column)
@@ -139,6 +145,7 @@ def apply_chunk(
         errors=errors,
         error_details=error_details,
         seconds=time.perf_counter() - start,
+        lf_seconds={lf.name: lf_times[column] for column, lf in enumerate(lfs)},
     )
 
 
@@ -154,6 +161,9 @@ class MergedTriples:
     errors: dict[str, int]
     error_details: dict[str, LFErrorDetail]
     chunk_seconds: list[float]
+    #: Per-LF wall-clock totals summed over chunks (empty when the task did
+    #: not report per-LF timings).
+    lf_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class CSRAccumulator:
@@ -200,6 +210,7 @@ class CSRAccumulator:
         rows = [result.row_offsets + result.start_row for result in ordered]
         errors: dict[str, int] = {}
         error_details: dict[str, LFErrorDetail] = {}
+        lf_seconds: dict[str, float] = {}
         for result in ordered:
             for name, count in result.errors.items():
                 errors[name] = errors.get(name, 0) + count
@@ -207,6 +218,9 @@ class CSRAccumulator:
             # for every backend, whatever the completion order was.
             for name, detail in result.error_details.items():
                 error_details.setdefault(name, LFErrorDetail()).merge(detail)
+            if result.lf_seconds:
+                for name, spent in result.lf_seconds.items():
+                    lf_seconds[name] = lf_seconds.get(name, 0.0) + spent
         empty = np.empty(0, dtype=np.int64)
         return MergedTriples(
             num_candidates=expected_row,
@@ -217,4 +231,5 @@ class CSRAccumulator:
             errors=errors,
             error_details=error_details,
             chunk_seconds=[result.seconds for result in ordered],
+            lf_seconds=lf_seconds,
         )

@@ -30,7 +30,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
@@ -65,6 +65,9 @@ class EngineResult:
     chunk_seconds: list[float]
     backend: str
     num_workers: int
+    #: Per-LF wall-clock totals (summed over chunks; empty when the task
+    #: does not report them, e.g. pure featurization).
+    lf_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class SequentialExecutor:
@@ -250,4 +253,5 @@ def run_plan(
         chunk_seconds=merged.chunk_seconds,
         backend=plan.backend,
         num_workers=plan.effective_workers(),
+        lf_seconds=merged.lf_seconds,
     )

@@ -1,0 +1,299 @@
+"""The pushdown chunk task: compiled-kernel LF application over the engine.
+
+:func:`build_plan` partitions an LF suite into compiled programs (every LF
+the analyzer classifies ``COMPILABLE`` *and* the compiler accepts) and
+interpreted fallbacks, producing a :class:`PushdownPlan`.  The plan is the
+payload of :func:`label_chunk_pushdown`, a drop-in
+:data:`~repro.labeling.engine.executors.ChunkTask`: same signature, same
+:class:`~repro.labeling.engine.accumulator.ChunkResult` contract, same
+deterministic CSR triples — so it composes unchanged with the sequential /
+threads / processes executors, windowed submission, and the accumulator
+merge.  :func:`label_pushdown_and_featurize_chunk` is the fused variant
+(labels + features in one pass), mirroring
+:func:`~repro.labeling.engine.tasks.label_and_featurize_chunk`.
+
+Equivalence contract (enforced by ``tests/test_pushdown.py``): for any
+suite, chunking, and backend, the triples, error counts, and error type
+breakdowns are **bit-identical** to :func:`apply_chunk` — compiled kernels
+emit entries in the same row-major (row, col) order, fault-tolerant error
+accounting matches per LF and per exception type, and a non-fault-tolerant
+run raises the same exception the interpreted row-major scan would have hit
+first.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.labeling.engine.accumulator import ChunkResult, LFErrorDetail
+from repro.labeling.engine.tasks import featurize_chunk
+from repro.labeling.pushdown.compiler import CompileError, compile_lf
+from repro.labeling.pushdown.fields import ColumnarChunk
+from repro.labeling.pushdown.program import CompiledProgram
+from repro.types import ABSTAIN
+
+__all__ = [
+    "CompiledLF",
+    "PushdownPlan",
+    "PushdownSummary",
+    "build_plan",
+    "label_chunk_pushdown",
+    "label_pushdown_and_featurize_chunk",
+]
+
+
+@dataclass
+class CompiledLF:
+    """One LF compiled to a columnar program, with its matrix column."""
+
+    name: str
+    column: int
+    program: CompiledProgram
+
+
+@dataclass
+class PushdownPlan:
+    """The compiled/fallback partition of one LF suite.
+
+    ``compiled`` and ``fallback`` together cover every column exactly once;
+    ``fallback_reasons`` records, per fallback LF name, why it was not
+    compiled (the analyzer's OPAQUE detail or the compiler's refusal) —
+    surfaced by ``LFApplier(pushdown="require")`` diagnostics and the
+    ``ApplyReport.pushdown`` summary.
+    """
+
+    num_lfs: int
+    compiled: list[CompiledLF] = field(default_factory=list)
+    #: ``(column, lf)`` pairs evaluated by the interpreted per-candidate loop.
+    fallback: list = field(default_factory=list)
+    fallback_reasons: dict[str, str] = field(default_factory=dict)
+    compile_seconds: float = 0.0
+    cardinality: int = 2
+
+    @property
+    def compiled_names(self) -> list[str]:
+        return [clf.name for clf in self.compiled]
+
+    @property
+    def fallback_names(self) -> list[str]:
+        return [lf.name for _column, lf in self.fallback]
+
+
+@dataclass
+class PushdownSummary:
+    """What pushdown did during one apply run (``ApplyReport.pushdown``).
+
+    ``compiled`` / ``fallback`` partition the suite by execution tier;
+    ``fallback`` maps each interpreted LF to the reason it was not compiled
+    (the analyzer's OPAQUE detail or the compiler's refusal).  The
+    per-tier second totals come from the engine's per-LF wall-clock
+    accounting, summed over chunks; note that shared per-chunk work (field
+    extraction, token indexes) is attributed to the first LF that triggers
+    it, so per-tier seconds describe where time was spent, not marginal
+    per-LF costs.
+    """
+
+    compiled: list[str] = field(default_factory=list)
+    fallback: dict[str, str] = field(default_factory=dict)
+    compile_seconds: float = 0.0
+    compiled_seconds: float = 0.0
+    fallback_seconds: float = 0.0
+
+    @classmethod
+    def from_run(
+        cls, plan: "PushdownPlan", lf_seconds: dict[str, float]
+    ) -> "PushdownSummary":
+        return cls(
+            compiled=plan.compiled_names,
+            fallback=dict(plan.fallback_reasons),
+            compile_seconds=plan.compile_seconds,
+            compiled_seconds=sum(
+                lf_seconds.get(name, 0.0) for name in plan.compiled_names
+            ),
+            fallback_seconds=sum(
+                lf_seconds.get(name, 0.0) for name in plan.fallback_names
+            ),
+        )
+
+
+def build_plan(
+    lfs: Sequence,
+    cardinality: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> PushdownPlan:
+    """Compile what the analyzer admits; everything else falls back.
+
+    The ``COMPILABLE`` verdict gates compilation (the classifier's hazard
+    demotion — randomness, mutation, I/O — applies before any kernel is
+    built), and the memoized :func:`repro.analysis.analyze_lf` pass is shared
+    with ``validate=`` so one suite is analyzed once per process.
+    """
+    from repro.analysis import analyze_lf
+
+    start = time.perf_counter()
+    plan = PushdownPlan(num_lfs=len(lfs), cardinality=cardinality if cardinality else 2)
+    for column, lf in enumerate(lfs):
+        result = analyze_lf(lf, cardinality=cardinality, backend=backend)
+        if not result.pushdown.compilable:
+            plan.fallback.append((column, lf))
+            plan.fallback_reasons[lf.name] = (
+                result.pushdown.detail or "classified OPAQUE"
+            )
+            continue
+        try:
+            program = compile_lf(lf, cardinality=cardinality)
+        except CompileError as exc:
+            plan.fallback.append((column, lf))
+            plan.fallback_reasons[lf.name] = f"compiler refused: {exc}"
+            continue
+        plan.compiled.append(CompiledLF(name=lf.name, column=column, program=program))
+        if cardinality is None:
+            plan.cardinality = program.cardinality
+    plan.compile_seconds = time.perf_counter() - start
+    return plan
+
+
+def _wrap_error(lf_name: str, exc: BaseException) -> BaseException:
+    """The exception a non-fault-tolerant interpreted run would propagate.
+
+    :meth:`LabelingFunction.__call__` wraps user exceptions in a
+    :class:`LabelingError` (canonicalization errors pass through unwrapped);
+    compiled columns carry the raw user exception, so re-wrap here.
+    """
+    if isinstance(exc, LabelingError):
+        return exc
+    wrapped = LabelingError(
+        f"labeling function {lf_name!r} raised {type(exc).__name__}: {exc}"
+    )
+    wrapped.__cause__ = exc
+    return wrapped
+
+
+def label_chunk_pushdown(
+    plan: PushdownPlan,
+    fault_tolerant: bool,
+    index: int,
+    start_row: int,
+    candidates: Sequence,
+) -> ChunkResult:
+    """Apply a :class:`PushdownPlan` to one chunk (the pushdown worker kernel)."""
+    start = time.perf_counter()
+    chunk = ColumnarChunk(candidates)
+    n = chunk.num_rows
+    names: dict[int, str] = {}
+    column_labels: dict[int, np.ndarray] = {}
+    column_errors: dict[int, dict[int, BaseException]] = {}
+    lf_seconds: dict[str, float] = {}
+
+    for clf in plan.compiled:
+        lf_start = time.perf_counter()
+        labels, errors = clf.program.evaluate(chunk)
+        lf_seconds[clf.name] = time.perf_counter() - lf_start
+        names[clf.column] = clf.name
+        column_labels[clf.column] = labels
+        column_errors[clf.column] = errors
+
+    for column, lf in plan.fallback:
+        lf_start = time.perf_counter()
+        labels = np.zeros(n, dtype=np.int64)
+        errors: dict[int, BaseException] = {}
+        for offset, candidate in enumerate(candidates):
+            try:
+                label = lf(candidate)
+            except Exception as exc:  # noqa: BLE001 - mirror apply_chunk
+                errors[offset] = exc
+                continue
+            if label != ABSTAIN:
+                labels[offset] = label
+        lf_seconds[lf.name] = time.perf_counter() - lf_start
+        names[column] = lf.name
+        column_labels[column] = labels
+        column_errors[column] = errors
+
+    if not fault_tolerant:
+        first: Optional[tuple[int, int]] = None
+        for column, errors in column_errors.items():
+            for row in errors:
+                if first is None or (row, column) < first:
+                    first = (row, column)
+        if first is not None:
+            row, column = first
+            raise _wrap_error(names[column], column_errors[column][row])
+
+    error_counts: dict[str, int] = {}
+    error_details: dict[str, LFErrorDetail] = {}
+    for column in sorted(column_errors):
+        errors = column_errors[column]
+        if not errors:
+            continue
+        name = names[column]
+        error_counts[name] = error_counts.get(name, 0) + len(errors)
+        detail = error_details.setdefault(name, LFErrorDetail())
+        for row in sorted(errors):
+            exc = errors[row]
+            cause = (
+                exc.__cause__
+                if isinstance(exc, LabelingError) and exc.__cause__
+                else exc
+            )
+            formatted = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+            detail.record(type(cause).__name__, formatted)
+
+    row_blocks: list[np.ndarray] = []
+    col_blocks: list[np.ndarray] = []
+    value_blocks: list[np.ndarray] = []
+    for column in sorted(column_labels):
+        labels = column_labels[column]
+        nonzero = np.nonzero(labels)[0]
+        if nonzero.size == 0:
+            continue
+        row_blocks.append(nonzero)
+        col_blocks.append(np.full(nonzero.size, column, dtype=np.int64))
+        value_blocks.append(labels[nonzero])
+    empty = np.empty(0, dtype=np.int64)
+    if row_blocks:
+        rows = np.concatenate(row_blocks)
+        cols = np.concatenate(col_blocks)
+        values = np.concatenate(value_blocks)
+        # apply_chunk emits candidate-major: ascending row, then column.
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+    else:
+        rows = cols = values = empty
+    return ChunkResult(
+        index=index,
+        start_row=start_row,
+        num_candidates=n,
+        row_offsets=rows,
+        cols=cols,
+        values=values,
+        errors=error_counts,
+        error_details=error_details,
+        seconds=time.perf_counter() - start,
+        lf_seconds=lf_seconds,
+    )
+
+
+def label_pushdown_and_featurize_chunk(
+    payload: tuple,
+    fault_tolerant: bool,
+    index: int,
+    start_row: int,
+    candidates: Sequence,
+) -> ChunkResult:
+    """Fused pushdown labeling + featurization (``payload`` is
+    ``(plan, featurizer)``), mirroring
+    :func:`~repro.labeling.engine.tasks.label_and_featurize_chunk`."""
+    plan, featurizer = payload
+    result = label_chunk_pushdown(plan, fault_tolerant, index, start_row, candidates)
+    result.features = featurize_chunk(featurizer, fault_tolerant, index, start_row, candidates)
+    result.seconds += result.features.seconds
+    return result

@@ -62,7 +62,7 @@ from repro.evaluation.scorer import (
     ScoreReport,
 )
 from repro.exceptions import ConfigurationError
-from repro.labeling.applier import VALIDATE_MODES, LFApplier
+from repro.labeling.applier import PUSHDOWN_MODES, VALIDATE_MODES, LFApplier
 from repro.labeling.engine import BACKENDS
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
@@ -98,6 +98,12 @@ class PipelineConfig:
     #: :class:`~repro.analysis.diagnostics.AnalysisReport` to the apply
     #: report, or ``"error"`` to abort the run on ERROR-severity findings.
     lf_validate: str = "off"
+    #: Columnar-kernel LF execution (see :mod:`repro.labeling.pushdown`):
+    #: ``"off"`` (default) interprets every LF per candidate, ``"auto"``
+    #: compiles the compilable subset into vectorized kernels with per-LF
+    #: interpreted fallback, ``"require"`` aborts if any LF cannot be
+    #: compiled.  The label matrix is bit-identical in every mode.
+    lf_pushdown: str = "off"
     #: Featurize candidates into CSR feature matrices and train the end model
     #: sparsely; feature values and trained weights match the dense run.
     sparse_features: bool = False
@@ -147,6 +153,10 @@ class PipelineConfig:
         if self.lf_validate not in VALIDATE_MODES:
             raise ConfigurationError(
                 f"lf_validate must be one of {VALIDATE_MODES}, got {self.lf_validate!r}"
+            )
+        if self.lf_pushdown not in PUSHDOWN_MODES:
+            raise ConfigurationError(
+                f"lf_pushdown must be one of {PUSHDOWN_MODES}, got {self.lf_pushdown!r}"
             )
         if self.gibbs_kernel not in KERNELS:
             raise ConfigurationError(
@@ -240,6 +250,7 @@ class SnorkelPipeline:
             backend=self.config.applier_backend,
             num_workers=self.config.applier_workers,
             validate=self.config.lf_validate,
+            pushdown=self.config.lf_pushdown,
         )
         # The candidate lists are needed later for featurization, so hand the
         # applier the lists themselves (engaging its dense scatter-on-arrival
@@ -312,6 +323,7 @@ class SnorkelPipeline:
             backend=config.applier_backend,
             num_workers=config.applier_workers,
             validate=config.lf_validate,
+            pushdown=config.lf_pushdown,
         )
         label_matrix, train_blocks = applier.apply_with_features(
             train_candidates, self.featurizer, sparse=config.sparse_labels

@@ -1,0 +1,372 @@
+"""The pushdown layer: compiled kernels must be bit-identical to interpreted.
+
+Every test here enforces the package's cardinal rule from a different angle:
+per predicate shape (all six the classifier names), per executor backend,
+per chunk size, with mixed compiled/OPAQUE suites, with planted per-row
+failures, and under hypothesis-driven randomized corpora (including
+adversarial token text — NULs, case-exotic characters — aimed at the
+vectorized string kernels' fallback guards).  "Identical" always means the
+full contract: same label matrix, same suppressed-error counts, same
+per-exception-type breakdowns, and the same exception out of a
+non-fault-tolerant run.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.context.candidates import Candidate, SentenceView, SpanView
+from repro.datasets.lf_library import LINT_LFS
+from repro.datasets.synthetic import stream_relation_candidates
+from repro.exceptions import LabelingError
+from repro.labeling import LFApplier, PushdownPlan, build_plan
+from repro.labeling.engine.accumulator import apply_chunk
+from repro.labeling.lf import LabelingFunction
+from repro.labeling.pushdown import label_chunk_pushdown
+from repro.types import ABSTAIN, POSITIVE
+from repro.utils.textutils import contains_any
+
+# ---------------------------------------------------------------------------
+# Planted LFs covering the classifier shapes the library suite misses.
+# ---------------------------------------------------------------------------
+
+
+def _constant_body(candidate):
+    return POSITIVE
+
+
+def _projection_body(candidate):
+    # Out-of-range distances raise in canonicalization; the differential
+    # tests rely on that to pin error fidelity for the projection shape.
+    return candidate.token_distance()
+
+
+def _clamped_projection_body(candidate):
+    return max(-1, min(1, candidate.token_distance() - 1))
+
+
+def _entity_eq_body(candidate):
+    return POSITIVE if candidate.span1.entity_type == "chemical" else ABSTAIN
+
+
+def planted_lfs():
+    return [
+        LabelingFunction("lf_planted_constant", _constant_body),
+        LabelingFunction("lf_planted_projection", _projection_body),
+        LabelingFunction("lf_planted_clamped", _clamped_projection_body),
+        LabelingFunction("lf_planted_entity_eq", _entity_eq_body),
+    ]
+
+
+def opaque_lf():
+    """An LF the analyzer must refuse (unseeded randomness)."""
+    import random
+
+    def body(candidate):
+        return random.Random(candidate.uid).choice([POSITIVE, ABSTAIN])
+
+    return LabelingFunction("lf_opaque_random", body)
+
+
+def full_suite():
+    return LINT_LFS() + planted_lfs()
+
+
+def corpus(n=400, seed=0, error_rate=0.0):
+    return list(stream_relation_candidates(num_points=n, seed=seed, error_rate=error_rate))
+
+
+def assert_identical_runs(lfs, candidates, **applier_kwargs):
+    """Apply with pushdown off and auto; assert the full contract matches."""
+    base = LFApplier(lfs, fault_tolerant=True, **applier_kwargs)
+    base_matrix = base.apply(candidates)
+    push = LFApplier(lfs, fault_tolerant=True, pushdown="auto", **applier_kwargs)
+    push_matrix = push.apply(candidates)
+    np.testing.assert_array_equal(base_matrix.values, push_matrix.values)
+    assert base.last_report.errors == push.last_report.errors
+    base_types = {k: v.type_counts for k, v in base.last_report.error_details.items()}
+    push_types = {k: v.type_counts for k, v in push.last_report.error_details.items()}
+    assert base_types == push_types
+    return push.last_report
+
+
+# ---------------------------------------------------------------------------
+# Shape coverage
+# ---------------------------------------------------------------------------
+
+
+class TestShapeCoverage:
+    def test_all_six_shapes_present_and_compiled(self):
+        from repro.analysis import analyze_lf
+
+        lfs = full_suite()
+        plan = build_plan(lfs)
+        assert not plan.fallback, plan.fallback_reasons
+        shapes = {analyze_lf(lf).pushdown.shape for lf in lfs}
+        assert shapes >= {
+            "regex_match",
+            "membership",
+            "threshold_compare",
+            "field_equality",
+            "field_projection",
+            "constant",
+        }
+
+    def test_each_shape_matches_interpreted(self):
+        from repro.analysis import analyze_lf
+
+        lfs = full_suite()
+        candidates = corpus(300, seed=2, error_rate=0.05)
+        by_shape: dict = {}
+        for lf in lfs:
+            by_shape.setdefault(analyze_lf(lf).pushdown.shape, []).append(lf)
+        for shape, shape_lfs in by_shape.items():
+            assert_identical_runs(shape_lfs, candidates)
+
+
+# ---------------------------------------------------------------------------
+# Executors × chunk sizes, mixed suites, fused path
+# ---------------------------------------------------------------------------
+
+
+class TestBackendsAndChunking:
+    @pytest.mark.parametrize("backend,workers", [
+        ("sequential", 1),
+        ("threads", 3),
+        ("processes", 2),
+    ])
+    @pytest.mark.parametrize("chunk_size", [37, 256, 10_000])
+    def test_identical_across_backends_and_chunk_sizes(self, backend, workers, chunk_size):
+        candidates = corpus(500, seed=4, error_rate=0.04)
+        assert_identical_runs(
+            full_suite(),
+            candidates,
+            backend=backend,
+            num_workers=workers,
+            chunk_size=chunk_size,
+        )
+
+    def test_mixed_compiled_and_opaque_suite(self):
+        lfs = full_suite() + [opaque_lf()]
+        candidates = corpus(300, seed=5, error_rate=0.05)
+        report = assert_identical_runs(lfs, candidates, chunk_size=64)
+        assert report.pushdown is not None
+        assert "lf_opaque_random" in report.pushdown.fallback
+        assert set(report.pushdown.compiled) == {lf.name for lf in full_suite()}
+
+    def test_generator_input_matches_list_input(self):
+        lfs = full_suite()
+        base = LFApplier(lfs, fault_tolerant=True, pushdown="auto", chunk_size=64)
+        from_list = base.apply(corpus(250, seed=6))
+        streamed = LFApplier(lfs, fault_tolerant=True, pushdown="auto", chunk_size=64)
+        from_gen = streamed.apply(
+            stream_relation_candidates(num_points=250, seed=6), sparse=True
+        )
+        np.testing.assert_array_equal(from_list.values, from_gen.to_dense().values)
+
+    def test_fused_apply_with_features_matches(self):
+        from repro.discriminative.featurizers import RelationFeaturizer
+
+        lfs = full_suite()
+        candidates = corpus(200, seed=7)
+        featurizer = RelationFeaturizer(num_features=64).fit()
+        base = LFApplier(lfs, fault_tolerant=True, chunk_size=48)
+        base_matrix, base_blocks = base.apply_with_features(
+            iter(candidates), featurizer, sparse=True
+        )
+        push = LFApplier(lfs, fault_tolerant=True, chunk_size=48, pushdown="auto")
+        push_matrix, push_blocks = push.apply_with_features(
+            iter(candidates), featurizer, sparse=True
+        )
+        np.testing.assert_array_equal(
+            base_matrix.to_dense().values, push_matrix.to_dense().values
+        )
+        assert len(base_blocks) == len(push_blocks)
+        for left, right in zip(base_blocks, push_blocks):
+            np.testing.assert_array_equal(left.toarray(), right.toarray())
+        assert push.last_report.pushdown is not None
+
+
+# ---------------------------------------------------------------------------
+# Error fidelity
+# ---------------------------------------------------------------------------
+
+
+class TestErrorFidelity:
+    def test_non_fault_tolerant_raises_identically(self):
+        lfs = LINT_LFS()
+        candidates = corpus(200, seed=8, error_rate=0.1)
+        with pytest.raises(Exception) as base_exc:
+            LFApplier(lfs).apply(candidates)
+        with pytest.raises(Exception) as push_exc:
+            LFApplier(lfs, pushdown="auto").apply(candidates)
+        assert type(base_exc.value) is type(push_exc.value)
+        assert str(base_exc.value) == str(push_exc.value)
+        assert type(base_exc.value.__cause__) is type(push_exc.value.__cause__)
+
+    def test_planted_token_errors_fall_back_per_row(self):
+        # error_rate plants non-string tokens: the token kernels must hand
+        # exactly those rows to the per-row fallback and report the same
+        # exception types the interpreted path sees.
+        candidates = corpus(300, seed=9, error_rate=0.25)
+        report = assert_identical_runs(LINT_LFS(), candidates, chunk_size=50)
+        assert report.num_errors > 0
+
+    def test_derived_field_override_disables_derivation(self):
+        class LoudCandidate(Candidate):
+            def words_between(self):
+                return ["causes", "override"]
+
+        originals = corpus(120, seed=10)
+        fields = [f.name for f in dataclasses.fields(Candidate)]
+        candidates = [
+            LoudCandidate(**{name: getattr(c, name) for name in fields})
+            for c in originals
+        ]
+        assert_identical_runs(LINT_LFS(), candidates)
+        # And the override must actually matter: the interpreted labels on
+        # the subclass differ from the stock candidates'.
+        stock = LFApplier(LINT_LFS(), fault_tolerant=True).apply(originals)
+        loud = LFApplier(LINT_LFS(), fault_tolerant=True).apply(candidates)
+        assert not np.array_equal(stock.values, loud.values)
+
+
+# ---------------------------------------------------------------------------
+# require-mode diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestRequireMode:
+    def test_require_passes_when_all_compile(self):
+        candidates = corpus(50, seed=11)
+        matrix = LFApplier(
+            full_suite(), fault_tolerant=True, pushdown="require"
+        ).apply(candidates)
+        assert matrix.shape == (50, len(full_suite()))
+
+    def test_require_names_every_offender_with_reason(self):
+        lfs = full_suite() + [opaque_lf()]
+        with pytest.raises(LabelingError) as exc:
+            LFApplier(lfs, fault_tolerant=True, pushdown="require").apply(corpus(10))
+        message = str(exc.value)
+        assert "lf_opaque_random" in message
+        assert 'pushdown="require"' in message
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(LabelingError):
+            LFApplier(LINT_LFS(), pushdown="always")
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+class TestReporting:
+    def test_lf_seconds_and_pushdown_summary(self):
+        lfs = full_suite() + [opaque_lf()]
+        applier = LFApplier(lfs, fault_tolerant=True, pushdown="auto", chunk_size=64)
+        applier.apply(corpus(300, seed=12))
+        report = applier.last_report
+        assert set(report.lf_seconds) == {lf.name for lf in lfs}
+        assert all(seconds >= 0.0 for seconds in report.lf_seconds.values())
+        summary = report.pushdown
+        assert summary.compile_seconds >= 0.0
+        assert summary.compiled_seconds > 0.0
+        assert summary.fallback_seconds > 0.0
+        assert summary.fallback["lf_opaque_random"]
+
+    def test_off_mode_reports_lf_seconds_without_summary(self):
+        applier = LFApplier(LINT_LFS(), fault_tolerant=True)
+        applier.apply(corpus(100, seed=13))
+        report = applier.last_report
+        assert set(report.lf_seconds) == {lf.name for lf in LINT_LFS()}
+        assert report.pushdown is None
+
+    def test_plan_is_cached_per_suite(self):
+        applier = LFApplier(LINT_LFS(), fault_tolerant=True, pushdown="auto")
+        applier.apply(corpus(30, seed=14))
+        applier.apply(corpus(30, seed=15))
+        assert len(applier._pushdown_plans) == 1
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: compile-or-clean-fallback, never wrong labels
+# ---------------------------------------------------------------------------
+
+
+@given(
+    num_points=st.integers(0, 120),
+    seed=st.integers(0, 2**16),
+    error_rate=st.floats(0.0, 0.3),
+    chunk_size=st.integers(1, 64),
+)
+@settings(max_examples=20, deadline=None)
+def test_fuzz_randomized_corpora_identical(num_points, seed, error_rate, chunk_size):
+    candidates = list(
+        stream_relation_candidates(
+            num_points=num_points, seed=seed, error_rate=error_rate
+        )
+    )
+    lfs = LINT_LFS()
+    plan = build_plan(lfs)
+    assert isinstance(plan, PushdownPlan)
+    base = apply_chunk(lfs, True, 0, 0, candidates)
+    push = label_chunk_pushdown(plan, True, 0, 0, candidates)
+    np.testing.assert_array_equal(base.row_offsets, push.row_offsets)
+    np.testing.assert_array_equal(base.cols, push.cols)
+    np.testing.assert_array_equal(base.values, push.values)
+    assert base.errors == push.errors
+    assert {k: v.type_counts for k, v in base.error_details.items()} == {
+        k: v.type_counts for k, v in push.error_details.items()
+    }
+
+
+def _make_candidate(uid, words):
+    """A two-span candidate over arbitrary (possibly adversarial) tokens."""
+    words = list(words)
+    sentence = SentenceView(words=words, text=" ".join(words), position=uid % 9)
+    return Candidate(
+        uid=uid,
+        span1=SpanView(
+            text=words[0], word_start=0, word_end=1, entity_type="chemical",
+            canonical_id=words[0],
+        ),
+        span2=SpanView(
+            text=words[-1], word_start=len(words) - 1, word_end=len(words),
+            entity_type="disease", canonical_id=words[-1],
+        ),
+        sentence=sentence,
+        relation_type="causes",
+    )
+
+
+# Token alphabet aimed at the string kernels' guards: case-exotic characters
+# (long s, dotless i, Kelvin sign), NULs (numpy U-dtype drops trailing NULs),
+# plus ordinary cue words the LINT suite reacts to.
+_TOKENS = st.one_of(
+    st.sampled_from(["causes", "CAUSES", "treats", "causſ", "ı", "KK", "x"]),
+    st.text(alphabet="castreſı\x00İK ", min_size=0, max_size=6),
+)
+
+
+@given(rows=st.lists(st.lists(_TOKENS, min_size=2, max_size=10), min_size=1, max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_fuzz_adversarial_token_text_identical(rows):
+    candidates = [_make_candidate(i, words) for i, words in enumerate(rows)]
+    lfs = LINT_LFS()
+    plan = build_plan(lfs)
+    base = apply_chunk(lfs, True, 0, 0, candidates)
+    push = label_chunk_pushdown(plan, True, 0, 0, candidates)
+    np.testing.assert_array_equal(base.row_offsets, push.row_offsets)
+    np.testing.assert_array_equal(base.cols, push.cols)
+    np.testing.assert_array_equal(base.values, push.values)
+    assert base.errors == push.errors
+
+
+def test_contains_any_guard_stays_callable():
+    # The compiler's membership specialization precomputes the normalized
+    # vocabulary at compile time; the helper must stay usable directly.
+    assert contains_any(["CAUSES"], {"causes"})
