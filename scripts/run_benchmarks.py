@@ -32,7 +32,12 @@ snapshot (default ``BENCH_sparse.json`` in the repository root):
 * ``lf_pushdown`` — compiled columnar LF kernels vs the interpreted
   per-candidate loop on the CDR ``lf_library`` suite, with bit-identity
   asserted on every measurement, including a mixed compiled/fallback suite
-  (``benchmarks/bench_lf_pushdown.py``).
+  (``benchmarks/bench_lf_pushdown.py``);
+* ``engine_transport`` — threads vs the persistent worker pool's pickle and
+  shared-memory chunk transports on the CDR ``lf_library`` suite at chunk
+  sizes 64/512/4096, with bit-identity and a zero-leak shutdown (no
+  orphaned ``/dev/shm`` segments, no surviving worker processes) asserted
+  on every measurement (``benchmarks/bench_engine_transport.py``).
 
 ``--compare`` re-measures and checks every ``*_seconds`` metric against the
 committed snapshot, failing (exit code 1) on a more-than-``--threshold``-fold
@@ -126,6 +131,7 @@ def measure(quick: bool = False) -> dict:
     streaming = _load_bench_module("bench_discriminative_streaming")
     lf_analysis = _load_bench_module("bench_lf_analysis")
     lf_pushdown = _load_bench_module("bench_lf_pushdown")
+    engine_transport = _load_bench_module("bench_engine_transport")
 
     print("[sparse_scaling]")
     scaling_records = scaling.run_scaling(
@@ -204,6 +210,23 @@ def measure(quick: bool = False) -> dict:
     assert (
         lf_pushdown_record["mixed_max_abs_diff"] == 0
     ), "mixed compiled/fallback labels diverged"
+    print("\n[engine_transport]")
+    engine_transport_records = engine_transport.run_engine_transport_benchmark(
+        num_candidates=1_000 if quick else engine_transport.DEFAULT_NUM_CANDIDATES
+    )
+    print(engine_transport.format_records(engine_transport_records))
+    # The runtime's cardinal rules, asserted on every snapshot (quick or
+    # full): every transport emits the sequential label matrix bit for bit,
+    # and shutting the pools down leaks no segments or worker processes.
+    assert all(
+        record["identical"] for record in engine_transport_records
+    ), "transport labels diverged"
+    from repro.labeling.engine.runtime import shutdown_pools
+
+    shutdown_pools()
+    assert (
+        engine_transport.leftover_segments() == []
+    ), "engine shared-memory segments leaked"
 
     return {
         "python": platform.python_version(),
@@ -221,6 +244,7 @@ def measure(quick: bool = False) -> dict:
             "discriminative_streaming": {"record": streaming_record},
             "lf_analysis": {"record": lf_analysis_record},
             "lf_pushdown": {"record": lf_pushdown_record},
+            "engine_transport": {"records": engine_transport_records},
         },
     }
 

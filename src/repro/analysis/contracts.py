@@ -149,11 +149,23 @@ def check_task(task: Callable) -> LFAnalysisResult:
 
 
 def check_engine_tasks() -> AnalysisReport:
-    """Check every built-in engine chunk task; used by CI's self-lint."""
+    """Check every built-in engine chunk task; used by CI's self-lint.
+
+    :func:`~repro.labeling.engine.runtime.run_attached_chunk` is included
+    because it is the persistent worker pool's dispatch kernel: every task
+    a worker executes flows through it with the attached spec as payload,
+    so it must honor the same read-only contract as the tasks it wraps.
+    """
     from repro.labeling.engine.accumulator import apply_chunk
+    from repro.labeling.engine.runtime import run_attached_chunk
     from repro.labeling.engine.tasks import featurize_chunk, label_and_featurize_chunk
 
     report = AnalysisReport()
-    for task in (apply_chunk, featurize_chunk, label_and_featurize_chunk):
+    for task in (
+        apply_chunk,
+        featurize_chunk,
+        label_and_featurize_chunk,
+        run_attached_chunk,
+    ):
         report.results.append(check_task(task))
     return report

@@ -34,15 +34,21 @@ def featurize_stream(
     backend: str = "sequential",
     num_workers: Optional[int] = 1,
     max_pending: Optional[int] = None,
+    transport: str = "auto",
 ) -> CSRFeatureMatrix:
     """Featurize a candidate iterable through the execution engine.
 
     Parameters mirror :class:`repro.labeling.applier.LFApplier`: the
     candidate iterable may be a list, generator, or cursor (consumed chunk
     by chunk); ``backend`` selects the executor; ``max_pending`` bounds the
-    in-flight window.  ``featurizer`` must be fitted — the fitted check also
-    runs worker-side in every chunk, so a stale featurizer shipped to a pool
-    worker fails loudly instead of emitting misaligned columns.
+    in-flight window; ``transport`` picks the processes backend's chunk
+    transport (pickled pipe bytes or shared-memory slots — results are
+    bit-identical).  The process backend runs on the persistent worker pool
+    (:mod:`repro.labeling.engine.runtime`), so a featurize stream following
+    an LF apply in the same process reuses the already-spawned workers.
+    ``featurizer`` must be fitted — the fitted check also runs worker-side
+    in every chunk, so a stale featurizer shipped to a pool worker fails
+    loudly instead of emitting misaligned columns.
     """
     featurizer.require_fitted()
     plan = ExecutionPlan(
@@ -50,6 +56,7 @@ def featurize_stream(
         backend=backend,
         num_workers=num_workers,
         max_pending=max_pending,
+        transport=transport,
     )
     result = run_plan(featurizer, candidates, plan, task=featurize_chunk)
     return CSRFeatureMatrix.from_triples(

@@ -21,7 +21,13 @@ candidate iterable without materializing it.
 """
 
 from repro.labeling.analysis import LFAnalysis
-from repro.labeling.applier import PUSHDOWN_MODES, VALIDATE_MODES, ApplyReport, LFApplier
+from repro.labeling.applier import (
+    PUSHDOWN_MODES,
+    VALIDATE_MODES,
+    ApplyReport,
+    LFApplier,
+    TransportSummary,
+)
 from repro.labeling.declarative import (
     dictionary_lf,
     keyword_lf,
@@ -42,6 +48,7 @@ __all__ = [
     "VALIDATE_MODES",
     "PushdownPlan",
     "PushdownSummary",
+    "TransportSummary",
     "build_plan",
     "ExecutionPlan",
     "run_plan",

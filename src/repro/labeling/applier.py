@@ -10,9 +10,11 @@ three pieces:
 * an **execution plan** (:class:`repro.labeling.engine.ExecutionPlan`) fixing
   the chunking policy, the executor backend, the worker count, and the fault
   policy;
-* pluggable **executors** — ``sequential`` (in-process loop), ``threads``,
-  and ``processes`` (both via ``concurrent.futures``) — that schedule chunks
-  with a bounded in-flight window;
+* pluggable **executors** — ``sequential`` (in-process loop), ``threads``
+  (``concurrent.futures``), and ``processes`` (the persistent worker runtime
+  of :mod:`repro.labeling.engine.runtime`: long-lived workers shared across
+  applies, with chunks moving over a pickle or shared-memory ``transport``)
+  — that schedule chunks with a bounded in-flight window;
 * a per-chunk **accumulator** that collects each worker's non-abstain labels
   as CSR triple blocks and merges them deterministically at the end.
 
@@ -90,6 +92,12 @@ class ApplyReport:
         Compiled/fallback partition and per-tier seconds for a pushdown run
         (see :class:`repro.labeling.pushdown.PushdownSummary`), or ``None``
         when ``pushdown="off"``.
+    transport_seconds:
+        Per-chunk serialization/copy seconds, in chunk order — disjoint from
+        ``chunk_seconds`` (pure compute).  All zeros for the in-process
+        backends, where chunks never cross a process boundary.
+    transport:
+        Run-level split of where time went (see :class:`TransportSummary`).
     """
 
     num_candidates: int = 0
@@ -103,6 +111,8 @@ class ApplyReport:
     lf_seconds: dict[str, float] = field(default_factory=dict)
     analysis: Optional["AnalysisReport"] = None
     pushdown: Optional["PushdownSummary"] = None
+    transport_seconds: list[float] = field(default_factory=list)
+    transport: Optional["TransportSummary"] = None
 
     @property
     def num_errors(self) -> int:
@@ -113,6 +123,33 @@ class ApplyReport:
     def total_chunk_seconds(self) -> float:
         """Summed per-chunk work time (exceeds wall clock under parallelism)."""
         return float(sum(self.chunk_seconds))
+
+
+@dataclass
+class TransportSummary:
+    """How one apply run split its time between moving bytes and computing
+    (``ApplyReport.transport``), in the style of ``ApplyReport.pushdown``.
+
+    ``mode`` is the resolved chunk transport: ``"inline"`` for the
+    in-process backends (nothing crosses a process boundary, so
+    ``transport_seconds`` is 0), ``"pickle"`` or ``"shm"`` for the
+    processes backend.  ``transport_seconds`` sums the per-chunk
+    serialization/copy time (master-side pickling of candidates, worker
+    decode/encode, master-side result claim); ``compute_seconds`` sums the
+    per-chunk task time.  The two are disjoint, so their ratio says whether
+    a run is transport-bound — the signal for switching ``transport`` or
+    growing ``chunk_size``.
+    """
+
+    mode: str = "inline"
+    compute_seconds: float = 0.0
+    transport_seconds: float = 0.0
+
+    @property
+    def transport_fraction(self) -> float:
+        """Share of accounted time spent moving bytes, in ``[0, 1]``."""
+        total = self.compute_seconds + self.transport_seconds
+        return self.transport_seconds / total if total else 0.0
 
 
 class LFApplier:
@@ -155,6 +192,13 @@ class LFApplier:
         the analyzer's or compiler's reason.  Labels, error counts, and
         error breakdowns are bit-identical to ``"off"`` in every mode, for
         every backend and chunk size.
+    transport:
+        Chunk transport of the processes backend (see
+        :data:`repro.labeling.engine.plan.TRANSPORTS`): ``"pickle"`` moves
+        chunks/results as pickled bytes over each worker's pipe, ``"shm"``
+        moves the bulk bytes through reusable shared-memory slots, and
+        ``"auto"`` (default) picks ``shm`` when available.  Results are
+        bit-identical across transports; in-process backends ignore it.
     """
 
     def __init__(
@@ -166,6 +210,7 @@ class LFApplier:
         num_workers: Optional[int] = 1,
         validate: str = "off",
         pushdown: str = "off",
+        transport: str = "auto",
     ) -> None:
         if not lfs:
             raise LabelingError("LFApplier requires at least one labeling function")
@@ -194,6 +239,7 @@ class LFApplier:
             backend=backend,
             num_workers=num_workers,
             fault_tolerant=fault_tolerant,
+            transport=transport,
         )
         self.lfs = list(lfs)
         self.cardinality = cardinalities[0]
@@ -203,11 +249,17 @@ class LFApplier:
         self.num_workers = num_workers
         self.validate = validate
         self.pushdown = pushdown
+        self.transport = transport
         self.last_report: Optional[ApplyReport] = None
         # Compiled plans keyed by the identity of the LF suite (the public
         # ``lfs`` attribute is mutable); hit again on every apply call with
         # an unchanged suite, so compilation cost is paid once per suite.
         self._pushdown_plans: dict[tuple, "PushdownPlan"] = {}
+        # Worker-spec payloads cached by suite/featurizer identity: the
+        # persistent pool dedups attaches on payload *identity*, so repeat
+        # applies must present the same payload object to stay warm (no
+        # re-ship, no worker-side rebuild).
+        self._spec_payloads: dict[tuple, object] = {}
 
     def _validate_suite(self) -> Optional["AnalysisReport"]:
         """Run the static-analysis pass the ``validate`` mode asks for.
@@ -260,6 +312,74 @@ class LFApplier:
             )
         return plan
 
+    def _engine_task(
+        self,
+        pushdown_plan: Optional["PushdownPlan"],
+        featurizer: Optional["RelationFeaturizer"] = None,
+    ) -> tuple:
+        """Select the chunk task, master payload, and worker ``TaskSpec``.
+
+        The master payload runs in-process (sequential/threads); the
+        :class:`~repro.labeling.engine.runtime.TaskSpec` describes the same
+        work for the persistent worker pool.  For pushdown runs the spec
+        ships *configuration, not the plan*: a compiled
+        :class:`PushdownPlan` holds kernel closures that cannot cross a
+        pipe, so workers receive ``(lfs, cardinality, backend)`` and compile
+        their own (deterministically identical) plan once at attach time.
+        Spec payloads are cached per suite/featurizer identity so repeat
+        applies hit the pool's attach dedup and never re-ship.
+        """
+        from repro.labeling.engine import TaskSpec
+
+        key = (
+            tuple(id(lf) for lf in self.lfs),
+            self.cardinality,
+            self.backend,
+            None if featurizer is None else id(featurizer),
+            pushdown_plan is not None,
+        )
+        if pushdown_plan is not None:
+            from repro.labeling.pushdown import (
+                build_fused_worker_payload,
+                build_worker_payload,
+                label_chunk_pushdown,
+                label_pushdown_and_featurize_chunk,
+            )
+
+            if featurizer is None:
+                cfg = self._spec_payloads.setdefault(
+                    key, (tuple(self.lfs), self.cardinality, self.backend)
+                )
+                return (
+                    pushdown_plan,
+                    label_chunk_pushdown,
+                    TaskSpec(
+                        task=label_chunk_pushdown,
+                        payload=cfg,
+                        builder=build_worker_payload,
+                    ),
+                )
+            cfg = self._spec_payloads.setdefault(
+                key, (tuple(self.lfs), self.cardinality, self.backend, featurizer)
+            )
+            return (
+                (pushdown_plan, featurizer),
+                label_pushdown_and_featurize_chunk,
+                TaskSpec(
+                    task=label_pushdown_and_featurize_chunk,
+                    payload=cfg,
+                    builder=build_fused_worker_payload,
+                ),
+            )
+        if featurizer is None:
+            return self.lfs, apply_chunk, TaskSpec(task=apply_chunk, payload=self.lfs)
+        payload = self._spec_payloads.setdefault(key, (self.lfs, featurizer))
+        return (
+            payload,
+            label_and_featurize_chunk,
+            TaskSpec(task=label_and_featurize_chunk, payload=payload),
+        )
+
     @property
     def lf_names(self) -> list[str]:
         """Column names of the produced label matrix."""
@@ -275,6 +395,11 @@ class LFApplier:
             pushdown_summary = PushdownSummary.from_run(
                 pushdown_plan, result.lf_seconds
             )
+        transport_summary = TransportSummary(
+            mode=result.transport,
+            compute_seconds=float(sum(result.chunk_seconds)),
+            transport_seconds=float(sum(result.transport_seconds)),
+        )
         return ApplyReport(
             num_candidates=result.num_candidates,
             num_lfs=len(self.lfs),
@@ -287,6 +412,8 @@ class LFApplier:
             lf_seconds=result.lf_seconds,
             analysis=analysis,
             pushdown=pushdown_summary,
+            transport_seconds=result.transport_seconds,
+            transport=transport_summary,
         )
 
     def apply(self, candidates: Iterable, sparse: bool = False) -> LabelMatrix:
@@ -321,15 +448,13 @@ class LFApplier:
             backend=self.backend,
             num_workers=self.num_workers,
             fault_tolerant=self.fault_tolerant,
+            transport=self.transport,
         )
         pushdown_plan = self._pushdown_plan()
-        if pushdown_plan is not None:
-            from repro.labeling.pushdown import label_chunk_pushdown
-
-            payload, task = pushdown_plan, label_chunk_pushdown
-        else:
-            payload, task = self.lfs, apply_chunk
-        result = run_plan(payload, candidates, plan, transform=transform, task=task)
+        payload, task, spec = self._engine_task(pushdown_plan)
+        result = run_plan(
+            payload, candidates, plan, transform=transform, task=task, spec=spec
+        )
         self.last_report = self._build_report(result, analysis, pushdown_plan)
         shape = (result.num_candidates, len(self.lfs))
         if sparse:
@@ -408,20 +533,17 @@ class LFApplier:
             backend=self.backend,
             num_workers=self.num_workers,
             fault_tolerant=self.fault_tolerant,
+            transport=self.transport,
         )
         pushdown_plan = self._pushdown_plan()
-        if pushdown_plan is not None:
-            from repro.labeling.pushdown import label_pushdown_and_featurize_chunk
-
-            payload, task = (pushdown_plan, featurizer), label_pushdown_and_featurize_chunk
-        else:
-            payload, task = (self.lfs, featurizer), label_and_featurize_chunk
+        payload, task, spec = self._engine_task(pushdown_plan, featurizer)
         result = run_plan(
             payload,
             candidates,
             plan,
             transform=transform,
             task=task,
+            spec=spec,
         )
         self.last_report = self._build_report(result, analysis, pushdown_plan)
         shape = (result.num_candidates, num_lfs)

@@ -28,10 +28,21 @@ from repro.labeling.engine.executors import (
 )
 from repro.labeling.engine.plan import (
     BACKENDS,
+    TRANSPORTS,
     Chunk,
     ExecutionPlan,
     available_workers,
     iter_chunks,
+)
+from repro.labeling.engine.runtime import (
+    HAVE_SHM,
+    TaskSpec,
+    WorkerCrashError,
+    WorkerPool,
+    get_global_pool,
+    resolve_transport,
+    run_attached_chunk,
+    shutdown_pools,
 )
 from repro.labeling.engine.tasks import featurize_chunk, label_and_featurize_chunk
 
@@ -43,14 +54,23 @@ __all__ = [
     "CSRAccumulator",
     "EngineResult",
     "ExecutionPlan",
+    "HAVE_SHM",
     "ProcessPoolChunkExecutor",
     "SequentialExecutor",
+    "TRANSPORTS",
+    "TaskSpec",
     "ThreadPoolChunkExecutor",
+    "WorkerCrashError",
+    "WorkerPool",
     "apply_chunk",
     "available_workers",
     "featurize_chunk",
     "get_executor",
+    "get_global_pool",
     "iter_chunks",
     "label_and_featurize_chunk",
+    "resolve_transport",
+    "run_attached_chunk",
     "run_plan",
+    "shutdown_pools",
 ]

@@ -79,6 +79,11 @@ class ChunkResult:
     #: Per-LF wall-clock seconds spent inside this chunk, keyed by LF name
     #: (``None`` for tasks that don't track it, e.g. featurization).
     lf_seconds: Optional[dict[str, float]] = None
+    #: Wall-clock seconds spent moving this chunk between processes —
+    #: serialization, shared-memory copies, and descriptor claims, summed
+    #: over both directions.  ``0.0`` for in-process execution, where no
+    #: transport happens; disjoint from ``seconds`` (pure compute).
+    transport_seconds: float = 0.0
     #: Secondary triple block produced by a fused chunk task (e.g. the CSR
     #: feature block riding along with the labels); consumed master-side by
     #: a :class:`CSRAccumulator` ``transform`` and never merged here.
@@ -94,6 +99,42 @@ class ChunkResult:
         """
         empty = np.empty(0, dtype=np.int64)
         return replace(self, row_offsets=empty, cols=empty, values=empty, features=None)
+
+
+def detach_arrays(result: ChunkResult) -> tuple[ChunkResult, list[np.ndarray]]:
+    """Split a result into (array-free metadata, its triple arrays).
+
+    The shared-memory transport ships the returned arrays as raw blocks in a
+    worker's inbound ring and only pickles the metadata through the pipe; the
+    array order is fixed (primary ``row_offsets, cols, values``, then the
+    same three for an attached ``features`` block) so
+    :func:`attach_arrays` can reassemble the result from positional
+    descriptors.  The original result is not mutated.
+    """
+    arrays = [result.row_offsets, result.cols, result.values]
+    features = result.features
+    if features is not None:
+        arrays.extend([features.row_offsets, features.cols, features.values])
+        features = replace(features, row_offsets=None, cols=None, values=None)
+    meta = replace(
+        result, row_offsets=None, cols=None, values=None, features=features
+    )
+    return meta, arrays
+
+
+def attach_arrays(meta: ChunkResult, arrays: list[np.ndarray]) -> ChunkResult:
+    """Inverse of :func:`detach_arrays`: claim transported arrays back."""
+    result = replace(
+        meta, row_offsets=arrays[0], cols=arrays[1], values=arrays[2]
+    )
+    if result.features is not None:
+        result.features = replace(
+            result.features,
+            row_offsets=arrays[3],
+            cols=arrays[4],
+            values=arrays[5],
+        )
+    return result
 
 
 def apply_chunk(
@@ -164,6 +205,9 @@ class MergedTriples:
     #: Per-LF wall-clock totals summed over chunks (empty when the task did
     #: not report per-LF timings).
     lf_seconds: dict[str, float] = field(default_factory=dict)
+    #: Per-chunk transport seconds, in chunk order (all zeros for in-process
+    #: execution; see :attr:`ChunkResult.transport_seconds`).
+    transport_seconds: list[float] = field(default_factory=list)
 
 
 class CSRAccumulator:
@@ -232,4 +276,5 @@ class CSRAccumulator:
             error_details=error_details,
             chunk_seconds=[result.seconds for result in ordered],
             lf_seconds=lf_seconds,
+            transport_seconds=[result.transport_seconds for result in ordered],
         )

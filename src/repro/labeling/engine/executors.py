@@ -13,11 +13,15 @@ label+featurize tasks that ride the same executors.  The executors are:
 * :class:`ThreadPoolChunkExecutor` — ``concurrent.futures`` threads, the
   right choice for latency-bound LFs (I/O, external services) where workers
   overlap waiting rather than computation;
-* :class:`ProcessPoolChunkExecutor` — ``concurrent.futures`` processes for
-  CPU-bound work.  The task payload (LF list, featurizer, ...) travels to
-  the workers through the pool initializer (with the ``fork`` start method
-  it is inherited by memory and never pickled, so closures work); the
-  candidate chunks go through the task queue and must be picklable.
+* :class:`ProcessPoolChunkExecutor` — CPU-bound work on the **persistent
+  worker runtime** (:mod:`repro.labeling.engine.runtime`): a pool of
+  long-lived processes shared by every run in this master process.  The
+  task payload (LF list, featurizer, ...) is attached once as a
+  :class:`~repro.labeling.engine.runtime.TaskSpec` (pickled when possible,
+  inherited via ``fork`` respawn otherwise, so closures still work); the
+  candidate chunks then travel over the plan's ``transport`` — pickled
+  bytes on the pipe, or zero-copy-claimed ``multiprocessing.shared_memory``
+  slots — and must be picklable.
 
 The pool executors use windowed submission: at most ``plan.pending_limit()``
 chunks are in flight, so a generator-fed run keeps bounded memory no matter
@@ -27,11 +31,13 @@ free up.
 
 from __future__ import annotations
 
-import multiprocessing
 from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import cycle guard
+    from repro.labeling.engine.runtime import TaskSpec
 
 import numpy as np
 
@@ -68,6 +74,13 @@ class EngineResult:
     #: Per-LF wall-clock totals (summed over chunks; empty when the task
     #: does not report them, e.g. pure featurization).
     lf_seconds: dict[str, float] = field(default_factory=dict)
+    #: Resolved chunk transport: ``"inline"`` for in-process backends,
+    #: ``"pickle"`` or ``"shm"`` for the processes backend.
+    transport: str = "inline"
+    #: Per-chunk serialization/copy seconds, in chunk order — disjoint from
+    #: ``chunk_seconds`` (pure compute), so transport overhead is
+    #: attributable per run (all zeros for in-process backends).
+    transport_seconds: list[float] = field(default_factory=list)
 
 
 class SequentialExecutor:
@@ -80,6 +93,7 @@ class SequentialExecutor:
         chunks: Iterator[Chunk],
         accumulator: CSRAccumulator,
         task: ChunkTask = apply_chunk,
+        spec: Optional["TaskSpec"] = None,
     ) -> None:
         for chunk in chunks:
             accumulator.add(
@@ -126,6 +140,7 @@ class ThreadPoolChunkExecutor:
         chunks: Iterator[Chunk],
         accumulator: CSRAccumulator,
         task: ChunkTask = apply_chunk,
+        spec: Optional["TaskSpec"] = None,
     ) -> None:
         with ThreadPoolExecutor(max_workers=plan.effective_workers()) as pool:
             _windowed_submit(
@@ -144,34 +159,18 @@ class ThreadPoolChunkExecutor:
             )
 
 
-# Worker-process state, populated once per worker by the pool initializer so
-# the task payload (LF suite, featurizer, ...) is not re-pickled with every
-# chunk.
-_PROCESS_PAYLOAD: object = ()
-_PROCESS_FAULT_TOLERANT = False
-_PROCESS_TASK: ChunkTask = apply_chunk
-
-
-def _process_worker_init(payload: object, fault_tolerant: bool, task: ChunkTask) -> None:
-    global _PROCESS_PAYLOAD, _PROCESS_FAULT_TOLERANT, _PROCESS_TASK
-    _PROCESS_PAYLOAD = payload
-    _PROCESS_FAULT_TOLERANT = fault_tolerant
-    _PROCESS_TASK = task
-
-
-def _process_chunk_entry(index: int, start_row: int, candidates: list) -> ChunkResult:
-    return _PROCESS_TASK(
-        _PROCESS_PAYLOAD, _PROCESS_FAULT_TOLERANT, index, start_row, candidates
-    )
-
-
 class ProcessPoolChunkExecutor:
-    """Executes chunks on a ``ProcessPoolExecutor``.
+    """Executes chunks on the persistent worker runtime.
 
-    Prefers the ``fork`` start method (Linux): worker initializer arguments
-    are inherited by memory, so LFs built from closures or lambdas work
-    unchanged.  Under ``spawn`` (macOS / Windows) the task payload itself
-    must be picklable.
+    Workers are **not** created per call: the executor borrows the
+    per-process :func:`~repro.labeling.engine.runtime.get_global_pool` for
+    ``plan.effective_workers()``, attaches the task/payload as a
+    :class:`~repro.labeling.engine.runtime.TaskSpec` (a no-op when the same
+    suite was attached before), and streams only chunk payloads over the
+    plan's ``transport``.  Under the ``fork`` start method unpicklable
+    payloads (closure LFs, compiled pushdown plans) still work — the pool
+    respawns its workers once so the spec is inherited by memory.  Under
+    ``spawn`` (macOS / Windows) the spec itself must be picklable.
     """
 
     def execute(
@@ -181,26 +180,21 @@ class ProcessPoolChunkExecutor:
         chunks: Iterator[Chunk],
         accumulator: CSRAccumulator,
         task: ChunkTask = apply_chunk,
+        spec: Optional["TaskSpec"] = None,
     ) -> None:
-        if "fork" in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - non-fork platforms
-            context = multiprocessing.get_context()
-        with ProcessPoolExecutor(
-            max_workers=plan.effective_workers(),
-            mp_context=context,
-            initializer=_process_worker_init,
-            initargs=(payload, plan.fault_tolerant, task),
-        ) as pool:
-            _windowed_submit(
-                pool,
-                lambda chunk: pool.submit(
-                    _process_chunk_entry, chunk.index, chunk.start_row, chunk.candidates
-                ),
-                chunks,
-                accumulator,
-                plan.pending_limit(),
-            )
+        from repro.labeling.engine import runtime
+
+        if spec is None:
+            spec = runtime.TaskSpec(task=task, payload=payload)
+        spec = replace(spec, fault_tolerant=plan.fault_tolerant)
+        pool = runtime.get_global_pool(plan.effective_workers())
+        pool.run(
+            spec,
+            chunks,
+            accumulator,
+            transport=plan.transport,
+            pending_limit=plan.pending_limit(),
+        )
 
 
 _EXECUTORS = {
@@ -226,6 +220,7 @@ def run_plan(
     plan: ExecutionPlan,
     transform: Callable[[ChunkResult], ChunkResult] | None = None,
     task: ChunkTask = apply_chunk,
+    spec: Optional["TaskSpec"] = None,
 ) -> EngineResult:
     """Execute a chunk task over a candidate iterable under ``plan``.
 
@@ -237,11 +232,26 @@ def run_plan(
     are held in memory.  ``transform`` (see :class:`CSRAccumulator`) lets
     the caller consume each block's triples on arrival instead of keeping
     them for the final merge.
+
+    ``spec`` is the worker-shippable description of the task for the
+    processes backend (see :class:`~repro.labeling.engine.runtime.TaskSpec`)
+    — callers whose master-side ``payload`` cannot cross a pipe (e.g. a
+    compiled pushdown plan) pass a spec whose ``builder`` re-derives the
+    payload worker-side from shipped configuration.  In-process backends run
+    ``task(payload, ...)`` directly and ignore it.
     """
     accumulator = CSRAccumulator(transform=transform)
     executor = get_executor(plan.backend)
-    executor.execute(plan, payload, iter_chunks(candidates, plan.chunk_size), accumulator, task)
+    executor.execute(
+        plan, payload, iter_chunks(candidates, plan.chunk_size), accumulator, task, spec=spec
+    )
     merged = accumulator.merge()
+    if plan.backend == "processes":
+        from repro.labeling.engine.runtime import resolve_transport
+
+        transport = resolve_transport(plan.transport)
+    else:
+        transport = "inline"
     return EngineResult(
         num_candidates=merged.num_candidates,
         num_chunks=merged.num_chunks,
@@ -254,4 +264,6 @@ def run_plan(
         backend=plan.backend,
         num_workers=plan.effective_workers(),
         lf_seconds=merged.lf_seconds,
+        transport=transport,
+        transport_seconds=merged.transport_seconds,
     )

@@ -22,6 +22,15 @@ from repro.exceptions import LabelingError
 #: Executor backends understood by the engine.
 BACKENDS = ("sequential", "threads", "processes")
 
+#: Chunk transports of the processes backend (see
+#: :mod:`repro.labeling.engine.runtime`).  ``"pickle"`` moves chunks and
+#: results as pickled bytes over each worker's pipe; ``"shm"`` moves the
+#: bulk bytes/arrays through reusable ``multiprocessing.shared_memory``
+#: slots with only descriptors on the pipe; ``"auto"`` picks ``shm`` when
+#: the interpreter supports it.  Results are bit-identical across
+#: transports; in-process backends ignore the setting.
+TRANSPORTS = ("auto", "pickle", "shm")
+
 
 class Chunk(NamedTuple):
     """One work unit: a contiguous run of candidates with its global offset."""
@@ -65,6 +74,10 @@ class ExecutionPlan:
         merged).  Defaults to ``2 × workers`` — the backpressure that keeps
         a generator-fed run out-of-core instead of draining the stream into
         the pool's queue.
+    transport:
+        Chunk transport of the processes backend (see :data:`TRANSPORTS`);
+        ignored by the in-process backends.  Results are bit-identical
+        across transports.
     """
 
     chunk_size: int = 1024
@@ -72,6 +85,7 @@ class ExecutionPlan:
     num_workers: Optional[int] = 1
     fault_tolerant: bool = False
     max_pending: Optional[int] = None
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -79,6 +93,10 @@ class ExecutionPlan:
         if self.backend not in BACKENDS:
             raise LabelingError(
                 f"unknown executor backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise LabelingError(
+                f"unknown transport {self.transport!r}; expected one of {TRANSPORTS}"
             )
         if self.num_workers is not None and self.num_workers < 1:
             raise LabelingError(f"num_workers must be >= 1, got {self.num_workers}")

@@ -1,0 +1,851 @@
+"""The persistent worker runtime: long-lived processes + shared-memory transport.
+
+Before this module, the ``processes`` backend built a fresh
+``ProcessPoolExecutor`` inside every ``apply`` call — even back-to-back
+applies on the same suite paid full worker startup, and every chunk paid a
+pickle round-trip through the pool's task queue.  The runtime replaces that
+with a :class:`WorkerPool` of long-lived processes that is created once per
+master process (see :func:`get_global_pool`), shared across pipeline stages
+(apply → fused apply+featurize → featurize), and reaped at interpreter exit.
+
+The pool ships *configuration, not objects*: a :class:`TaskSpec` describes a
+chunk task once — the task function, its payload (LF suite, featurizer, …),
+and an optional worker-side ``builder`` that derives the actual payload from
+shipped configuration (e.g. compiling a pushdown plan from the LF list,
+since compiled plans hold closures and cannot cross a pipe).  Workers build
+the payload **once at attach time** and afterwards receive only chunk
+payloads.  Attach is warm when the spec pickles; when it does not (LF
+closures under the ``fork`` start method), the pool respawns its workers so
+the spec is inherited by memory — the same trick the old executor played
+with initializer args, but amortized across every subsequent run.
+
+Two transports move the bulk data (``transport="pickle"|"shm"|"auto"``):
+
+* ``pickle`` — chunk candidates and results travel as pickled bytes over
+  each worker's duplex pipe.  Always available; the fallback.
+* ``shm`` — pickled candidate bytes go out through a per-worker ring of
+  reusable ``multiprocessing.shared_memory`` slots, and result triple/
+  feature arrays come back as raw array blocks in a worker-owned inbound
+  ring, described by ``(name, offset, dtype, count)`` descriptors; only the
+  small result metadata crosses the pipe.  Results are bit-identical to the
+  ``pickle`` transport — the differential suite in
+  ``tests/test_engine_transport.py`` pins this down.
+
+Segment ownership is asymmetric by design: workers create and write their
+inbound rings but only the *master* ever unlinks a segment (exactly once),
+which keeps the shared resource tracker's bookkeeping balanced under the
+``fork`` start method.  Ring slots are reused under a per-worker in-flight
+cap (2 for ``shm``, 1 for ``pickle`` — the pipe transport must never let the
+master block on a large send while a worker blocks sending a result, which
+would deadlock), results are claimed (copied out) immediately on receipt,
+and retired segments are unlinked only after a result proves the worker has
+moved to the replacement — so no slot is overwritten before it is drained.
+
+Crash handling: the master waits on each worker's pipe *and* process
+sentinel.  A worker that dies mid-run surfaces as :class:`WorkerCrashError`
+(coded ``EN100``) naming the in-flight chunk; in fault-tolerant mode the
+pool respawns a replacement and resubmits the lost chunks (bounded by
+:data:`MAX_CHUNK_ATTEMPTS`).  The accumulator's duplicate-index guard means
+a resubmitted chunk can never be merged twice, so the deterministic merge
+survives crashes unchanged.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.labeling.engine.accumulator import (
+    ChunkResult,
+    CSRAccumulator,
+    attach_arrays,
+    detach_arrays,
+)
+from repro.labeling.engine.plan import TRANSPORTS, Chunk
+
+try:  # pragma: no cover - import guard exercised only on exotic builds
+    from multiprocessing import shared_memory as _shm
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover
+    _shm = None
+    HAVE_SHM = False
+
+__all__ = [
+    "HAVE_SHM",
+    "MAX_CHUNK_ATTEMPTS",
+    "TRANSPORTS",
+    "TaskSpec",
+    "WorkerCrashError",
+    "WorkerPool",
+    "get_global_pool",
+    "resolve_transport",
+    "run_attached_chunk",
+    "shutdown_pools",
+]
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Times one chunk may be submitted before a worker crash becomes fatal even
+#: in fault-tolerant mode (first attempt + one resubmission).
+MAX_CHUNK_ATTEMPTS = 2
+
+#: Specs kept attached per pool before the least-recently-attached one is
+#: detached (workers drop the built payload; the master forgets the spec id).
+MAX_ATTACHED_SPECS = 8
+
+#: Per-worker in-flight chunk cap by transport.  ``shm`` pipelines two chunks
+#: per worker (ring slots alternate, control messages are tiny so the master
+#: never blocks on a send).  ``pickle`` must stay at one: with a chunk in
+#: flight, a large candidate send can fill the pipe while the worker blocks
+#: sending a large result the master is not reading — a deadlock.
+_TRANSPORT_DEPTH = {"shm": 2, "pickle": 1}
+
+_RING_MIN_SLOT = 1 << 16
+
+
+def resolve_transport(transport: str) -> str:
+    """Resolve an ``ExecutionPlan.transport`` value to a concrete transport."""
+    if transport not in TRANSPORTS:
+        raise LabelingError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    if transport == "auto":
+        return "shm" if HAVE_SHM else "pickle"
+    if transport == "shm" and not HAVE_SHM:  # pragma: no cover - exotic builds
+        raise LabelingError(
+            'transport="shm" requires multiprocessing.shared_memory, which '
+            'this interpreter lacks; use transport="pickle"'
+        )
+    return transport
+
+
+class WorkerCrashError(LabelingError):
+    """A pool worker died while chunks were in flight (engine error EN100).
+
+    Unlike ``concurrent.futures.BrokenProcessPool`` this names the lost
+    chunk, so the failure is actionable (which data, which attempt) and a
+    fault-tolerant run knows exactly what to resubmit.
+    """
+
+    code = "EN100"
+
+    def __init__(
+        self, chunk_index: int, worker_pid: Optional[int], exit_code, attempts: int
+    ) -> None:
+        self.chunk_index = chunk_index
+        self.worker_pid = worker_pid
+        self.exit_code = exit_code
+        self.attempts = attempts
+        super().__init__(
+            f"[{self.code}] worker process {worker_pid} (exit code {exit_code}) "
+            f"died while chunk {chunk_index} was in flight "
+            f"(attempt {attempts}/{MAX_CHUNK_ATTEMPTS})"
+        )
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """What a worker needs to run one kind of chunk task, shipped once.
+
+    ``task`` is a chunk task (``apply_chunk`` signature).  ``payload`` is its
+    first argument — or, when ``builder`` is given, the *configuration* from
+    which each worker derives the first argument at attach time
+    (``builder(payload)``), e.g. compiling a pushdown plan from the LF list.
+    Workers cache the built payload, so attach cost is paid once per worker
+    per spec, not per chunk.
+    """
+
+    task: Callable
+    payload: object = None
+    builder: Optional[Callable[[object], object]] = None
+    fault_tolerant: bool = False
+
+
+@dataclass
+class _AttachedSpec:
+    """A spec after worker-side attach: the task plus its built payload."""
+
+    task: Callable
+    payload: object
+    fault_tolerant: bool
+
+
+def run_attached_chunk(
+    attached: _AttachedSpec,
+    fault_tolerant: bool,
+    index: int,
+    start_row: int,
+    candidates: list,
+) -> ChunkResult:
+    """Run one chunk against an attached spec (the pool's worker kernel).
+
+    A pure dispatch with the standard chunk-task signature, so the EN
+    purity contracts (:mod:`repro.analysis.contracts`) apply to the pool's
+    hot path exactly as they do to the tasks it dispatches to.
+    """
+    return attached.task(attached.payload, fault_tolerant, index, start_row, candidates)
+
+
+def _build_attached(spec: TaskSpec) -> _AttachedSpec:
+    payload = spec.builder(spec.payload) if spec.builder is not None else spec.payload
+    return _AttachedSpec(
+        task=spec.task, payload=payload, fault_tolerant=spec.fault_tolerant
+    )
+
+
+def _exc_payload(exc: BaseException) -> tuple:
+    """Pack an exception for the pipe (picklable or not)."""
+    try:
+        blob = pickle.dumps(exc, _PICKLE_PROTOCOL)
+    except Exception:
+        blob = None
+    return (blob, type(exc).__name__, str(exc), traceback.format_exc())
+
+
+def _rebuild_exc(payload: tuple) -> BaseException:
+    """Reconstruct a worker exception master-side.
+
+    Picklable exceptions (the common case — ``LabelingError`` wrapping, user
+    ``ZeroDivisionError``s, …) come back as the same type with the same
+    message, so the exception a pool run raises matches the sequential run's
+    bit for bit; the worker traceback rides along as ``remote_traceback``.
+    """
+    blob, type_name, message, remote_tb = payload
+    if blob is not None:
+        try:
+            exc = pickle.loads(blob)
+            exc.remote_traceback = remote_tb
+            return exc
+        except Exception:
+            pass
+    exc = LabelingError(f"worker task raised {type_name}: {message}\n{remote_tb}")
+    exc.remote_traceback = remote_tb
+    return exc
+
+
+def _align(nbytes: int) -> int:
+    return (nbytes + 63) & ~63
+
+
+class _SlotRing:
+    """A shared-memory segment split into ``depth`` reusable slots.
+
+    Slot ``seq % depth`` carries the payload of task/result ``seq``; the
+    submission protocol guarantees a slot is never rewritten before its
+    previous occupant was claimed.  A payload larger than the current slot
+    size retires the whole segment and allocates a bigger one (geometric
+    growth) — the retired segment is returned to the caller, because only
+    the caller knows when the peer has stopped reading it.
+    """
+
+    def __init__(self, base_name: str, depth: int) -> None:
+        self.base_name = base_name
+        self.depth = depth
+        self.segment = None
+        self.slot_bytes = 0
+        self._generation = 0
+
+    def reserve(self, seq: int, nbytes: int) -> tuple[str, int, object]:
+        """Return ``(segment_name, offset, retired_segment_or_None)``."""
+        needed = max(_align(nbytes), 64)
+        retired = None
+        if self.segment is None or needed > self.slot_bytes:
+            retired = self.segment
+            self.slot_bytes = max(needed, 2 * self.slot_bytes, _RING_MIN_SLOT)
+            name = f"{self.base_name}g{self._generation}"
+            self._generation += 1
+            self.segment = _shm.SharedMemory(
+                name=name, create=True, size=self.slot_bytes * self.depth
+            )
+        return self.segment.name, (seq % self.depth) * self.slot_bytes, retired
+
+    def release(self, unlink: bool) -> None:
+        if self.segment is not None:
+            _release_segment(self.segment, unlink=unlink)
+            self.segment = None
+            self.slot_bytes = 0
+
+
+def _release_segment(segment, unlink: bool) -> None:
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - an un-released view; leak mapping
+        return
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already swept
+            pass
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+
+def _worker_main(conn, inherited_specs: dict, inbound_base: str) -> None:
+    """The worker loop: attach specs, run chunks, ship results back.
+
+    ``inherited_specs`` arrived through the ``fork`` start method (by
+    memory, never pickled) so closure-built payloads work; later specs
+    arrive as ``("attach", sid, bytes)`` messages when they pickle.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    attached: dict[int, _AttachedSpec] = {}
+    broken: dict[int, tuple] = {}
+    outbound: dict[str, object] = {}
+    ring = _SlotRing(inbound_base, depth=max(_TRANSPORT_DEPTH.values())) if HAVE_SHM else None
+
+    def build(sid, spec) -> None:
+        try:
+            attached[sid] = _build_attached(spec)
+        except Exception as exc:
+            broken[sid] = _exc_payload(exc)
+            conn.send(("attach_error", sid, broken[sid]))
+
+    try:
+        for sid, spec in inherited_specs.items():
+            build(sid, spec)
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):  # pragma: no cover - master vanished
+                break
+            kind = msg[0]
+            if kind == "close":
+                break
+            if kind == "attach":
+                _, sid, spec_blob = msg
+                try:
+                    spec = pickle.loads(spec_blob)
+                except Exception as exc:
+                    broken[sid] = _exc_payload(exc)
+                    conn.send(("attach_error", sid, broken[sid]))
+                    continue
+                build(sid, spec)
+            elif kind == "detach":
+                attached.pop(msg[1], None)
+                broken.pop(msg[1], None)
+            elif kind == "task":
+                _, sid, seq, index, start_row, meta = msg
+                _worker_run_task(
+                    conn, attached, broken, outbound, ring, sid, seq, index, start_row, meta
+                )
+    finally:
+        for segment in outbound.values():
+            _release_segment(segment, unlink=False)
+        if ring is not None:
+            # The master unlinks inbound segments it attached; segments it
+            # never saw are swept by name prefix at pool close.
+            ring.release(unlink=False)
+        conn.close()
+
+
+def _worker_run_task(
+    conn, attached, broken, outbound, ring, sid, seq, index, start_row, meta
+) -> None:
+    decode_start = time.perf_counter()
+    if meta[0] == "shm":
+        _, name, offset, length = meta
+        segment = outbound.get(name)
+        if segment is None:
+            # The master grew its outbound ring: every older segment is
+            # retired (tasks arrive in order) — drop them before attaching.
+            for old in outbound.values():
+                _release_segment(old, unlink=False)
+            outbound.clear()
+            segment = _shm.SharedMemory(name=name)
+            outbound[name] = segment
+        candidates = pickle.loads(segment.buf[offset : offset + length])
+    else:
+        candidates = pickle.loads(meta[1])
+    transport_seconds = time.perf_counter() - decode_start
+
+    spec = attached.get(sid)
+    if spec is None:
+        payload = broken.get(sid) or _exc_payload(
+            LabelingError(f"task spec {sid} is not attached to this worker")
+        )
+        conn.send(("error", seq, index, payload))
+        return
+    try:
+        result = run_attached_chunk(spec, spec.fault_tolerant, index, start_row, candidates)
+    except Exception as exc:
+        conn.send(("error", seq, index, _exc_payload(exc)))
+        return
+
+    encode_start = time.perf_counter()
+    if ring is not None and meta[0] == "shm":
+        meta_result, arrays = detach_arrays(result)
+        name, base, retired = ring.reserve(seq, sum(_align(a.nbytes) for a in arrays))
+        if retired is not None:
+            # Master still claims older results from the retired segment (it
+            # unlinks it on seeing the new name); this side just unmaps.
+            _release_segment(retired, unlink=False)
+        blocks = []
+        offset = base
+        for array in arrays:
+            if array.nbytes:
+                view = np.frombuffer(
+                    ring.segment.buf, dtype=array.dtype, count=array.size, offset=offset
+                )
+                view[:] = array
+                del view
+            blocks.append((offset, array.dtype.str, array.size))
+            offset += _align(array.nbytes)
+        transport_seconds += time.perf_counter() - encode_start
+        conn.send(("result", seq, index, ("shm", name, blocks, meta_result, transport_seconds)))
+    else:
+        blob = pickle.dumps(result, _PICKLE_PROTOCOL)
+        transport_seconds += time.perf_counter() - encode_start
+        conn.send(("result", seq, index, ("pipe", blob, transport_seconds)))
+
+
+# --------------------------------------------------------------------------
+# Master side
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _InFlight:
+    seq: int
+    chunk: Chunk
+    attempts: int
+    submit_seconds: float
+
+
+@dataclass(eq=False)
+class _Worker:
+    """Master-side handle on one pool process (identity-hashed)."""
+
+    process: object
+    conn: object
+    out_ring: Optional[_SlotRing]
+    pending: deque = field(default_factory=deque)
+    #: ``(confirm_seq, segment)``: retired outbound segments, unlinked once a
+    #: result for a task ``seq >= confirm_seq`` proves the worker moved on.
+    retired_out: deque = field(default_factory=deque)
+    #: Inbound segments (worker-created) this master has attached, by name.
+    inbound: dict = field(default_factory=dict)
+    next_seq: int = 0
+
+
+class WorkerPool:
+    """A persistent pool of chunk-task workers with spec attach semantics.
+
+    Lifecycle: construct (no processes yet) → :meth:`attach` a
+    :class:`TaskSpec` (first attach spawns the workers; unpicklable specs
+    respawn them so ``fork`` inherits the payload) → :meth:`run` chunk
+    streams against it, any number of times, across pipeline stages →
+    :meth:`close` (also wired to ``atexit`` for pools from
+    :func:`get_global_pool`).  ``close`` is not terminal: the next attach
+    simply respawns.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise LabelingError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        #: Processes spawned over the pool's lifetime — the single-spawn
+        #: regression probe (one pipeline run must not exceed num_workers).
+        self.total_spawned = 0
+        self._owner_pid = os.getpid()
+        self._name = f"repro-eng-{os.getpid()}-{os.urandom(3).hex()}"
+        if "fork" in __import__("multiprocessing").get_all_start_methods():
+            self._ctx = get_context("fork")
+        else:  # pragma: no cover - non-fork platforms
+            self._ctx = get_context()
+        self._workers: list[_Worker] = []
+        self._specs: dict[int, TaskSpec] = {}
+        self._spec_ids: dict[tuple, int] = {}
+        self._broken_specs: dict[int, BaseException] = {}
+        self._next_spec_id = 0
+        self._spawn_serial = 0
+        self._running = False
+
+    # ------------------------------------------------------------- lifecycle
+    def _spawn_worker(self) -> _Worker:
+        if HAVE_SHM:
+            # Start the resource tracker *before* forking so workers inherit
+            # it: every segment registration then lands in one shared
+            # tracker whose bookkeeping the master's single unlink per
+            # segment balances.  Workers left to start their own trackers
+            # would warn about (and try to re-unlink) segments the master
+            # already cleaned up.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        serial = self._spawn_serial
+        self._spawn_serial += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, dict(self._specs), f"{self._name}-w{serial}-in-"),
+            daemon=True,
+            name=f"repro-engine-worker-{serial}",
+        )
+        process.start()
+        child_conn.close()
+        self.total_spawned += 1
+        out_ring = (
+            _SlotRing(f"{self._name}-w{serial}-out-", depth=max(_TRANSPORT_DEPTH.values()))
+            if HAVE_SHM
+            else None
+        )
+        return _Worker(process=process, conn=parent_conn, out_ring=out_ring)
+
+    def _ensure_workers(self) -> None:
+        while len(self._workers) < self.num_workers:
+            self._workers.append(self._spawn_worker())
+
+    def _destroy_worker(self, worker: _Worker, join_timeout: float = 1.0) -> None:
+        """Release one worker's master-side resources (process already exiting)."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        worker.process.join(timeout=join_timeout)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+        if worker.out_ring is not None:
+            worker.out_ring.release(unlink=True)
+        for _seq, segment in worker.retired_out:
+            _release_segment(segment, unlink=True)
+        worker.retired_out.clear()
+        for segment in worker.inbound.values():
+            _release_segment(segment, unlink=True)
+        worker.inbound.clear()
+
+    def close(self) -> None:
+        """Stop all workers and release every shared-memory segment.
+
+        Safe to call repeatedly and from ``atexit``; the pool stays usable —
+        a later attach/run simply respawns workers.
+        """
+        if os.getpid() != self._owner_pid:  # pragma: no cover - forked child
+            return
+        for worker in self._workers:
+            try:
+                worker.conn.send(("close",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in list(self._workers):
+            self._destroy_worker(worker, join_timeout=5.0)
+        self._specs.clear()
+        self._spec_ids.clear()
+        self._broken_specs.clear()
+        self._sweep_segments()
+
+    def _sweep_segments(self) -> None:
+        """Unlink any segment with this pool's name prefix (crash leftovers)."""
+        if not HAVE_SHM:  # pragma: no cover
+            return
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+            return
+        for fname in os.listdir(shm_dir):
+            if fname.startswith(self._name):
+                try:
+                    segment = _shm.SharedMemory(name=fname)
+                except FileNotFoundError:
+                    continue
+                _release_segment(segment, unlink=True)
+
+    # ---------------------------------------------------------------- attach
+    def _spec_key(self, spec: TaskSpec) -> tuple:
+        return (spec.task, id(spec.payload), spec.builder, spec.fault_tolerant)
+
+    def attach(self, spec: TaskSpec) -> int:
+        """Register a spec with the pool; returns its id.  Idempotent per
+        ``(task, payload identity, builder, fault policy)`` — repeat applies
+        on the same suite reuse the worker-side built payload."""
+        key = self._spec_key(spec)
+        sid = self._spec_ids.get(key)
+        if sid is not None:
+            return sid
+        sid = self._next_spec_id
+        self._next_spec_id += 1
+        while len(self._specs) >= MAX_ATTACHED_SPECS:
+            self._detach(min(self._specs))
+        self._specs[sid] = spec
+        self._spec_ids[key] = sid
+        if not self._workers:
+            return sid
+        try:
+            blob = pickle.dumps(spec, _PICKLE_PROTOCOL)
+        except Exception:
+            # Unpicklable payload (closures, compiled plans): respawn so the
+            # fork start method hands workers the spec by memory.
+            self._respawn_generation()
+            return sid
+        for worker in self._workers:
+            worker.conn.send(("attach", sid, blob))
+        return sid
+
+    def _detach(self, sid: int) -> None:
+        spec = self._specs.pop(sid, None)
+        self._broken_specs.pop(sid, None)
+        if spec is not None:
+            self._spec_ids.pop(self._spec_key(spec), None)
+            for worker in self._workers:
+                try:
+                    worker.conn.send(("detach", sid))
+                except (OSError, BrokenPipeError):  # pragma: no cover
+                    pass
+
+    def _respawn_generation(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(("close",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in list(self._workers):
+            self._destroy_worker(worker, join_timeout=5.0)
+        self._broken_specs.clear()
+        self._ensure_workers()
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        spec: TaskSpec,
+        chunks: Iterator[Chunk],
+        accumulator: CSRAccumulator,
+        transport: str = "auto",
+        pending_limit: Optional[int] = None,
+    ) -> None:
+        """Run a chunk stream against ``spec``, feeding the accumulator.
+
+        Submission is backpressure-aware: at most ``pending_limit`` chunks
+        (and per worker, the transport's depth) are in flight, so generator
+        inputs stay out-of-core.  Results are claimed and accumulated on
+        arrival; the accumulator's chunk-index merge keeps the output
+        independent of completion order, crashes and resubmissions included.
+        """
+        transport = resolve_transport(transport)
+        if self._running:
+            raise LabelingError("WorkerPool.run is not reentrant")
+        sid = self.attach(spec)
+        self._ensure_workers()
+        depth = _TRANSPORT_DEPTH[transport]
+        limit = max(1, min(pending_limit or depth * self.num_workers,
+                           depth * self.num_workers))
+        chunk_iter = iter(chunks)
+        resubmit: deque = deque()
+        state = {"exhausted": False, "failure": None, "respawn": None, "respawned": False}
+        fault_tolerant = spec.fault_tolerant
+        self._running = True
+
+        def note_failure(order_key: int, exc: BaseException) -> None:
+            failure = state["failure"]
+            if failure is None or order_key < failure[0]:
+                state["failure"] = (order_key, exc)
+
+        def submit(worker: _Worker, chunk: Chunk, attempts: int) -> None:
+            seq = worker.next_seq
+            worker.next_seq += 1
+            start = time.perf_counter()
+            blob = pickle.dumps(chunk.candidates, _PICKLE_PROTOCOL)
+            if transport == "shm":
+                name, offset, retired = worker.out_ring.reserve(seq, len(blob))
+                if retired is not None:
+                    worker.retired_out.append((seq, retired))
+                worker.out_ring.segment.buf[offset : offset + len(blob)] = blob
+                meta = ("shm", name, offset, len(blob))
+            else:
+                meta = ("pipe", blob)
+            worker.conn.send(("task", sid, seq, chunk.index, chunk.start_row, meta))
+            worker.pending.append(
+                _InFlight(seq, chunk, attempts, time.perf_counter() - start)
+            )
+
+        def fill() -> None:
+            while state["failure"] is None:
+                free = [w for w in self._workers if len(w.pending) < depth]
+                if not free or sum(len(w.pending) for w in self._workers) >= limit:
+                    return
+                if resubmit:
+                    chunk, attempts = resubmit.popleft()
+                elif not state["exhausted"]:
+                    try:
+                        chunk, attempts = next(chunk_iter), 1
+                    except StopIteration:
+                        state["exhausted"] = True
+                        return
+                else:
+                    return
+                submit(min(free, key=lambda w: len(w.pending)), chunk, attempts)
+
+        def claim(worker: _Worker, entry: _InFlight, meta) -> ChunkResult:
+            start = time.perf_counter()
+            if meta[0] == "pipe":
+                _, blob, worker_seconds = meta
+                result = pickle.loads(blob)
+            else:
+                _, name, blocks, meta_result, worker_seconds = meta
+                segment = worker.inbound.get(name)
+                if segment is None:
+                    # New inbound generation: older segments hold no
+                    # unclaimed results (claims are in seq order), unlink.
+                    for old in worker.inbound.values():
+                        _release_segment(old, unlink=True)
+                    worker.inbound.clear()
+                    segment = _shm.SharedMemory(name=name)
+                    worker.inbound[name] = segment
+                arrays = []
+                for offset, dtype_str, count in blocks:
+                    view = np.frombuffer(
+                        segment.buf, dtype=np.dtype(dtype_str), count=count, offset=offset
+                    )
+                    arrays.append(view.copy())
+                    del view
+                result = attach_arrays(meta_result, arrays)
+            result.transport_seconds = (
+                worker_seconds + entry.submit_seconds + time.perf_counter() - start
+            )
+            return result
+
+        def handle_message(worker: _Worker, msg) -> None:
+            kind = msg[0]
+            if kind == "result":
+                _, seq, _index, meta = msg
+                entry = worker.pending.popleft()
+                result = claim(worker, entry, meta)
+                while worker.retired_out and worker.retired_out[0][0] <= seq:
+                    _, segment = worker.retired_out.popleft()
+                    _release_segment(segment, unlink=True)
+                if state["failure"] is None:
+                    accumulator.add(result)
+            elif kind == "error":
+                _, _seq, index, payload = msg
+                entry = worker.pending.popleft()
+                if state["respawn"] is not None:
+                    # The worker could not attach the spec; its per-task
+                    # errors are attach fallout, not task failures — the
+                    # chunk reruns on the respawned generation.
+                    resubmit.append((entry.chunk, entry.attempts))
+                else:
+                    note_failure(index, _rebuild_exc(payload))
+            elif kind == "attach_error":
+                _, bad_sid, payload = msg
+                exc = _rebuild_exc(payload)
+                if bad_sid != sid:
+                    self._broken_specs[bad_sid] = exc
+                elif state["respawned"]:
+                    note_failure(-1, exc)
+                else:
+                    # A spec that pickled master-side can still fail to load
+                    # in a worker forked before its definitions existed
+                    # (e.g. suites built in __main__ after the pool warmed
+                    # up).  Fork-respawning is guaranteed to attach — the
+                    # spec travels by memory — so self-heal once per run.
+                    state["respawn"] = exc
+
+        def handle_death(worker: _Worker) -> None:
+            lost = list(worker.pending)
+            pid = worker.process.pid
+            self._destroy_worker(worker)
+            exit_code = worker.process.exitcode
+            if state["failure"] is not None:
+                return
+            for entry in lost:
+                if not fault_tolerant or entry.attempts >= MAX_CHUNK_ATTEMPTS:
+                    note_failure(
+                        entry.chunk.index,
+                        WorkerCrashError(entry.chunk.index, pid, exit_code, entry.attempts),
+                    )
+            if state["failure"] is not None:
+                return
+            resubmit.extend((entry.chunk, entry.attempts + 1) for entry in lost)
+            if not state["exhausted"] or resubmit:
+                self._workers.append(self._spawn_worker())
+
+        try:
+            while True:
+                fill()
+                if sum(len(w.pending) for w in self._workers) == 0:
+                    failure = state["failure"]
+                    if failure is not None:
+                        raise failure[1]
+                    if state["exhausted"] and not resubmit:
+                        return
+                    if not self._workers:
+                        self._ensure_workers()
+                    continue
+                waitables = []
+                by_waitable = {}
+                for worker in self._workers:
+                    waitables.append(worker.conn)
+                    by_waitable[worker.conn] = worker
+                    waitables.append(worker.process.sentinel)
+                    by_waitable[worker.process.sentinel] = worker
+                for worker in {by_waitable[obj] for obj in connection.wait(waitables)}:
+                    dead = False
+                    while True:
+                        try:
+                            if not worker.conn.poll():
+                                break
+                            msg = worker.conn.recv()
+                        except (EOFError, OSError):
+                            dead = True
+                            break
+                        handle_message(worker, msg)
+                    if dead or not worker.process.is_alive():
+                        handle_death(worker)
+                if state["respawn"] is not None and state["failure"] is None:
+                    state["respawned"] = True
+                    state["respawn"] = None
+                    for worker in list(self._workers):
+                        resubmit.extend(
+                            (entry.chunk, entry.attempts) for entry in worker.pending
+                        )
+                    self._respawn_generation()
+        finally:
+            self._running = False
+
+
+# --------------------------------------------------------------------------
+# Global registry
+# --------------------------------------------------------------------------
+
+_POOLS: dict[int, WorkerPool] = {}
+
+
+def get_global_pool(num_workers: int) -> WorkerPool:
+    """The per-process pool for ``num_workers`` — created once, then shared
+    by every pipeline stage and ``apply`` call, and reaped at exit."""
+    pool = _POOLS.get(num_workers)
+    if pool is None:
+        pool = WorkerPool(num_workers)
+        _POOLS[num_workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every registry pool and empty the registry (wired to ``atexit``).
+
+    Dropping the registry entries (rather than keeping closed pools around)
+    makes the call a full reset: the next :func:`get_global_pool` starts a
+    fresh pool whose ``total_spawned`` counts from zero, which is what the
+    single-spawn regression tests measure against.
+    """
+    for pool in _POOLS.values():
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

@@ -19,6 +19,17 @@ candidate iterable.  This module adds the discriminative stage's tasks:
 Feature values are floats; the accumulator concatenates them untouched, and
 because every chunk emits its rows in ascending order with ascending columns
 within each row, the merged triples are already in canonical CSR order.
+
+Under the processes backend these tasks run inside the persistent worker
+runtime (:mod:`repro.labeling.engine.runtime`): the payload is attached to
+each long-lived worker once as a :class:`~repro.labeling.engine.runtime.
+TaskSpec` and only candidate chunks travel per call, over the plan's
+``transport`` (pickled pipe bytes or shared-memory slots).  Tasks notice
+none of this — the dispatch kernel hands them the same
+``(payload, fault_tolerant, index, start_row, candidates)`` call either way
+— but it is why a task must be a module-level callable and must treat the
+payload as read-only (worker-side payload mutations would persist across
+chunks *and* runs; see :mod:`repro.analysis.contracts`).
 """
 
 from __future__ import annotations

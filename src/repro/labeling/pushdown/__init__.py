@@ -31,7 +31,9 @@ from repro.labeling.pushdown.task import (
     CompiledLF,
     PushdownPlan,
     PushdownSummary,
+    build_fused_worker_payload,
     build_plan,
+    build_worker_payload,
     label_chunk_pushdown,
     label_pushdown_and_featurize_chunk,
 )
@@ -46,7 +48,9 @@ __all__ = [
     "CompiledProgram",
     "PushdownPlan",
     "PushdownSummary",
+    "build_fused_worker_payload",
     "build_plan",
+    "build_worker_payload",
     "compile_lf",
     "label_chunk_pushdown",
     "label_pushdown_and_featurize_chunk",

@@ -42,7 +42,9 @@ __all__ = [
     "CompiledLF",
     "PushdownPlan",
     "PushdownSummary",
+    "build_fused_worker_payload",
     "build_plan",
+    "build_worker_payload",
     "label_chunk_pushdown",
     "label_pushdown_and_featurize_chunk",
 ]
@@ -157,6 +159,27 @@ def build_plan(
             plan.cardinality = program.cardinality
     plan.compile_seconds = time.perf_counter() - start
     return plan
+
+
+def build_worker_payload(config: tuple) -> PushdownPlan:
+    """Worker-side :class:`~repro.labeling.engine.runtime.TaskSpec` builder.
+
+    A compiled :class:`PushdownPlan` holds kernel closures and cannot cross
+    a pipe, so the persistent worker runtime ships the *configuration*
+    instead — ``(lfs, cardinality, backend)`` — and each worker compiles its
+    own plan once at attach time.  Compilation is deterministic, so every
+    worker's plan (and therefore every emitted triple) matches the
+    master-side plan bit for bit.
+    """
+    lfs, cardinality, backend = config
+    return build_plan(list(lfs), cardinality=cardinality, backend=backend)
+
+
+def build_fused_worker_payload(config: tuple) -> tuple:
+    """Like :func:`build_worker_payload` for the fused label+featurize task:
+    ``(lfs, cardinality, backend, featurizer)`` → ``(plan, featurizer)``."""
+    lfs, cardinality, backend, featurizer = config
+    return (build_plan(list(lfs), cardinality=cardinality, backend=backend), featurizer)
 
 
 def _wrap_error(lf_name: str, exc: BaseException) -> BaseException:

@@ -379,7 +379,14 @@ class TestProcessDivergence:
 class TestEngineContracts:
     def test_builtin_engine_tasks_are_pure(self):
         report = check_engine_tasks()
-        assert len(report) == 3
+        # apply / featurize / fused + the worker pool's dispatch kernel.
+        assert len(report) == 4
+        assert {result.lf_name for result in report} == {
+            "apply_chunk",
+            "featurize_chunk",
+            "label_and_featurize_chunk",
+            "run_attached_chunk",
+        }
         for result in report:
             assert result.clean, (result.lf_name, result.diagnostics)
             assert not result.pushdown.compilable  # tasks are never pushdown

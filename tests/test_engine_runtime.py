@@ -1,0 +1,233 @@
+"""The persistent worker runtime: pool lifecycle, crashes, resubmission.
+
+What this suite pins down:
+
+* **Single spawn** — a pool spawns its workers once; repeated runs (and
+  repeated applies through the global pool, and a full streaming pipeline
+  run) reuse the same processes, observed via a worker-pid probe task.
+* **Crash surfacing** — a worker dying mid-run raises the coded engine
+  error (``EN100``) naming the lost chunk, and the pool replaces the dead
+  worker so subsequent runs still work.
+* **Fault-tolerant resubmission** — a crash in a fault-tolerant run
+  resubmits the lost chunk and the merged triples match the sequential
+  reference; a chunk that kills its worker on every attempt fails after
+  ``MAX_CHUNK_ATTEMPTS``.
+* **Clean shutdown** — ``close()`` reaps every worker process and leaves no
+  shared-memory segments behind.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    stream_synthetic_candidates,
+    stream_text_candidates,
+    stream_text_gold,
+    synthetic_vote_lfs,
+    text_vote_lfs,
+)
+from repro.labeling import LabelingFunction, LFApplier
+from repro.labeling.engine import (
+    CSRAccumulator,
+    TaskSpec,
+    WorkerCrashError,
+    WorkerPool,
+    apply_chunk,
+    iter_chunks,
+)
+from repro.labeling.engine import runtime
+from repro.labeling.engine.accumulator import ChunkResult
+from repro.pipeline.snorkel import PipelineConfig, SnorkelPipeline
+
+
+def make_candidates(num_points=200, num_lfs=4, seed=1):
+    return list(
+        stream_synthetic_candidates(
+            num_points=num_points, num_lfs=num_lfs, propensity=0.4, seed=seed
+        )
+    )
+
+
+def _pid_probe_task(payload, fault_tolerant, index, start_row, candidates):
+    """Emit one triple per chunk whose value is the executing worker's pid."""
+    return ChunkResult(
+        index=index,
+        start_row=start_row,
+        num_candidates=len(candidates),
+        row_offsets=np.zeros(1, dtype=np.int64),
+        cols=np.zeros(1, dtype=np.int64),
+        values=np.array([os.getpid()], dtype=np.int64),
+    )
+
+
+def _crash_task(payload, fault_tolerant, index, start_row, candidates):
+    """Kill the worker outright on chunk ``payload`` (no flag: every attempt)."""
+    if index == payload:
+        os._exit(3)
+    return _pid_probe_task(None, fault_tolerant, index, start_row, candidates)
+
+
+def _crash_once_task(payload, fault_tolerant, index, start_row, candidates):
+    """Kill the worker on chunk ``crash_index`` the first time only."""
+    lfs, flag, crash_index = payload
+    if index == crash_index and not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(5)
+    return apply_chunk(lfs, fault_tolerant, index, start_row, candidates)
+
+
+def _probe_pids(pool, candidates, transport="auto", chunk_size=25):
+    accumulator = CSRAccumulator()
+    spec = TaskSpec(task=_pid_probe_task)
+    pool.run(spec, iter_chunks(candidates, chunk_size), accumulator, transport=transport)
+    return set(accumulator.merge().values.tolist())
+
+
+# ------------------------------------------------------------------ single spawn
+def test_pool_spawns_workers_exactly_once():
+    candidates = make_candidates()
+    pool = WorkerPool(num_workers=2)
+    try:
+        first = _probe_pids(pool, candidates)
+        assert len(first) == 2  # both workers took chunks
+        assert pool.total_spawned == 2
+        # Repeat runs — including a transport switch — reuse the same pids.
+        assert _probe_pids(pool, candidates) == first
+        assert _probe_pids(pool, candidates, transport="pickle") == first
+        assert pool.total_spawned == 2
+    finally:
+        pool.close()
+
+
+def test_applier_reuses_global_pool_across_applies():
+    runtime.shutdown_pools()
+    lfs = synthetic_vote_lfs(4)
+    candidates = make_candidates()
+    reference = LFApplier(lfs).apply(candidates)
+    applier = LFApplier(lfs, chunk_size=32, backend="processes", num_workers=2)
+    for sparse in (False, True, False):
+        matrix = applier.apply(candidates, sparse=sparse)
+        assert np.array_equal(matrix.to_dense().values, reference.values)
+    assert runtime.get_global_pool(2).total_spawned == 2
+
+
+def test_pipeline_run_spawns_workers_exactly_once():
+    """One streaming pipeline run — apply + fused featurize over two splits —
+    on a picklable suite spawns each worker once, total."""
+    runtime.shutdown_pools()
+    lfs = text_vote_lfs(6)
+    config = PipelineConfig(
+        seed=0,
+        streaming=True,
+        chunk_size=32,
+        applier_backend="processes",
+        applier_workers=2,
+        generative_epochs=3,
+        discriminative_epochs=3,
+        num_features=128,
+    )
+    result = SnorkelPipeline(lfs=lfs, config=config).run_streams(
+        stream_text_candidates(num_points=150, num_lfs=6, seed=0),
+        stream_text_candidates(num_points=60, num_lfs=6, seed=1),
+        stream_text_gold(60, seed=1),
+    )
+    assert result.label_matrix.shape == (150, 6)
+    assert runtime.get_global_pool(2).total_spawned == 2
+
+
+def test_unpicklable_closure_suite_runs_via_fork_respawn():
+    def make_lf(j):
+        def closure_body(candidate):
+            return int(candidate.votes[j])
+
+        return LabelingFunction(f"closure_{j}", closure_body)
+
+    lfs = [make_lf(j) for j in range(3)]
+    candidates = make_candidates(num_lfs=3)
+    reference = LFApplier(lfs).apply(candidates)
+    applier = LFApplier(lfs, chunk_size=32, backend="processes", num_workers=2)
+    matrix = applier.apply(candidates)
+    assert np.array_equal(matrix.values, reference.values)
+
+
+# ------------------------------------------------------------------ crash paths
+def test_worker_crash_raises_coded_error_naming_chunk():
+    candidates = make_candidates(num_points=120)
+    pool = WorkerPool(num_workers=2)
+    try:
+        accumulator = CSRAccumulator()
+        with pytest.raises(WorkerCrashError) as err:
+            pool.run(
+                spec=TaskSpec(task=_crash_task, payload=2),
+                chunks=iter_chunks(candidates, 20),
+                accumulator=accumulator,
+                transport="pickle",
+            )
+        assert err.value.code == "EN100"
+        assert err.value.chunk_index == 2
+        assert err.value.exit_code == 3
+        assert "chunk 2" in str(err.value)
+        # The pool replaced the dead worker and keeps serving runs.
+        assert len(_probe_pids(pool, candidates)) == 2
+    finally:
+        pool.close()
+
+
+def test_fault_tolerant_run_resubmits_after_crash(tmp_path):
+    lfs = synthetic_vote_lfs(4)
+    candidates = make_candidates()
+    reference = LFApplier(lfs, fault_tolerant=True).apply(candidates)
+    pool = WorkerPool(num_workers=2)
+    try:
+        flag = str(tmp_path / "crashed-once")
+        accumulator = CSRAccumulator()
+        pool.run(
+            spec=TaskSpec(
+                task=_crash_once_task,
+                payload=(lfs, flag, 3),
+                fault_tolerant=True,
+            ),
+            chunks=iter_chunks(candidates, 25),
+            accumulator=accumulator,
+            transport="auto",
+        )
+        assert os.path.exists(flag)  # the crash really happened
+        merged = accumulator.merge()
+        matrix = np.zeros((len(candidates), 4), dtype=np.int64)
+        matrix[merged.rows, merged.cols] = merged.values
+        assert np.array_equal(matrix, reference.values)
+    finally:
+        pool.close()
+
+
+def test_fault_tolerant_gives_up_after_max_attempts():
+    pool = WorkerPool(num_workers=2)
+    try:
+        accumulator = CSRAccumulator()
+        with pytest.raises(WorkerCrashError) as err:
+            pool.run(
+                spec=TaskSpec(task=_crash_task, payload=0, fault_tolerant=True),
+                chunks=iter_chunks(make_candidates(num_points=60), 20),
+                accumulator=accumulator,
+                transport="pickle",
+            )
+        assert err.value.attempts == runtime.MAX_CHUNK_ATTEMPTS
+    finally:
+        pool.close()
+
+
+# ---------------------------------------------------------------- clean shutdown
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="no /dev/shm to inspect")
+def test_close_reaps_processes_and_segments():
+    candidates = make_candidates()
+    pool = WorkerPool(num_workers=2)
+    pids = _probe_pids(pool, candidates, transport="shm" if runtime.HAVE_SHM else "pickle")
+    prefix = pool._name
+    pool.close()
+    assert glob.glob(f"/dev/shm/{prefix}*") == []
+    for pid in pids:
+        with pytest.raises(OSError):
+            os.kill(pid, 0)
