@@ -372,7 +372,13 @@ class LFApplier:
                 ),
             )
         if featurizer is None:
-            return self.lfs, apply_chunk, TaskSpec(task=apply_chunk, payload=self.lfs)
+            # A fresh copy keyed on per-LF identity, not ``self.lfs`` itself:
+            # the pool dedups attaches on payload id, and in-place suite
+            # mutation (``applier.lfs[0] = other``) keeps the list's id — a
+            # copy per LF-identity key makes mutation yield a new payload and
+            # a fresh worker-side attach instead of a stale suite.
+            payload = self._spec_payloads.setdefault(key, list(self.lfs))
+            return self.lfs, apply_chunk, TaskSpec(task=apply_chunk, payload=payload)
         payload = self._spec_payloads.setdefault(key, (self.lfs, featurizer))
         return (
             payload,

@@ -357,20 +357,27 @@ def _worker_run_task(
     conn, attached, broken, outbound, ring, sid, seq, index, start_row, meta
 ) -> None:
     decode_start = time.perf_counter()
-    if meta[0] == "shm":
-        _, name, offset, length = meta
-        segment = outbound.get(name)
-        if segment is None:
-            # The master grew its outbound ring: every older segment is
-            # retired (tasks arrive in order) — drop them before attaching.
-            for old in outbound.values():
-                _release_segment(old, unlink=False)
-            outbound.clear()
-            segment = _shm.SharedMemory(name=name)
-            outbound[name] = segment
-        candidates = pickle.loads(segment.buf[offset : offset + length])
-    else:
-        candidates = pickle.loads(meta[1])
+    try:
+        if meta[0] == "shm":
+            _, name, offset, length = meta
+            segment = outbound.get(name)
+            if segment is None:
+                # The master grew its outbound ring: every older segment is
+                # retired (tasks arrive in order) — drop them before attaching.
+                for old in outbound.values():
+                    _release_segment(old, unlink=False)
+                outbound.clear()
+                segment = _shm.SharedMemory(name=name)
+                outbound[name] = segment
+            candidates = pickle.loads(segment.buf[offset : offset + length])
+        else:
+            candidates = pickle.loads(meta[1])
+    except Exception as exc:
+        # A decode failure is a per-chunk task error, not a worker death: a
+        # raw raise here would kill the process and surface as an opaque
+        # EN100 crash (and a doomed FT resubmit) instead of naming the cause.
+        conn.send(("error", seq, index, _exc_payload(exc)))
+        return
     transport_seconds = time.perf_counter() - decode_start
 
     spec = attached.get(sid)
@@ -593,8 +600,14 @@ class WorkerPool:
             # fork start method hands workers the spec by memory.
             self._respawn_generation()
             return sid
-        for worker in self._workers:
-            worker.conn.send(("attach", sid, blob))
+        for worker in list(self._workers):
+            try:
+                worker.conn.send(("attach", sid, blob))
+            except (OSError, BrokenPipeError):
+                # The worker died silently between runs; destroy it so the
+                # next run's _ensure_workers respawns a replacement (which
+                # inherits every registered spec, this one included).
+                self._destroy_worker(worker)
         return sid
 
     def _detach(self, sid: int) -> None:
@@ -816,6 +829,23 @@ class WorkerPool:
                     self._respawn_generation()
         finally:
             self._running = False
+            if any(worker.pending for worker in self._workers):
+                # Controlled exits (normal return, the failure raise above)
+                # only happen with zero chunks in flight, so pending entries
+                # here mean an unexpected exception escaped the loop — e.g.
+                # unpicklable candidates in submit(), or an accumulator
+                # transform raising in handle_message.  Leaving them would
+                # poison the shared global pool: the next run would pop this
+                # run's late-arriving results against its own entries.
+                # Quarantine by retiring the whole worker generation; the
+                # next attach/run respawns a clean one.
+                for worker in self._workers:
+                    try:
+                        worker.conn.send(("close",))
+                    except (OSError, BrokenPipeError):
+                        pass
+                for worker in list(self._workers):
+                    self._destroy_worker(worker)
 
 
 # --------------------------------------------------------------------------

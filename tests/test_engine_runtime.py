@@ -18,6 +18,8 @@ What this suite pins down:
 
 import glob
 import os
+import signal
+import time
 
 import numpy as np
 import pytest
@@ -231,3 +233,112 @@ def test_close_reaps_processes_and_segments():
     for pid in pids:
         with pytest.raises(OSError):
             os.kill(pid, 0)
+
+
+# ------------------------------------------------------------ pool-state leaks
+def _raise_on_load():
+    raise RuntimeError("decode boom")
+
+
+class _ExplodesOnLoad:
+    """Pickles fine master-side; raises when a worker unpickles it."""
+
+    def __reduce__(self):
+        return (_raise_on_load, ())
+
+
+class _ExplodesOnDump:
+    """Raises inside master-side pickle.dumps (mid-run submit failure)."""
+
+    def __reduce__(self):
+        raise TypeError("cannot pickle this candidate")
+
+
+def _sleep_probe_task(payload, fault_tolerant, index, start_row, candidates):
+    """Pid probe that sleeps ``candidates[0]`` seconds first (keeps a worker
+    busy so a later submit failure happens with a chunk still in flight)."""
+    time.sleep(float(candidates[0]))
+    return _pid_probe_task(payload, fault_tolerant, index, start_row, candidates)
+
+
+def test_inplace_suite_mutation_reaches_pool_workers():
+    """Mutating ``applier.lfs`` in place (same list id) must re-attach: the
+    pool dedups attaches on payload identity, and reusing the stale
+    worker-side suite would silently label with the old LFs."""
+    runtime.shutdown_pools()
+    lfs = synthetic_vote_lfs(4)
+    candidates = make_candidates()
+    applier = LFApplier(lfs, chunk_size=32, backend="processes", num_workers=2)
+    first = applier.apply(candidates)
+    # Swap two LFs in place: the list object keeps its id, the suite changes.
+    applier.lfs[0], applier.lfs[1] = applier.lfs[1], applier.lfs[0]
+    mutated = applier.apply(candidates)
+    reference = LFApplier(applier.lfs).apply(candidates)
+    assert np.array_equal(mutated.values, reference.values)
+    assert np.array_equal(mutated.values, first.values[:, [1, 0, 2, 3]])
+
+
+def test_candidate_decode_failure_is_a_task_error_not_a_crash():
+    """A candidate that fails to unpickle worker-side surfaces as a per-chunk
+    task error naming the cause, not an opaque EN100 worker crash."""
+    pool = WorkerPool(num_workers=2)
+    try:
+        with pytest.raises(RuntimeError, match="decode boom"):
+            pool.run(
+                spec=TaskSpec(task=_pid_probe_task),
+                chunks=iter_chunks([_ExplodesOnLoad()] * 40, 20),
+                accumulator=CSRAccumulator(),
+                transport="pickle",
+            )
+        # The workers survived the failed decode: same generation serves on.
+        assert pool.total_spawned == 2
+        assert len(_probe_pids(pool, make_candidates())) == 2
+        assert pool.total_spawned == 2
+    finally:
+        pool.close()
+
+
+def test_attach_heals_silently_dead_worker():
+    """A worker that died between runs must not raise a raw BrokenPipeError
+    out of attach(); the pool destroys it and the next run respawns."""
+    candidates = make_candidates()
+    pool = WorkerPool(num_workers=2)
+    try:
+        assert len(_probe_pids(pool, candidates)) == 2
+        victim = pool._workers[0]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.join(timeout=5)
+        # A fresh payload object forces attach() to send to every worker.
+        accumulator = CSRAccumulator()
+        pool.run(
+            TaskSpec(task=_pid_probe_task, payload=("fresh",)),
+            iter_chunks(candidates, 10),
+            accumulator,
+            transport="pickle",
+        )
+        assert len(set(accumulator.merge().values.tolist())) == 2
+    finally:
+        pool.close()
+
+
+def test_escaped_run_exception_quarantines_in_flight_state():
+    """An exception escaping run() with chunks in flight (here: unpicklable
+    candidates hit submit() while a worker is busy) must not leak pending
+    entries into the next run on the shared pool."""
+    pool = WorkerPool(num_workers=2)
+    try:
+        bad = [0.0] * 20 + [1.0] * 20 + [_ExplodesOnDump()] * 20
+        with pytest.raises(TypeError, match="cannot pickle"):
+            pool.run(
+                spec=TaskSpec(task=_sleep_probe_task),
+                chunks=iter_chunks(bad, 20),
+                accumulator=CSRAccumulator(),
+                transport="pickle",
+            )
+        # The quarantined generation is gone; the next runs start clean and
+        # agree with each other (no duplicate-chunk or stale-result errors).
+        candidates = make_candidates()
+        assert len(_probe_pids(pool, candidates)) == 2
+        assert _probe_pids(pool, candidates) == _probe_pids(pool, candidates)
+    finally:
+        pool.close()
