@@ -37,7 +37,12 @@ snapshot (default ``BENCH_sparse.json`` in the repository root):
   shared-memory chunk transports on the CDR ``lf_library`` suite at chunk
   sizes 64/512/4096, with bit-identity and a zero-leak shutdown (no
   orphaned ``/dev/shm`` segments, no surviving worker processes) asserted
-  on every measurement (``benchmarks/bench_engine_transport.py``).
+  on every measurement (``benchmarks/bench_engine_transport.py``);
+* ``block_store`` — the crash-safe block store's mmap replay vs recompute:
+  a plain streaming run, the same run paying the checkpoint write
+  amplification, and a resume over the complete store (zero LF executions,
+  zero training epochs), with bit-identity asserted between all three
+  (``benchmarks/bench_block_store.py``).
 
 ``--compare`` re-measures and checks every ``*_seconds`` metric against the
 committed snapshot, failing (exit code 1) on a more-than-``--threshold``-fold
@@ -132,6 +137,7 @@ def measure(quick: bool = False) -> dict:
     lf_analysis = _load_bench_module("bench_lf_analysis")
     lf_pushdown = _load_bench_module("bench_lf_pushdown")
     engine_transport = _load_bench_module("bench_engine_transport")
+    block_store = _load_bench_module("bench_block_store")
 
     print("[sparse_scaling]")
     scaling_records = scaling.run_scaling(
@@ -227,6 +233,21 @@ def measure(quick: bool = False) -> dict:
     assert (
         engine_transport.leftover_segments() == []
     ), "engine shared-memory segments leaked"
+    print("\n[block_store]")
+    block_store_record = block_store.run_block_store_benchmark(
+        **(
+            {"num_candidates": 1_500, "num_test": 400, "discriminative_epochs": 4}
+            if quick
+            else {}
+        )
+    )
+    print(block_store.format_record(block_store_record))
+    # The store's cardinal rule, asserted on every snapshot (quick or full):
+    # a run replayed from durable blocks is bit-identical to recomputing.
+    assert block_store_record["max_training_prob_diff"] == 0, "replayed probs diverged"
+    assert (
+        block_store_record["max_end_model_weight_diff"] == 0
+    ), "replayed end-model weights diverged"
 
     return {
         "python": platform.python_version(),
@@ -245,6 +266,7 @@ def measure(quick: bool = False) -> dict:
             "lf_analysis": {"record": lf_analysis_record},
             "lf_pushdown": {"record": lf_pushdown_record},
             "engine_transport": {"records": engine_transport_records},
+            "block_store": {"record": block_store_record},
         },
     }
 

@@ -51,6 +51,28 @@ class AdamOptimizer:
         self._second_moment = None
         self._step_count = 0
 
+    def get_state(self) -> dict:
+        """Snapshot the optimizer state (moments + step count).
+
+        The snapshot owns its arrays, so later :meth:`step` calls cannot
+        mutate it — restoring it with :meth:`set_state` resumes the update
+        sequence exactly where the snapshot was taken (epoch checkpointing
+        relies on this being bit-exact).
+        """
+        return {
+            "first_moment": None if self._first_moment is None else self._first_moment.copy(),
+            "second_moment": None if self._second_moment is None else self._second_moment.copy(),
+            "step_count": self._step_count,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        first = state["first_moment"]
+        second = state["second_moment"]
+        self._first_moment = None if first is None else np.asarray(first, dtype=float).copy()
+        self._second_moment = None if second is None else np.asarray(second, dtype=float).copy()
+        self._step_count = int(state["step_count"])
+
     def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
         """Return updated parameters after one Adam step along ``-gradient``."""
         parameters = np.asarray(parameters, dtype=float)

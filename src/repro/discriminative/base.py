@@ -238,8 +238,12 @@ class NoiseAwareClassifier(abc.ABC):
     ) -> "NoiseAwareClassifier":
         """Train on features and probabilistic labels."""
 
-    def fit_stream(self, blocks: BlockSource) -> "NoiseAwareClassifier":
+    def fit_stream(self, blocks: BlockSource, checkpoint=None) -> "NoiseAwareClassifier":
         """Train from a re-iterable stream of ``(features, soft labels)`` blocks.
+
+        ``checkpoint`` (a :class:`repro.labeling.blockstore.EpochCheckpoint`
+        or ``None``) asks the trainer to persist its state after every epoch
+        and resume a previously interrupted fit bit-identically.
 
         Implemented by the concrete models; the default refuses loudly so a
         streaming pipeline never silently falls back to materialization.

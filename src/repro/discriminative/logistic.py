@@ -20,7 +20,10 @@ Training runs through one minibatch core shared by two front doors:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import cycle guard
+    from repro.labeling.blockstore import EpochCheckpoint
 
 import numpy as np
 
@@ -121,7 +124,11 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
 
         return self._train_minibatches(num_features, epoch_batches)
 
-    def fit_stream(self, blocks: BlockSource) -> "NoiseAwareLogisticRegression":
+    def fit_stream(
+        self,
+        blocks: BlockSource,
+        checkpoint: Optional["EpochCheckpoint"] = None,
+    ) -> "NoiseAwareLogisticRegression":
         """Train from a re-iterable stream of ``(features, soft labels)`` blocks.
 
         Each epoch is one pass over the source in stream order; incoming
@@ -130,6 +137,13 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
         producer chunking.  With ``class_balance`` set, one extra pass
         computes the global positive mass first (the same statistic the
         materialized path reads off the full label vector).
+
+        ``checkpoint`` (a :class:`repro.labeling.blockstore.EpochCheckpoint`)
+        makes the fit resumable: training state is saved durably after every
+        epoch, and a restarted fit replays only the remaining epochs with
+        bit-identical updates (stream order consumes no RNG after the
+        initialization draw, which a resumed fit repeats before restoring
+        the snapshot).
         """
         if self.shuffle:
             raise ConfigurationError(
@@ -168,21 +182,32 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
                     self._example_weights(batch_soft, None, positive_mass),
                 )
 
-        return self._train_minibatches(num_features, epoch_batches)
+        return self._train_minibatches(num_features, epoch_batches, checkpoint=checkpoint)
 
     def _train_minibatches(
         self,
         num_features: int,
         epoch_batches: Callable[[np.random.Generator], Iterable[tuple]],
+        checkpoint: Optional["EpochCheckpoint"] = None,
     ) -> "NoiseAwareLogisticRegression":
         """The shared Adam loop: one call per fit, one pass per epoch."""
         rng = ensure_rng(self.seed)
+        # Always draw the initialization so the RNG stream matches a fresh
+        # fit; a checkpoint then overwrites everything the draw produced.
         weights = rng.normal(scale=0.01, size=num_features)
         bias = 0.0
         optimizer = AdamOptimizer(learning_rate=self.learning_rate)
         self.loss_history = []
+        start_epoch = 0
+        state = checkpoint.load() if checkpoint is not None else None
+        if state is not None:
+            packed = np.asarray(state["packed"], dtype=float)
+            weights, bias = packed[:-1].copy(), float(packed[-1])
+            optimizer.set_state(state["adam"])
+            self.loss_history = list(state["loss_history"])
+            start_epoch = min(int(state["epoch"]), self.epochs)
 
-        for _ in range(self.epochs):
+        for epoch in range(start_epoch, self.epochs):
             epoch_loss = 0.0
             for batch_features, batch_soft, batch_weights in require_nonempty_batches(
                 epoch_batches(rng)
@@ -201,6 +226,15 @@ class NoiseAwareLogisticRegression(NoiseAwareClassifier):
                 weights, bias = packed[:-1], float(packed[-1])
                 epoch_loss += self._batch_loss(probs, batch_soft, batch_weights)
             self.loss_history.append(epoch_loss)
+            if checkpoint is not None:
+                checkpoint.save(
+                    {
+                        "epoch": epoch + 1,
+                        "packed": np.concatenate([weights, [bias]]),
+                        "adam": optimizer.get_state(),
+                        "loss_history": list(self.loss_history),
+                    }
+                )
 
         self.weights = weights
         self.bias = bias

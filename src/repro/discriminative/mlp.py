@@ -8,7 +8,10 @@ backpropagation.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import cycle guard
+    from repro.labeling.blockstore import EpochCheckpoint
 
 import numpy as np
 
@@ -100,13 +103,26 @@ class NoiseAwareMLP(NoiseAwareClassifier):
 
         return self._train_minibatches(features.shape[1], epoch_batches)
 
-    def fit_stream(self, blocks: BlockSource) -> "NoiseAwareMLP":
+    def fit_stream(
+        self,
+        blocks: BlockSource,
+        checkpoint: Optional["EpochCheckpoint"] = None,
+    ) -> "NoiseAwareMLP":
         """Train from a re-iterable stream of ``(features, soft labels)`` blocks.
 
         Only the current minibatch is densified; the result equals
         ``fit(concatenated blocks, shuffle=False)`` for every producer
-        chunking.
+        chunking.  ``checkpoint`` makes the fit resumable with bit-identical
+        updates, but only with ``dropout=0.0``: dropout draws from the RNG
+        every minibatch, and a resumed fit cannot replay draws that died
+        with the original process.
         """
+        if checkpoint is not None and self.dropout > 0.0:
+            raise ConfigurationError(
+                "epoch checkpointing requires dropout=0.0: dropout consumes "
+                "RNG state per minibatch, so a resumed fit cannot reproduce "
+                "the interrupted run's draws"
+            )
         if self.shuffle:
             raise ConfigurationError(
                 "shuffle=True cannot be honored by fit_stream (a one-pass "
@@ -128,18 +144,31 @@ class NoiseAwareMLP(NoiseAwareClassifier):
                     np.ones(batch_soft.shape[0]),
                 )
 
-        return self._train_minibatches(num_features, epoch_batches)
+        return self._train_minibatches(num_features, epoch_batches, checkpoint=checkpoint)
 
-    def _train_minibatches(self, num_features: int, epoch_batches) -> "NoiseAwareMLP":
+    def _train_minibatches(
+        self,
+        num_features: int,
+        epoch_batches,
+        checkpoint: Optional["EpochCheckpoint"] = None,
+    ) -> "NoiseAwareMLP":
         rng = ensure_rng(self.seed)
         layer_sizes = [num_features, *self.hidden_sizes, 1]
+        # The initialization draws always happen (identical RNG stream to a
+        # fresh fit); a checkpoint then overwrites the drawn state.
         layers = []
         for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
             scale = np.sqrt(2.0 / fan_in)
             layers.append((rng.normal(scale=scale, size=(fan_in, fan_out)), np.zeros(fan_out)))
         optimizer = AdamOptimizer(learning_rate=self.learning_rate)
+        start_epoch = 0
+        state = checkpoint.load() if checkpoint is not None else None
+        if state is not None:
+            layers = self._unpack(np.asarray(state["packed"], dtype=float).copy(), layer_sizes)
+            optimizer.set_state(state["adam"])
+            start_epoch = min(int(state["epoch"]), self.epochs)
 
-        for _ in range(self.epochs):
+        for epoch in range(start_epoch, self.epochs):
             for batch, batch_soft, batch_weights in require_nonempty_batches(
                 epoch_batches(rng)
             ):
@@ -151,6 +180,14 @@ class NoiseAwareMLP(NoiseAwareClassifier):
                 packed_grad = self._pack(gradients)
                 packed = optimizer.step(packed, packed_grad)
                 layers = self._unpack(packed, layer_sizes)
+            if checkpoint is not None:
+                checkpoint.save(
+                    {
+                        "epoch": epoch + 1,
+                        "packed": self._pack(layers),
+                        "adam": optimizer.get_state(),
+                    }
+                )
 
         self._layers = layers
         return self

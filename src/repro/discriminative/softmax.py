@@ -16,7 +16,10 @@ block streams train without a dense ``(m, d)`` matrix existing at any point.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import cycle guard
+    from repro.labeling.blockstore import EpochCheckpoint
 
 import numpy as np
 
@@ -95,13 +98,19 @@ class NoiseAwareSoftmaxRegression:
 
         return self._train_minibatches(features.shape[1], epoch_batches)
 
-    def fit_stream(self, blocks: BlockSource) -> "NoiseAwareSoftmaxRegression":
+    def fit_stream(
+        self,
+        blocks: BlockSource,
+        checkpoint: Optional["EpochCheckpoint"] = None,
+    ) -> "NoiseAwareSoftmaxRegression":
         """Train from a re-iterable stream of ``(features, targets)`` blocks.
 
         Targets per block follow the same conventions as :meth:`fit` (a
         ``(b, num_classes)`` distribution block or hard labels in
         ``1..num_classes``).  Only the current minibatch is densified, so a
         CSR block stream trains without any ``(m, d)`` dense matrix.
+        ``checkpoint`` makes the fit resumable with bit-identical updates
+        (see :class:`repro.labeling.blockstore.EpochCheckpoint`).
         """
         if self.shuffle:
             raise ConfigurationError(
@@ -124,19 +133,32 @@ class NoiseAwareSoftmaxRegression:
             for batch_features, batch_targets in batches:
                 yield as_dense_features(batch_features), batch_targets
 
-        return self._train_minibatches(num_features, epoch_batches)
+        return self._train_minibatches(num_features, epoch_batches, checkpoint=checkpoint)
 
     def _train_minibatches(
         self,
         num_features: int,
         epoch_batches: Callable[[np.random.Generator], Iterable[tuple]],
+        checkpoint: Optional["EpochCheckpoint"] = None,
     ) -> "NoiseAwareSoftmaxRegression":
         rng = ensure_rng(self.seed)
+        # The initialization draw always happens (identical RNG stream to a
+        # fresh fit); a checkpoint then overwrites the drawn state.
         weights = rng.normal(scale=0.01, size=(num_features, self.num_classes))
         bias = np.zeros(self.num_classes)
         optimizer = AdamOptimizer(learning_rate=self.learning_rate)
+        start_epoch = 0
+        state = checkpoint.load() if checkpoint is not None else None
+        if state is not None:
+            packed = np.asarray(state["packed"], dtype=float)
+            weights = packed[: num_features * self.num_classes].reshape(
+                num_features, self.num_classes
+            ).copy()
+            bias = packed[num_features * self.num_classes :].copy()
+            optimizer.set_state(state["adam"])
+            start_epoch = min(int(state["epoch"]), self.epochs)
 
-        for _ in range(self.epochs):
+        for epoch in range(start_epoch, self.epochs):
             for batch, batch_targets in require_nonempty_batches(epoch_batches(rng)):
                 probs = softmax(batch @ weights + bias, axis=1)
                 errors = (probs - batch_targets) / batch.shape[0]
@@ -149,6 +171,14 @@ class NoiseAwareSoftmaxRegression:
                     num_features, self.num_classes
                 )
                 bias = packed[num_features * self.num_classes :]
+            if checkpoint is not None:
+                checkpoint.save(
+                    {
+                        "epoch": epoch + 1,
+                        "packed": np.concatenate([weights.ravel(), bias]),
+                        "adam": optimizer.get_state(),
+                    }
+                )
 
         self.weights = weights
         self.bias = bias

@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.analysis.diagnostics import AnalysisReport
     from repro.discriminative.featurizers import RelationFeaturizer
     from repro.discriminative.sparse_features import CSRFeatureMatrix
+    from repro.labeling.blockstore import ChunkCheckpointer
     from repro.labeling.pushdown import PushdownPlan, PushdownSummary
 
 #: Accepted values for ``LFApplier(validate=...)`` / ``PipelineConfig.lf_validate``.
@@ -199,6 +200,12 @@ class LFApplier:
         moves the bulk bytes through reusable shared-memory slots, and
         ``"auto"`` (default) picks ``shm`` when available.  Results are
         bit-identical across transports; in-process backends ignore it.
+    chunk_timeout:
+        Soft per-chunk deadline in seconds for the processes backend: past
+        it the worker draws a warning, past the escalation point it is
+        killed and the chunk resubmitted (EN101) instead of stalling the
+        run forever.  ``None`` (default) waits indefinitely; in-process
+        backends ignore it.
     """
 
     def __init__(
@@ -211,6 +218,7 @@ class LFApplier:
         validate: str = "off",
         pushdown: str = "off",
         transport: str = "auto",
+        chunk_timeout: Optional[float] = None,
     ) -> None:
         if not lfs:
             raise LabelingError("LFApplier requires at least one labeling function")
@@ -240,6 +248,7 @@ class LFApplier:
             num_workers=num_workers,
             fault_tolerant=fault_tolerant,
             transport=transport,
+            chunk_timeout=chunk_timeout,
         )
         self.lfs = list(lfs)
         self.cardinality = cardinalities[0]
@@ -250,6 +259,7 @@ class LFApplier:
         self.validate = validate
         self.pushdown = pushdown
         self.transport = transport
+        self.chunk_timeout = chunk_timeout
         self.last_report: Optional[ApplyReport] = None
         # Compiled plans keyed by the identity of the LF suite (the public
         # ``lfs`` attribute is mutable); hit again on every apply call with
@@ -455,6 +465,7 @@ class LFApplier:
             num_workers=self.num_workers,
             fault_tolerant=self.fault_tolerant,
             transport=self.transport,
+            chunk_timeout=self.chunk_timeout,
         )
         pushdown_plan = self._pushdown_plan()
         payload, task, spec = self._engine_task(pushdown_plan)
@@ -480,7 +491,8 @@ class LFApplier:
         candidates: Iterable,
         featurizer: "RelationFeaturizer",
         sparse: bool = False,
-    ) -> tuple[LabelMatrix, list["CSRFeatureMatrix"]]:
+        checkpoint: Optional["ChunkCheckpointer"] = None,
+    ) -> tuple[LabelMatrix, Sequence["CSRFeatureMatrix"]]:
         """Label *and* featurize every candidate in one streaming pass.
 
         The fused engine task (:func:`repro.labeling.engine.tasks.
@@ -493,6 +505,14 @@ class LFApplier:
         materialized — this is the streaming pipeline's single pass over a
         candidate generator.  Labels, feature values, and block order are
         identical for every backend and chunk size.
+
+        With ``checkpoint`` (a :class:`repro.labeling.blockstore.
+        ChunkCheckpointer`), every chunk's result is made durable before
+        being consumed, already-durable chunks are replayed from disk
+        instead of recomputed (crash resume), and the returned blocks are a
+        re-iterable :class:`~repro.labeling.blockstore.StoredFeatureBlocks`
+        view — mmap-backed, so epoch replay holds one block at a time
+        instead of the whole feature set.
         """
         from repro.discriminative.sparse_features import CSRFeatureMatrix
 
@@ -513,12 +533,17 @@ class LFApplier:
         def transform(result):
             nonlocal dense_sink
             block = result.features
-            feature_blocks[result.index] = CSRFeatureMatrix.from_triples(
-                block.row_offsets,
-                block.cols,
-                block.values,
-                (block.num_candidates, output_dim),
-            )
+            # Chunks the checkpointer holds durably are served from disk
+            # later (mmap) — retaining them in RAM would defeat the spill.
+            # Everything else (no checkpointer, or a write that failed and
+            # disabled it) stays in RAM as before.
+            if checkpoint is None or result.index not in checkpoint.completed:
+                feature_blocks[result.index] = CSRFeatureMatrix.from_triples(
+                    block.row_offsets,
+                    block.cols,
+                    block.values,
+                    (block.num_candidates, output_dim),
+                )
             if dense_sink is None:
                 result.features = None
                 return result
@@ -540,6 +565,7 @@ class LFApplier:
             num_workers=self.num_workers,
             fault_tolerant=self.fault_tolerant,
             transport=self.transport,
+            chunk_timeout=self.chunk_timeout,
         )
         pushdown_plan = self._pushdown_plan()
         payload, task, spec = self._engine_task(pushdown_plan, featurizer)
@@ -550,6 +576,7 @@ class LFApplier:
             transform=transform,
             task=task,
             spec=spec,
+            checkpoint=checkpoint,
         )
         self.last_report = self._build_report(result, analysis, pushdown_plan)
         shape = (result.num_candidates, num_lfs)
@@ -567,5 +594,12 @@ class LFApplier:
             label_matrix = LabelMatrix(
                 matrix, lf_names=self.lf_names, cardinality=self.cardinality
             )
-        blocks = [feature_blocks[index] for index in sorted(feature_blocks)]
+        if checkpoint is not None:
+            from repro.labeling.blockstore import StoredFeatureBlocks
+
+            blocks: Sequence[CSRFeatureMatrix] = StoredFeatureBlocks(
+                checkpoint, result.num_chunks, output_dim, overrides=feature_blocks
+            )
+        else:
+            blocks = [feature_blocks[index] for index in sorted(feature_blocks)]
         return label_matrix, blocks

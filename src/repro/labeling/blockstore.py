@@ -1,0 +1,492 @@
+"""Crash-safe disk store for the streaming pipeline's intermediate blocks.
+
+The fused labeling pass produces one :class:`ChunkResult` per chunk — label
+triples, and for ``apply_with_features`` a CSR feature block riding along.
+Keeping those in RAM (the pre-block-store design) means a killed run loses
+everything and the feature-block list bounds the corpus size.  This module
+makes the blocks durable the moment they arrive at the master, with three
+layers:
+
+:class:`BlockStore`
+    A directory of immutable block files plus a JSON-lines index.  Each
+    ``put`` assembles the block (magic, JSON header describing the named
+    arrays, 64-byte-aligned raw payloads) in memory, writes it to a temp
+    file, fsyncs, renames into place, fsyncs the directory, and only then
+    appends a checksummed index record (fsynced) — so a record in the index
+    implies a complete, verifiable file, and a crash at any byte leaves
+    either a durable block or recoverable garbage, never a trusted torn
+    block.  Opening a store replays the index, drops the torn tail a
+    mid-append crash can leave, verifies every referenced file against its
+    recorded size and crc32, deletes corrupt/orphaned/temp files, and
+    compacts the index.  Reads are ``np.memmap`` views: replaying a block is
+    page-cache traffic, not recompute.
+
+:class:`ChunkCheckpointer`
+    The engine-facing wrapper: records each :class:`ChunkResult` (via
+    :func:`detach_arrays`, so the exact transported arrays are what's
+    stored) under ``chunk/<split>/<index>``, knows which chunk indices are
+    durably complete, and reloads them as results indistinguishable from
+    freshly computed ones — the replayed result flows through the same
+    accumulator transform chain, which is what makes a resumed run
+    bit-identical to an uninterrupted one.  A full disk degrades rather
+    than kills: the first failed write warns and disables further
+    checkpointing, and the labeling run continues in RAM.
+
+:class:`StoredFeatureBlocks`
+    A re-iterable sequence view over the stored feature blocks, building
+    each chunk's :class:`CSRFeatureMatrix` from the mmapped triples on
+    access.  ``fit_stream`` iterates it once per epoch with constant
+    memory — the unlock for corpora whose sparse features outgrow RAM.
+
+Fault-injection hooks (:mod:`repro.labeling.engine.faults`) are threaded
+through the write path so the crash-recovery gate can deterministically
+produce torn blocks, full disks, and mid-pass master deaths.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import re
+import warnings
+import zlib
+from collections.abc import Sequence
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.labeling.engine import faults
+from repro.labeling.engine.accumulator import (
+    ChunkResult,
+    attach_arrays,
+    detach_arrays,
+)
+
+__all__ = ["BlockStore", "ChunkCheckpointer", "EpochCheckpoint", "StoredFeatureBlocks"]
+
+#: First bytes of every block file; bumping the trailing digit invalidates
+#: all existing stores (they recover as empty, chunks re-execute).
+MAGIC = b"RBLK1\n"
+
+#: Array payloads are aligned to this many bytes within the block file so a
+#: memmap view of any standard dtype is well-aligned.
+ALIGN = 64
+
+#: Keys are path-like identifiers; ``/`` separates namespaces and maps to a
+#: filename-safe character on disk.
+_KEY_RE = re.compile(r"^[A-Za-z0-9._/-]+$")
+
+
+def _key_filename(key: str) -> str:
+    return key.replace("/", "~") + ".blk"
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class BlockStore:
+    """Atomic, checksummed, mmap-readable storage of named-array blocks.
+
+    Layout under ``root``::
+
+        index.jsonl          one JSON record per durable block (appended,
+                             fsynced; compacted on open)
+        blocks/<key>.blk     immutable block files (written via temp +
+                             rename; ``*.tmp`` files are crash residue and
+                             deleted on open)
+
+    An index record ``{"key", "file", "size", "crc"}`` is the commit point:
+    it is appended only after the block file is durably in place, and a
+    block file is trusted only when its size and crc32 match a record.
+    Re-``put`` of an existing key atomically replaces the file and appends
+    a superseding record (last record wins on replay).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.blocks_dir = os.path.join(self.root, "blocks")
+        self.index_path = os.path.join(self.root, "index.jsonl")
+        os.makedirs(self.blocks_dir, exist_ok=True)
+        self._records: dict[str, dict] = {}
+        #: Ordinal of the next ``put`` in this process — the trigger index
+        #: for write-path fault rules (``disk_full@N`` etc.).
+        self._write_ordinal = 0
+        self._recover()
+        self._index_file = open(self.index_path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------- recovery
+    def _recover(self) -> None:
+        """Replay the index, verify every block, delete what can't be trusted."""
+        records: dict[str, dict] = {}
+        if os.path.exists(self.index_path):
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    # A crash mid-append leaves one torn trailing line; it
+                    # (and anything after a corruption) is simply not durable.
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        break
+                    if not isinstance(record, dict) or "key" not in record:
+                        break
+                    records[record["key"]] = record
+        for key in list(records):
+            record = records[key]
+            path = os.path.join(self.blocks_dir, record["file"])
+            if not self._verify(path, record):
+                del records[key]
+                if os.path.exists(path):
+                    os.unlink(path)
+        referenced = {record["file"] for record in records.values()}
+        for name in os.listdir(self.blocks_dir):
+            if name not in referenced:
+                os.unlink(os.path.join(self.blocks_dir, name))
+        self._records = records
+        self._compact()
+
+    @staticmethod
+    def _verify(path: str, record: dict) -> bool:
+        try:
+            if os.path.getsize(path) != record["size"]:
+                return False
+            crc = 0
+            with open(path, "rb") as handle:
+                while True:
+                    piece = handle.read(1 << 20)
+                    if not piece:
+                        break
+                    crc = zlib.crc32(piece, crc)
+            return crc == record["crc"]
+        except OSError:
+            return False
+
+    def _compact(self) -> None:
+        """Atomically rewrite the index with only the surviving records.
+
+        Run once at open: removes superseded/invalid records and — the part
+        correctness depends on — any torn trailing line, so this process's
+        appends never extend a corrupt tail.
+        """
+        tmp = self.index_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in self._records.values():
+                handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.rename(tmp, self.index_path)
+        _fsync_dir(self.root)
+        # The rename replaced the index inode.  An open append handle would
+        # keep writing to the unlinked old file, silently losing every
+        # commit record appended afterwards — reattach it.
+        handle = getattr(self, "_index_file", None)
+        if handle is not None and not handle.closed:
+            handle.close()
+            self._index_file = open(self.index_path, "a", encoding="utf-8")
+
+    # --------------------------------------------------------------- writes
+    def put(self, key: str, arrays: dict[str, np.ndarray], meta: Optional[dict] = None) -> None:
+        """Durably store named arrays (plus JSON-safe ``meta``) under ``key``."""
+        if not _KEY_RE.match(key):
+            raise LabelingError(f"bad block key {key!r}")
+        ordinal = self._write_ordinal
+        self._write_ordinal += 1
+        faults.maybe_disk_full(ordinal)
+        payload = self._encode(key, arrays, meta or {})
+        name = _key_filename(key)
+        path = os.path.join(self.blocks_dir, name)
+        tmp = path + f".{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.rename(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        _fsync_dir(self.blocks_dir)
+        # Injected post-rename corruption: the index record below keeps the
+        # *intended* crc, so the torn block is detected (and re-executed)
+        # when the store is next opened.
+        faults.corrupt_block_file(path, ordinal)
+        record = {
+            "key": key,
+            "file": name,
+            "size": len(payload),
+            "crc": zlib.crc32(payload),
+        }
+        self._index_file.write(json.dumps(record) + "\n")
+        self._index_file.flush()
+        os.fsync(self._index_file.fileno())
+        self._records[key] = record
+        faults.maybe_die_at_block(ordinal)
+
+    @staticmethod
+    def _encode(key: str, arrays: dict[str, np.ndarray], meta: dict) -> bytes:
+        specs = []
+        buffer = io.BytesIO()
+        # Header length depends on the offsets, which depend on the header
+        # length — resolve with payload offsets relative to the payload
+        # section, whose absolute start is recorded once in the header.
+        offset = 0
+        chunks: list[bytes] = []
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            pad = (-offset) % ALIGN
+            chunks.append(b"\x00" * pad)
+            offset += pad
+            raw = array.tobytes()
+            specs.append(
+                {
+                    "name": name,
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                    "offset": offset,
+                    "nbytes": len(raw),
+                }
+            )
+            chunks.append(raw)
+            offset += len(raw)
+        header = json.dumps({"key": key, "meta": meta, "arrays": specs}).encode()
+        buffer.write(MAGIC)
+        buffer.write(len(header).to_bytes(8, "little"))
+        buffer.write(header)
+        for chunk in chunks:
+            buffer.write(chunk)
+        return buffer.getvalue()
+
+    # ---------------------------------------------------------------- reads
+    def get(self, key: str) -> tuple[dict[str, np.ndarray], dict]:
+        """Load ``key``'s arrays as read-only ``np.memmap`` views, plus meta."""
+        record = self._records.get(key)
+        if record is None:
+            raise LabelingError(f"block {key!r} not in store {self.root}")
+        path = os.path.join(self.blocks_dir, record["file"])
+        with open(path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise LabelingError(f"block file {path} has bad magic")
+            header_len = int.from_bytes(handle.read(8), "little")
+            header = json.loads(handle.read(header_len))
+        base = len(MAGIC) + 8 + header_len
+        arrays: dict[str, np.ndarray] = {}
+        for spec in header["arrays"]:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(spec["shape"])
+            if spec["nbytes"]:
+                arrays[spec["name"]] = np.memmap(
+                    path, dtype=dtype, mode="r", offset=base + spec["offset"], shape=shape
+                )
+            else:
+                arrays[spec["name"]] = np.empty(shape, dtype=dtype)
+        return arrays, header["meta"]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def keys(self) -> list[str]:
+        return sorted(self._records)
+
+    # ------------------------------------------------------- pickle helpers
+    def put_pickle(self, key: str, obj: object) -> None:
+        """Store an arbitrary picklable object (phase checkpoints)."""
+        blob = np.frombuffer(pickle.dumps(obj), dtype=np.uint8)
+        self.put(key, {"pickle": blob})
+
+    def get_pickle(self, key: str) -> object:
+        arrays, _ = self.get(key)
+        return pickle.loads(arrays["pickle"].tobytes())
+
+    # ------------------------------------------------------------- lifecycle
+    def clear(self) -> None:
+        """Drop every block (used when a store's fingerprint is stale)."""
+        self._records = {}
+        for name in os.listdir(self.blocks_dir):
+            os.unlink(os.path.join(self.blocks_dir, name))
+        self._compact()
+
+    def close(self) -> None:
+        if not self._index_file.closed:
+            self._index_file.close()
+
+    def __enter__(self) -> "BlockStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ChunkCheckpointer:
+    """Durable per-chunk checkpoints of one labeling pass over one split.
+
+    ``record`` persists a freshly computed :class:`ChunkResult` before the
+    accumulator transform consumes it; ``load`` reconstructs a durably
+    recorded one (triple arrays as memmap views) so a resumed run can feed
+    it through the identical transform chain.  ``completed`` is the set of
+    chunk indices the store holds — the executor skips exactly these.
+
+    A failed write (disk full, permissions) disables the checkpointer with
+    a single warning instead of aborting the labeling run: durability
+    degrades, correctness doesn't.
+    """
+
+    def __init__(self, store: BlockStore, split: str) -> None:
+        self.store = store
+        self.split = split
+        self.disabled = False
+        prefix = f"chunk/{split}/"
+        self.completed = {
+            int(key[len(prefix):])
+            for key in store.keys()
+            if key.startswith(prefix) and key[len(prefix):].isdigit()
+        }
+
+    def _key(self, index: int) -> str:
+        return f"chunk/{self.split}/{index}"
+
+    def record(self, result: ChunkResult) -> None:
+        if self.disabled or result.index in self.completed:
+            return
+        meta, arrays = detach_arrays(result)
+        named = {"meta": np.frombuffer(pickle.dumps(meta), dtype=np.uint8)}
+        for position, array in enumerate(arrays):
+            named[f"a{position}"] = array
+        try:
+            self.store.put(self._key(result.index), named, {"arrays": len(arrays)})
+        except OSError as exc:
+            warnings.warn(
+                f"chunk checkpointing disabled after write failure on chunk "
+                f"{result.index} ({exc}); the run continues without durability",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.disabled = True
+            return
+        self.completed.add(result.index)
+
+    def load(self, index: int) -> ChunkResult:
+        arrays, meta = self.store.get(self._key(index))
+        chunk_meta = pickle.loads(arrays["meta"].tobytes())
+        ordered = [arrays[f"a{position}"] for position in range(meta["arrays"])]
+        return attach_arrays(chunk_meta, ordered)
+
+
+class EpochCheckpoint:
+    """Durable per-epoch training state for one end-model fit.
+
+    The trainers (see ``_train_minibatches`` in the discriminative models)
+    call :meth:`save` after every completed epoch with their full update
+    state — packed parameters, optimizer moments, epoch count — and
+    :meth:`load` on entry.  A resumed fit re-draws its RNG initialization
+    (keeping the RNG stream identical to the uninterrupted run) and then
+    overwrites everything from the snapshot, so the minibatch updates it
+    replays from ``state["epoch"]`` onward are bit-identical.
+
+    Like :class:`ChunkCheckpointer`, a failed save degrades durability with
+    one warning instead of aborting training.
+    """
+
+    def __init__(self, store: BlockStore, name: str) -> None:
+        if not _KEY_RE.match(name):
+            raise LabelingError(f"bad epoch checkpoint name {name!r}")
+        self.store = store
+        self.key = f"epoch/{name}"
+        self.disabled = False
+
+    def load(self) -> Optional[dict]:
+        """The last durably saved state, or ``None`` for a fresh fit."""
+        if self.key not in self.store:
+            return None
+        state = self.store.get_pickle(self.key)
+        if not isinstance(state, dict) or "epoch" not in state:
+            return None
+        return state
+
+    def save(self, state: dict) -> None:
+        """Durably replace the snapshot; ``state["epoch"]`` = epochs done."""
+        if self.disabled:
+            return
+        try:
+            self.store.put_pickle(self.key, state)
+        except OSError as exc:
+            warnings.warn(
+                f"epoch checkpointing disabled after write failure at epoch "
+                f"{state.get('epoch')} ({exc}); training continues without "
+                f"durability",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.disabled = True
+            return
+        # Crash *after* the durable save: the resumed run starts from this
+        # epoch.  The hook ordinal is the 0-based index of the epoch that
+        # just completed.
+        faults.maybe_die_at_epoch(int(state["epoch"]) - 1)
+
+
+class StoredFeatureBlocks(Sequence):
+    """Re-iterable, mmap-backed view of a split's stored feature blocks.
+
+    Each access rebuilds chunk ``i``'s :class:`CSRFeatureMatrix` from the
+    store — the triple arrays are memmap views, so an epoch over the whole
+    sequence touches the page cache instead of recomputing the fused pass,
+    and holds at most one block's CSR structure at a time.
+    """
+
+    def __init__(
+        self,
+        checkpointer: ChunkCheckpointer,
+        num_blocks: int,
+        output_dim: int,
+        overrides: Optional[dict] = None,
+    ) -> None:
+        # ``overrides`` covers the degraded case where checkpointing was
+        # disabled mid-run (disk full): chunks the store missed stay in RAM
+        # as already-built matrices and are served from here instead.
+        self._overrides = dict(overrides or {})
+        missing = sorted(
+            set(range(num_blocks)) - checkpointer.completed - set(self._overrides)
+        )
+        if missing:
+            raise LabelingError(
+                f"stored feature blocks incomplete: missing chunks {missing[:5]}"
+                f"{'...' if len(missing) > 5 else ''}"
+            )
+        self._checkpointer = checkpointer
+        self._num_blocks = num_blocks
+        self._output_dim = output_dim
+
+    def __len__(self) -> int:
+        return self._num_blocks
+
+    def __getitem__(self, index: int):
+        from repro.discriminative.sparse_features import CSRFeatureMatrix
+
+        if not 0 <= index < self._num_blocks:
+            raise IndexError(index)
+        if index in self._overrides:
+            return self._overrides[index]
+        block = self._checkpointer.load(index).features
+        if block is None:
+            raise LabelingError(
+                f"stored chunk {index} has no feature block (was the pass fused?)"
+            )
+        return CSRFeatureMatrix.from_triples(
+            block.row_offsets,
+            block.cols,
+            block.values,
+            (block.num_candidates, self._output_dim),
+        )
+
+    def __iter__(self) -> Iterator:
+        for index in range(self._num_blocks):
+            yield self[index]

@@ -37,8 +37,10 @@ from repro.labeling.engine.plan import (
 from repro.labeling.engine.runtime import (
     HAVE_SHM,
     TaskSpec,
+    TransportCorruptionError,
     WorkerCrashError,
     WorkerPool,
+    WorkerTimeoutError,
     get_global_pool,
     resolve_transport,
     run_attached_chunk,
@@ -60,8 +62,10 @@ __all__ = [
     "TRANSPORTS",
     "TaskSpec",
     "ThreadPoolChunkExecutor",
+    "TransportCorruptionError",
     "WorkerCrashError",
     "WorkerPool",
+    "WorkerTimeoutError",
     "apply_chunk",
     "available_workers",
     "featurize_chunk",

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import cycle guard
+    from repro.labeling.blockstore import ChunkCheckpointer
     from repro.labeling.engine.runtime import TaskSpec
 
 import numpy as np
@@ -194,6 +195,7 @@ class ProcessPoolChunkExecutor:
             accumulator,
             transport=plan.transport,
             pending_limit=plan.pending_limit(),
+            chunk_timeout=plan.chunk_timeout,
         )
 
 
@@ -221,6 +223,7 @@ def run_plan(
     transform: Callable[[ChunkResult], ChunkResult] | None = None,
     task: ChunkTask = apply_chunk,
     spec: Optional["TaskSpec"] = None,
+    checkpoint: Optional["ChunkCheckpointer"] = None,
 ) -> EngineResult:
     """Execute a chunk task over a candidate iterable under ``plan``.
 
@@ -239,12 +242,40 @@ def run_plan(
     compiled pushdown plan) pass a spec whose ``builder`` re-derives the
     payload worker-side from shipped configuration.  In-process backends run
     ``task(payload, ...)`` directly and ignore it.
+
+    ``checkpoint`` (a :class:`repro.labeling.blockstore.ChunkCheckpointer`)
+    makes the run crash-safe and resumable: every fresh result is recorded
+    durably *before* ``transform`` consumes it, and chunks the store already
+    holds are never handed to the executor — they are replayed from disk
+    into the accumulator, through the same ``transform``, which is what
+    makes a resumed run bit-identical to an uninterrupted one.  Chunking is
+    deterministic (fixed ``chunk_size`` over the same stream), so chunk
+    indices are stable identities across runs.
     """
+    if checkpoint is not None:
+        inner = transform
+
+        def transform(result: ChunkResult) -> ChunkResult:
+            checkpoint.record(result)
+            return inner(result) if inner is not None else result
+
     accumulator = CSRAccumulator(transform=transform)
+    chunks = iter_chunks(candidates, plan.chunk_size)
+    if checkpoint is not None and checkpoint.completed:
+
+        def replay_or_yield(stream):
+            # Replayed results enter through accumulator.add, so they run
+            # the identical transform chain as fresh ones (record() is a
+            # no-op for indices already durable).
+            for chunk in stream:
+                if chunk.index in checkpoint.completed:
+                    accumulator.add(checkpoint.load(chunk.index))
+                else:
+                    yield chunk
+
+        chunks = replay_or_yield(chunks)
     executor = get_executor(plan.backend)
-    executor.execute(
-        plan, payload, iter_chunks(candidates, plan.chunk_size), accumulator, task, spec=spec
-    )
+    executor.execute(plan, payload, chunks, accumulator, task, spec=spec)
     merged = accumulator.merge()
     if plan.backend == "processes":
         from repro.labeling.engine.runtime import resolve_transport

@@ -78,6 +78,14 @@ class ExecutionPlan:
         Chunk transport of the processes backend (see :data:`TRANSPORTS`);
         ignored by the in-process backends.  Results are bit-identical
         across transports.
+    chunk_timeout:
+        Soft per-chunk deadline in seconds for the processes backend: a
+        chunk in flight past the deadline draws a warning, and past the
+        escalation point its worker is killed and the chunk resubmitted
+        under the crash machinery (EN101; see
+        :class:`repro.labeling.engine.runtime.WorkerTimeoutError`).
+        ``None`` (default) waits indefinitely; ignored by the in-process
+        backends, which cannot kill a hung task.
     """
 
     chunk_size: int = 1024
@@ -86,6 +94,7 @@ class ExecutionPlan:
     fault_tolerant: bool = False
     max_pending: Optional[int] = None
     transport: str = "auto"
+    chunk_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -102,6 +111,10 @@ class ExecutionPlan:
             raise LabelingError(f"num_workers must be >= 1, got {self.num_workers}")
         if self.max_pending is not None and self.max_pending < 1:
             raise LabelingError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise LabelingError(
+                f"chunk_timeout must be positive, got {self.chunk_timeout}"
+            )
 
     def effective_workers(self) -> int:
         """Worker count the executor will actually use."""

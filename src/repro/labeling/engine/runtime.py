@@ -58,6 +58,8 @@ import pickle
 import signal
 import time
 import traceback
+import warnings
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection, get_context
@@ -66,6 +68,7 @@ from typing import Callable, Iterator, Optional
 import numpy as np
 
 from repro.exceptions import LabelingError
+from repro.labeling.engine import faults
 from repro.labeling.engine.accumulator import (
     ChunkResult,
     CSRAccumulator,
@@ -87,8 +90,10 @@ __all__ = [
     "MAX_CHUNK_ATTEMPTS",
     "TRANSPORTS",
     "TaskSpec",
+    "TransportCorruptionError",
     "WorkerCrashError",
     "WorkerPool",
+    "WorkerTimeoutError",
     "get_global_pool",
     "resolve_transport",
     "run_attached_chunk",
@@ -100,6 +105,11 @@ _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 #: Times one chunk may be submitted before a worker crash becomes fatal even
 #: in fault-tolerant mode (first attempt + one resubmission).
 MAX_CHUNK_ATTEMPTS = 2
+
+#: A chunk in flight past ``chunk_timeout`` seconds draws a warning; past
+#: ``chunk_timeout * TIMEOUT_ESCALATION`` its worker is killed and the chunk
+#: resubmitted (:class:`WorkerTimeoutError`, EN101).
+TIMEOUT_ESCALATION = 2.0
 
 #: Specs kept attached per pool before the least-recently-attached one is
 #: detached (workers drop the built payload; the master forgets the spec id).
@@ -153,6 +163,59 @@ class WorkerCrashError(LabelingError):
             f"died while chunk {chunk_index} was in flight "
             f"(attempt {attempts}/{MAX_CHUNK_ATTEMPTS})"
         )
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A worker exceeded the per-chunk deadline and was killed (EN101).
+
+    Raised (or, in fault-tolerant mode, retried) when a chunk stays in
+    flight past ``chunk_timeout × `` :data:`TIMEOUT_ESCALATION` — the hung
+    worker is SIGKILLed and handled through the same resubmission machinery
+    as a crash, so a stuck LF (deadlocked I/O, runaway regex) can stall a
+    run by at most the escalated deadline instead of forever.
+    """
+
+    code = "EN101"
+
+    def __init__(
+        self, chunk_index: int, worker_pid: Optional[int], timeout: float, attempts: int
+    ) -> None:
+        # Build the base message, then override with the timeout story.
+        super().__init__(chunk_index, worker_pid, None, attempts)
+        self.timeout = timeout
+        self.args = (
+            f"[{self.code}] worker process {worker_pid} exceeded the "
+            f"{timeout:g}s chunk deadline on chunk {chunk_index} and was "
+            f"killed (attempt {attempts}/{MAX_CHUNK_ATTEMPTS})",
+        )
+
+
+class TransportCorruptionError(LabelingError):
+    """A transported payload failed its checksum (engine error EN102).
+
+    Every shm-transport payload (the pickled candidate bytes going out, each
+    result array block coming back) carries a crc32; a mismatch means the
+    ring slot was torn or overwritten.  Fault-tolerant runs resubmit the
+    chunk (bounded by :data:`MAX_CHUNK_ATTEMPTS`) — the data is still
+    upstream, so corruption in transit is retryable, unlike a task error.
+    """
+
+    code = "EN102"
+
+    def __init__(self, chunk_index: int, direction: str, expected: int, actual: int) -> None:
+        self.chunk_index = chunk_index
+        self._init_args = (chunk_index, direction, expected, actual)
+        super().__init__(
+            f"[{self.code}] {direction} payload of chunk {chunk_index} failed "
+            f"its checksum (expected {expected:#010x}, got {actual:#010x}); "
+            "the shared-memory slot was torn or overwritten"
+        )
+
+    def __reduce__(self):
+        # The worker pickles this through the pipe; default exception
+        # reduction would replay ``args`` (the message) into the four-field
+        # constructor, so spell the constructor call out.
+        return (type(self), self._init_args)
 
 
 @dataclass(frozen=True)
@@ -303,6 +366,7 @@ def _worker_main(conn, inherited_specs: dict, inbound_base: str) -> None:
     arrive as ``("attach", sid, bytes)`` messages when they pickle.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    master_pid = os.getppid()
     attached: dict[int, _AttachedSpec] = {}
     broken: dict[int, tuple] = {}
     outbound: dict[str, object] = {}
@@ -320,6 +384,13 @@ def _worker_main(conn, inherited_specs: dict, inbound_base: str) -> None:
             build(sid, spec)
         while True:
             try:
+                # A blocking recv() would never see EOF after the master is
+                # SIGKILLed — sibling workers hold inherited write ends of
+                # this pipe — so poll with a timeout and watch for the
+                # master's death (reparenting changes our ppid).
+                while not conn.poll(1.0):
+                    if os.getppid() != master_pid:  # pragma: no cover
+                        return
                 msg = conn.recv()
             except (EOFError, OSError):  # pragma: no cover - master vanished
                 break
@@ -359,7 +430,7 @@ def _worker_run_task(
     decode_start = time.perf_counter()
     try:
         if meta[0] == "shm":
-            _, name, offset, length = meta
+            _, name, offset, length, crc = meta
             segment = outbound.get(name)
             if segment is None:
                 # The master grew its outbound ring: every older segment is
@@ -369,7 +440,14 @@ def _worker_run_task(
                 outbound.clear()
                 segment = _shm.SharedMemory(name=name)
                 outbound[name] = segment
-            candidates = pickle.loads(segment.buf[offset : offset + length])
+            blob = bytes(segment.buf[offset : offset + length])
+            actual = zlib.crc32(blob)
+            if actual != crc:
+                # The slot no longer holds what the master wrote — torn or
+                # overwritten.  A coded, retryable error: the candidates are
+                # still master-side, so a resubmission rewrites the slot.
+                raise TransportCorruptionError(index, "chunk", crc, actual)
+            candidates = pickle.loads(blob)
         else:
             candidates = pickle.loads(meta[1])
     except Exception as exc:
@@ -379,6 +457,10 @@ def _worker_run_task(
         conn.send(("error", seq, index, _exc_payload(exc)))
         return
     transport_seconds = time.perf_counter() - decode_start
+
+    # Deterministic fault injection (no-op without an installed plan):
+    # SIGKILL or hang this worker on the configured chunk index.
+    faults.maybe_fail_chunk(index)
 
     spec = attached.get(sid)
     if spec is None:
@@ -410,8 +492,19 @@ def _worker_run_task(
                 )
                 view[:] = array
                 del view
-            blocks.append((offset, array.dtype.str, array.size))
+            # Each block descriptor carries the crc of the slot bytes so the
+            # master can detect a torn/overwritten ring slot (EN102) instead
+            # of merging garbage triples.
+            crc = zlib.crc32(ring.segment.buf[offset : offset + array.nbytes])
+            blocks.append((offset, array.dtype.str, array.size, crc))
             offset += _align(array.nbytes)
+        for block_offset, dtype_str, count, _crc in blocks:
+            nbytes = count * np.dtype(dtype_str).itemsize
+            if nbytes:
+                faults.corrupt_shm_slot(
+                    "corrupt_result", index, ring.segment.buf, block_offset, nbytes
+                )
+                break
         transport_seconds += time.perf_counter() - encode_start
         conn.send(("result", seq, index, ("shm", name, blocks, meta_result, transport_seconds)))
     else:
@@ -431,6 +524,10 @@ class _InFlight:
     chunk: Chunk
     attempts: int
     submit_seconds: float
+    #: ``time.monotonic()`` at submission — the chunk-timeout reference point.
+    started: float = 0.0
+    #: Whether the soft-deadline warning for this entry already fired.
+    warned: bool = False
 
 
 @dataclass(eq=False)
@@ -481,6 +578,7 @@ class WorkerPool:
         self._next_spec_id = 0
         self._spawn_serial = 0
         self._running = False
+        self._closed = False
 
     # ------------------------------------------------------------- lifecycle
     def _spawn_worker(self) -> _Worker:
@@ -516,6 +614,7 @@ class WorkerPool:
     def _ensure_workers(self) -> None:
         while len(self._workers) < self.num_workers:
             self._workers.append(self._spawn_worker())
+        self._closed = False
 
     def _destroy_worker(self, worker: _Worker, join_timeout: float = 1.0) -> None:
         """Release one worker's master-side resources (process already exiting)."""
@@ -541,11 +640,16 @@ class WorkerPool:
     def close(self) -> None:
         """Stop all workers and release every shared-memory segment.
 
-        Safe to call repeatedly and from ``atexit``; the pool stays usable —
-        a later attach/run simply respawns workers.
+        Idempotent: the atexit hook and an explicit user ``close`` may both
+        run (in either order); the second invocation returns without
+        touching ``/dev/shm`` again.  Not terminal — a later attach/run
+        respawns workers (and re-arms the close).
         """
         if os.getpid() != self._owner_pid:  # pragma: no cover - forked child
             return
+        if self._closed and not self._workers:
+            return
+        self._closed = True
         for worker in self._workers:
             try:
                 worker.conn.send(("close",))
@@ -640,6 +744,7 @@ class WorkerPool:
         accumulator: CSRAccumulator,
         transport: str = "auto",
         pending_limit: Optional[int] = None,
+        chunk_timeout: Optional[float] = None,
     ) -> None:
         """Run a chunk stream against ``spec``, feeding the accumulator.
 
@@ -648,6 +753,13 @@ class WorkerPool:
         inputs stay out-of-core.  Results are claimed and accumulated on
         arrival; the accumulator's chunk-index merge keeps the output
         independent of completion order, crashes and resubmissions included.
+
+        ``chunk_timeout`` bounds how long any chunk may stay in flight: past
+        the deadline its worker draws a warning, and past ``chunk_timeout ×``
+        :data:`TIMEOUT_ESCALATION` the worker is killed and the chunk
+        resubmitted under the crash machinery (:class:`WorkerTimeoutError`,
+        EN101) — a hung worker can no longer stall the run forever.  ``None``
+        (default) waits indefinitely, as before.
         """
         transport = resolve_transport(transport)
         if self._running:
@@ -678,12 +790,19 @@ class WorkerPool:
                 if retired is not None:
                     worker.retired_out.append((seq, retired))
                 worker.out_ring.segment.buf[offset : offset + len(blob)] = blob
-                meta = ("shm", name, offset, len(blob))
+                faults.corrupt_shm_slot(
+                    "corrupt_shm", chunk.index, worker.out_ring.segment.buf,
+                    offset, len(blob),
+                )
+                meta = ("shm", name, offset, len(blob), zlib.crc32(blob))
             else:
                 meta = ("pipe", blob)
             worker.conn.send(("task", sid, seq, chunk.index, chunk.start_row, meta))
             worker.pending.append(
-                _InFlight(seq, chunk, attempts, time.perf_counter() - start)
+                _InFlight(
+                    seq, chunk, attempts, time.perf_counter() - start,
+                    started=time.monotonic(),
+                )
             )
 
         def fill() -> None:
@@ -720,9 +839,20 @@ class WorkerPool:
                     segment = _shm.SharedMemory(name=name)
                     worker.inbound[name] = segment
                 arrays = []
-                for offset, dtype_str, count in blocks:
+                for offset, dtype_str, count, crc in blocks:
+                    dtype = np.dtype(dtype_str)
+                    actual = zlib.crc32(
+                        segment.buf[offset : offset + count * dtype.itemsize]
+                    )
+                    if actual != crc:
+                        # The ring slot no longer holds what the worker
+                        # wrote; the chunk is retryable (EN102), garbage
+                        # triples must never reach the accumulator.
+                        raise TransportCorruptionError(
+                            entry.chunk.index, "result", crc, actual
+                        )
                     view = np.frombuffer(
-                        segment.buf, dtype=np.dtype(dtype_str), count=count, offset=offset
+                        segment.buf, dtype=dtype, count=count, offset=offset
                     )
                     arrays.append(view.copy())
                     del view
@@ -732,16 +862,31 @@ class WorkerPool:
             )
             return result
 
+        def retry_corruption(entry: _InFlight, exc: TransportCorruptionError) -> None:
+            # EN102 is retryable under FT: the chunk's source data is intact
+            # master-side (unlike a task error, which would fail again), so a
+            # torn slot costs one resubmission, bounded like a crash.
+            if fault_tolerant and entry.attempts < MAX_CHUNK_ATTEMPTS:
+                resubmit.append((entry.chunk, entry.attempts + 1))
+            else:
+                note_failure(entry.chunk.index, exc)
+
         def handle_message(worker: _Worker, msg) -> None:
             kind = msg[0]
             if kind == "result":
                 _, seq, _index, meta = msg
                 entry = worker.pending.popleft()
-                result = claim(worker, entry, meta)
+                try:
+                    result = claim(worker, entry, meta)
+                except TransportCorruptionError as exc:
+                    result = None
+                    retry_corruption(entry, exc)
+                # A result for ``seq`` proves the worker moved past every
+                # segment retired at or before it — claimed or torn alike.
                 while worker.retired_out and worker.retired_out[0][0] <= seq:
                     _, segment = worker.retired_out.popleft()
                     _release_segment(segment, unlink=True)
-                if state["failure"] is None:
+                if result is not None and state["failure"] is None:
                     accumulator.add(result)
             elif kind == "error":
                 _, _seq, index, payload = msg
@@ -751,8 +896,12 @@ class WorkerPool:
                     # errors are attach fallout, not task failures — the
                     # chunk reruns on the respawned generation.
                     resubmit.append((entry.chunk, entry.attempts))
+                    return
+                exc = _rebuild_exc(payload)
+                if isinstance(exc, TransportCorruptionError):
+                    retry_corruption(entry, exc)
                 else:
-                    note_failure(index, _rebuild_exc(payload))
+                    note_failure(index, exc)
             elif kind == "attach_error":
                 _, bad_sid, payload = msg
                 exc = _rebuild_exc(payload)
@@ -768,7 +917,7 @@ class WorkerPool:
                     # spec travels by memory — so self-heal once per run.
                     state["respawn"] = exc
 
-        def handle_death(worker: _Worker) -> None:
+        def handle_death(worker: _Worker, timeout_entry: Optional[_InFlight] = None) -> None:
             lost = list(worker.pending)
             pid = worker.process.pid
             self._destroy_worker(worker)
@@ -777,15 +926,65 @@ class WorkerPool:
                 return
             for entry in lost:
                 if not fault_tolerant or entry.attempts >= MAX_CHUNK_ATTEMPTS:
-                    note_failure(
-                        entry.chunk.index,
-                        WorkerCrashError(entry.chunk.index, pid, exit_code, entry.attempts),
-                    )
+                    if entry is timeout_entry:
+                        exc: WorkerCrashError = WorkerTimeoutError(
+                            entry.chunk.index, pid, chunk_timeout, entry.attempts
+                        )
+                    else:
+                        exc = WorkerCrashError(
+                            entry.chunk.index, pid, exit_code, entry.attempts
+                        )
+                    note_failure(entry.chunk.index, exc)
             if state["failure"] is not None:
                 return
             resubmit.extend((entry.chunk, entry.attempts + 1) for entry in lost)
             if not state["exhausted"] or resubmit:
                 self._workers.append(self._spawn_worker())
+
+        def next_deadline() -> Optional[float]:
+            """Earliest pending warn/kill deadline, as a ``wait`` timeout."""
+            if chunk_timeout is None:
+                return None
+            soonest = None
+            for worker in self._workers:
+                for entry in worker.pending:
+                    at = entry.started + chunk_timeout * (
+                        TIMEOUT_ESCALATION if entry.warned else 1.0
+                    )
+                    if soonest is None or at < soonest:
+                        soonest = at
+            if soonest is None:
+                return None
+            return max(0.0, soonest - time.monotonic())
+
+        def enforce_deadlines() -> None:
+            """Warn on, then kill, workers whose oldest chunk overstayed.
+
+            Only the head of each worker's pending queue is judged — workers
+            process in submission order, so younger entries are queued, not
+            hung.  A kill flows through :func:`handle_death` (resubmission,
+            respawn, attempt cap) with the head chunk coded EN101.
+            """
+            now = time.monotonic()
+            for worker in list(self._workers):
+                if not worker.pending:
+                    continue
+                entry = worker.pending[0]
+                age = now - entry.started
+                if age >= chunk_timeout * TIMEOUT_ESCALATION:
+                    worker.process.kill()
+                    worker.process.join()
+                    handle_death(worker, timeout_entry=entry)
+                elif age >= chunk_timeout and not entry.warned:
+                    entry.warned = True
+                    warnings.warn(
+                        f"chunk {entry.chunk.index} has been in flight "
+                        f"{age:.1f}s on worker {worker.process.pid} (deadline "
+                        f"{chunk_timeout:g}s); the worker will be killed at "
+                        f"{chunk_timeout * TIMEOUT_ESCALATION:g}s",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
         try:
             while True:
@@ -806,7 +1005,8 @@ class WorkerPool:
                     by_waitable[worker.conn] = worker
                     waitables.append(worker.process.sentinel)
                     by_waitable[worker.process.sentinel] = worker
-                for worker in {by_waitable[obj] for obj in connection.wait(waitables)}:
+                ready = connection.wait(waitables, timeout=next_deadline())
+                for worker in {by_waitable[obj] for obj in ready}:
                     dead = False
                     while True:
                         try:
@@ -819,6 +1019,8 @@ class WorkerPool:
                         handle_message(worker, msg)
                     if dead or not worker.process.is_alive():
                         handle_death(worker)
+                if chunk_timeout is not None:
+                    enforce_deadlines()
                 if state["respawn"] is not None and state["failure"] is None:
                     state["respawned"] = True
                     state["respawn"] = None
@@ -877,5 +1079,13 @@ def shutdown_pools() -> None:
         pool.close()
     _POOLS.clear()
 
+
+# Ordering matters: atexit hooks run LIFO, and multiprocessing registers its
+# own teardown (which reaps the shared-memory resource tracker) when
+# ``multiprocessing.util`` is first imported.  Importing it explicitly *before*
+# registering shutdown_pools guarantees the pools — whose close() unlinks
+# segments through that tracker — are reaped first, not after the tracker
+# infrastructure is already torn down.
+import multiprocessing.util  # noqa: E402  (ordering-sensitive, see above)
 
 atexit.register(shutdown_pools)

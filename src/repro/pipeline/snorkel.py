@@ -44,6 +44,7 @@ task datasets purely so the benchmark harness can report oracle statistics.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
@@ -63,6 +64,7 @@ from repro.evaluation.scorer import (
 )
 from repro.exceptions import ConfigurationError
 from repro.labeling.applier import PUSHDOWN_MODES, VALIDATE_MODES, LFApplier
+from repro.labeling.blockstore import BlockStore, ChunkCheckpointer, EpochCheckpoint
 from repro.labeling.engine import BACKENDS, TRANSPORTS
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
@@ -127,6 +129,25 @@ class PipelineConfig:
     #: Candidates per engine work unit, shared by LF application and
     #: streaming featurization.  Results are independent of this value.
     chunk_size: int = 1024
+    #: Root directory of the crash-safe block store
+    #: (:mod:`repro.labeling.blockstore`).  When set (streaming mode only),
+    #: every fused chunk result, the label-modeling output, and the end
+    #: model's per-epoch training state are persisted durably as the run
+    #: progresses, and a restarted run resumes from the last durable point
+    #: with bit-identical results.  ``None`` (default) keeps everything in
+    #: RAM.
+    checkpoint_dir: Optional[str] = None
+    #: With ``checkpoint_dir`` set: resume from compatible existing
+    #: checkpoints (the default), or clear the store and start fresh.  A
+    #: store written under a different configuration fingerprint (other LF
+    #: suite, chunk size, featurizer width, seed, ...) is cleared
+    #: automatically — stale blocks are never replayed.
+    resume: bool = True
+    #: Soft per-chunk deadline in seconds for the ``"processes"`` backend
+    #: (see :class:`repro.labeling.engine.plan.ExecutionPlan`): a hung
+    #: worker is killed and its chunk resubmitted instead of deadlocking
+    #: the run.  ``None`` (default) waits indefinitely.
+    engine_chunk_timeout: Optional[float] = None
     #: Restore the historical per-epoch shuffled end-model schedule (the
     #: pre-streaming default).  Off, both modes train in deterministic
     #: stream order, which is what makes ``streaming=True`` value-identical
@@ -185,6 +206,10 @@ class PipelineConfig:
             raise ConfigurationError(
                 "end_model_shuffle requires random row access and cannot be "
                 "honored by a streaming run; unset one of the two"
+            )
+        if self.engine_chunk_timeout is not None and self.engine_chunk_timeout <= 0:
+            raise ConfigurationError(
+                f"engine_chunk_timeout must be positive, got {self.engine_chunk_timeout}"
             )
 
 
@@ -254,6 +279,12 @@ class SnorkelPipeline:
                 task.split_gold("test"),
                 lfs=lfs,
                 task_name=task.name,
+            )
+        if self.config.checkpoint_dir is not None:
+            raise ConfigurationError(
+                "checkpoint_dir requires the streaming pipeline "
+                "(PipelineConfig(streaming=True)): the materialized run has "
+                "no chunked intermediate blocks to persist"
             )
         timings: dict[str, float] = {}
 
@@ -333,38 +364,58 @@ class SnorkelPipeline:
 
         start = time.perf_counter()
         self.featurizer.fit()
-        applier = LFApplier(
-            lfs,
-            chunk_size=config.chunk_size,
-            backend=config.applier_backend,
-            num_workers=config.applier_workers,
-            validate=config.lf_validate,
-            pushdown=config.lf_pushdown,
-            transport=config.engine_transport,
-        )
-        label_matrix, train_blocks = applier.apply_with_features(
-            train_candidates, self.featurizer, sparse=config.sparse_labels
-        )
-        test_matrix, test_blocks = applier.apply_with_features(
-            test_candidates, self.featurizer, sparse=config.sparse_labels
-        )
-        timings["lf_application"] = time.perf_counter() - start
+        store, train_ckpt, test_ckpt, epoch_ckpt = self._open_checkpoints(lfs, task_name)
+        try:
+            applier = LFApplier(
+                lfs,
+                chunk_size=config.chunk_size,
+                backend=config.applier_backend,
+                num_workers=config.applier_workers,
+                validate=config.lf_validate,
+                pushdown=config.lf_pushdown,
+                transport=config.engine_transport,
+                chunk_timeout=config.engine_chunk_timeout,
+            )
+            label_matrix, train_blocks = applier.apply_with_features(
+                train_candidates,
+                self.featurizer,
+                sparse=config.sparse_labels,
+                checkpoint=train_ckpt,
+            )
+            test_matrix, test_blocks = applier.apply_with_features(
+                test_candidates,
+                self.featurizer,
+                sparse=config.sparse_labels,
+                checkpoint=test_ckpt,
+            )
+            timings["lf_application"] = time.perf_counter() - start
 
-        start = time.perf_counter()
-        strategy, generative_model, training_probs = self._label_modeling(label_matrix)
-        timings["label_modeling"] = time.perf_counter() - start
+            start = time.perf_counter()
+            strategy, generative_model, training_probs = self._label_modeling_checkpointed(
+                label_matrix, store
+            )
+            timings["label_modeling"] = time.perf_counter() - start
 
-        cardinality = label_matrix.cardinality
-        test_gold = np.asarray(test_gold)
-        generative_report = self._generative_report(
-            cardinality, generative_model, test_matrix, test_gold
-        )
+            cardinality = label_matrix.cardinality
+            test_gold = np.asarray(test_gold)
+            generative_report = self._generative_report(
+                cardinality, generative_model, test_matrix, test_gold
+            )
 
-        start = time.perf_counter()
-        discriminative_model, discriminative_report = self._discriminative_stage_streaming(
-            cardinality, train_blocks, test_blocks, training_probs, label_matrix, test_gold
-        )
-        timings["discriminative_training"] = time.perf_counter() - start
+            start = time.perf_counter()
+            discriminative_model, discriminative_report = self._discriminative_stage_streaming(
+                cardinality,
+                train_blocks,
+                test_blocks,
+                training_probs,
+                label_matrix,
+                test_gold,
+                epoch_checkpoint=epoch_ckpt,
+            )
+            timings["discriminative_training"] = time.perf_counter() - start
+        finally:
+            if store is not None:
+                store.close()
 
         return PipelineResult(
             task_name=task_name,
@@ -377,6 +428,84 @@ class SnorkelPipeline:
             discriminative_model=discriminative_model,
             timings=timings,
         )
+
+    # ------------------------------------------------------------ checkpoints
+    def _checkpoint_fingerprint(self, lfs: Sequence[LabelingFunction], task_name: str) -> dict:
+        """What a stored checkpoint must have been produced under to be
+        replayable: the chunk blocks depend on the LF suite, the chunking,
+        and the featurizer width; the epoch checkpoints additionally on the
+        seed and the end-model schedule length."""
+        config = self.config
+        return {
+            "format": 1,
+            "task": task_name,
+            "lfs": [lf.name for lf in lfs],
+            "chunk_size": config.chunk_size,
+            "sparse_labels": config.sparse_labels,
+            "num_features": self.featurizer.num_features,
+            "seed": config.seed,
+            "discriminative_epochs": config.discriminative_epochs,
+        }
+
+    def _open_checkpoints(
+        self, lfs: Sequence[LabelingFunction], task_name: str
+    ) -> tuple[
+        Optional[BlockStore],
+        Optional[ChunkCheckpointer],
+        Optional[ChunkCheckpointer],
+        Optional[EpochCheckpoint],
+    ]:
+        """Open (or refuse to reuse) the run's block store.
+
+        An existing store is resumed only when ``config.resume`` holds and
+        its recorded fingerprint matches this run's configuration; anything
+        else clears it — replaying blocks produced under different LFs or
+        chunking would be silently wrong, never merely slow.
+        """
+        config = self.config
+        if config.checkpoint_dir is None:
+            return None, None, None, None
+        store = BlockStore(config.checkpoint_dir)
+        fingerprint = self._checkpoint_fingerprint(lfs, task_name)
+        key = "meta/fingerprint"
+        stale = True
+        if config.resume and key in store:
+            stale = store.get_pickle(key) != fingerprint
+        if stale:
+            store.clear()
+            store.put_pickle(key, fingerprint)
+        return (
+            store,
+            ChunkCheckpointer(store, "train"),
+            ChunkCheckpointer(store, "test"),
+            EpochCheckpoint(store, "end_model"),
+        )
+
+    def _label_modeling_checkpointed(
+        self, label_matrix: LabelMatrix, store: Optional[BlockStore]
+    ) -> tuple[Optional[ModelingStrategy], Optional[GenerativeModel], np.ndarray]:
+        """The label-modeling stage, memoized in the block store.
+
+        The stage is deterministic given Λ and the config, so a resumed run
+        recomputing it would produce the identical result — the checkpoint
+        only buys back its wall-clock.  A full disk degrades with a warning,
+        exactly like the chunk checkpointer.
+        """
+        key = "phase/label_modeling"
+        if store is not None and key in store:
+            return store.get_pickle(key)
+        outcome = self._label_modeling(label_matrix)
+        if store is not None:
+            try:
+                store.put_pickle(key, outcome)
+            except OSError as exc:
+                warnings.warn(
+                    f"label-modeling checkpoint skipped after write failure "
+                    f"({exc}); the run continues without it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return outcome
 
     # ----------------------------------------------------------------- stages
     def _label_modeling(
@@ -547,6 +676,7 @@ class SnorkelPipeline:
         training_probs: np.ndarray,
         label_matrix: LabelMatrix,
         test_gold: np.ndarray,
+        epoch_checkpoint: Optional[EpochCheckpoint] = None,
     ) -> tuple[NoiseAwareClassifier, AnyScoreReport]:
         """Train the end model from CSR feature blocks and evaluate block-wise.
 
@@ -554,6 +684,8 @@ class SnorkelPipeline:
         materialized stage) are carved out of each block in place, so the
         minibatch stream visits exactly the rows ``fit(X[keep], Ỹ[keep])``
         would — in the same order — and the trained model is value-identical.
+        With ``epoch_checkpoint`` the fit saves its state after every epoch
+        and a resumed run replays only the remaining ones.
         """
         num_candidates = training_probs.shape[0]
         keep = self._keep_rows(num_candidates, training_probs, label_matrix)
@@ -570,7 +702,10 @@ class SnorkelPipeline:
                 start = stop
 
         model = self._make_end_model(cardinality)
-        model.fit_stream(kept_blocks)
+        if epoch_checkpoint is not None:
+            model.fit_stream(kept_blocks, checkpoint=epoch_checkpoint)
+        else:
+            model.fit_stream(kept_blocks)
 
         if test_blocks:
             probs = np.concatenate(

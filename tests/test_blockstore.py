@@ -1,0 +1,275 @@
+"""The crash-safe block store: durability, recovery, and the checkpointers.
+
+What this suite pins down:
+
+* **Round trips** — named arrays (any dtype, including empty) and pickled
+  objects come back value-identical, as read-only memmap views.
+* **Recovery** — opening a store drops a torn index tail, detects
+  corrupted block files by size/crc and deletes them, and sweeps orphaned
+  and temp files; what survives recovery is exactly what was durably
+  committed.
+* **Checkpointers** — ``ChunkCheckpointer`` records and reloads
+  :class:`ChunkResult` blocks (fused feature block included) losslessly and
+  degrades with one warning on a full disk; ``EpochCheckpoint`` snapshots
+  end-model training state the same way.
+* **StoredFeatureBlocks** — refuses incomplete stores, serves RAM
+  overrides for chunks a degraded run never persisted.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.labeling.blockstore import (
+    BlockStore,
+    ChunkCheckpointer,
+    EpochCheckpoint,
+    StoredFeatureBlocks,
+)
+from repro.labeling.engine import faults
+from repro.labeling.engine.accumulator import ChunkResult
+
+
+def make_result(index, num_candidates=10, with_features=True):
+    rng = np.random.default_rng(index)
+    nnz = 1 + index
+    result = ChunkResult(
+        index=index,
+        start_row=index * num_candidates,
+        num_candidates=num_candidates,
+        row_offsets=rng.integers(0, num_candidates, nnz),
+        cols=rng.integers(0, 4, nnz),
+        values=rng.integers(-1, 2, nnz),
+        errors={"lf_a": index},
+        seconds=0.5,
+    )
+    if with_features:
+        result.features = ChunkResult(
+            index=index,
+            start_row=index * num_candidates,
+            num_candidates=num_candidates,
+            row_offsets=rng.integers(0, num_candidates, 2 * nnz),
+            cols=rng.integers(0, 16, 2 * nnz),
+            values=rng.random(2 * nnz),
+        )
+    return result
+
+
+# -------------------------------------------------------------- round trips
+def test_put_get_round_trip(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        arrays = {
+            "ints": np.arange(7, dtype=np.int64),
+            "floats": np.linspace(0, 1, 5),
+            "empty": np.empty(0, dtype=np.int32),
+            "matrix": np.arange(6, dtype=np.float32).reshape(2, 3),
+        }
+        store.put("block/one", arrays, {"note": "hello"})
+        loaded, meta = store.get("block/one")
+        assert meta == {"note": "hello"}
+        for name, array in arrays.items():
+            assert np.array_equal(loaded[name], array)
+            assert loaded[name].dtype == array.dtype
+        assert "block/one" in store
+        assert "block/two" not in store
+        with pytest.raises(LabelingError):
+            store.get("block/two")
+
+
+def test_reput_last_wins_across_reopen(tmp_path):
+    root = str(tmp_path / "store")
+    with BlockStore(root) as store:
+        store.put("k", {"a": np.array([1])})
+        store.put("k", {"a": np.array([2, 3])})
+    with BlockStore(root) as store:
+        arrays, _ = store.get("k")
+        assert np.array_equal(arrays["a"], [2, 3])
+        assert store.keys() == ["k"]
+
+
+def test_pickle_round_trip(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        payload = {"weights": np.arange(4.0), "epoch": 3}
+        store.put_pickle("phase/thing", payload)
+        loaded = store.get_pickle("phase/thing")
+        assert loaded["epoch"] == 3
+        assert np.array_equal(loaded["weights"], payload["weights"])
+
+
+def test_bad_key_rejected(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        with pytest.raises(LabelingError):
+            store.put("bad key!", {"a": np.zeros(1)})
+
+
+# ----------------------------------------------------------------- recovery
+def test_torn_index_tail_dropped(tmp_path):
+    root = str(tmp_path / "store")
+    with BlockStore(root) as store:
+        store.put("good", {"a": np.arange(3)})
+        index_path = store.index_path
+    with open(index_path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "torn", "fi')  # crash mid-append
+    with BlockStore(root) as store:
+        assert store.keys() == ["good"]
+        arrays, _ = store.get("good")
+        assert np.array_equal(arrays["a"], [0, 1, 2])
+    # The compacted index parses cleanly end to end.
+    with open(index_path, encoding="utf-8") as handle:
+        assert all(line.strip().startswith("{") for line in handle)
+
+
+def test_corrupt_block_file_detected_and_deleted(tmp_path):
+    root = str(tmp_path / "store")
+    with BlockStore(root) as store:
+        store.put("victim", {"a": np.arange(100)})
+        store.put("survivor", {"a": np.arange(5)})
+        path = os.path.join(store.blocks_dir, "victim.blk")
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.seek(size // 2)
+        byte = handle.read(1)
+        handle.seek(size // 2)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    with BlockStore(root) as store:
+        assert store.keys() == ["survivor"]
+        assert not os.path.exists(path)
+
+
+def test_orphan_and_tmp_files_swept(tmp_path):
+    root = str(tmp_path / "store")
+    with BlockStore(root) as store:
+        store.put("real", {"a": np.arange(3)})
+        blocks_dir = store.blocks_dir
+    orphan = os.path.join(blocks_dir, "orphan.blk")
+    leftover = os.path.join(blocks_dir, "real.blk.12345.tmp")
+    open(orphan, "wb").close()
+    open(leftover, "wb").close()
+    with BlockStore(root) as store:
+        assert store.keys() == ["real"]
+    assert not os.path.exists(orphan)
+    assert not os.path.exists(leftover)
+
+
+def test_clear_empties_store(tmp_path):
+    root = str(tmp_path / "store")
+    with BlockStore(root) as store:
+        store.put("a", {"x": np.arange(3)})
+        store.put("b", {"x": np.arange(4)})
+        store.clear()
+        assert store.keys() == []
+        assert os.listdir(store.blocks_dir) == []
+    with BlockStore(root) as store:
+        assert store.keys() == []
+
+
+def test_put_after_clear_is_durable(tmp_path):
+    """clear() atomically rewrites the index file; appends made through the
+    store's long-lived handle afterwards must land in the *new* inode, or
+    every block written after a clear silently vanishes on reopen."""
+    root = str(tmp_path / "store")
+    with BlockStore(root) as store:
+        store.put("old", {"x": np.arange(2)})
+        store.clear()
+        store.put("fresh", {"x": np.arange(5)})
+    with BlockStore(root) as store:
+        assert store.keys() == ["fresh"]
+        arrays, _ = store.get("fresh")
+        assert np.array_equal(arrays["x"], np.arange(5))
+
+
+# ------------------------------------------------------- chunk checkpointer
+def test_chunk_checkpointer_round_trip(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        ckpt = ChunkCheckpointer(store, "train")
+        for index in range(3):
+            ckpt.record(make_result(index))
+        assert ckpt.completed == {0, 1, 2}
+        for index in range(3):
+            original = make_result(index)
+            loaded = ckpt.load(index)
+            assert loaded.index == original.index
+            assert loaded.num_candidates == original.num_candidates
+            assert loaded.errors == original.errors
+            assert np.array_equal(loaded.row_offsets, original.row_offsets)
+            assert np.array_equal(loaded.cols, original.cols)
+            assert np.array_equal(loaded.values, original.values)
+            assert np.array_equal(loaded.features.values, original.features.values)
+            assert np.array_equal(loaded.features.cols, original.features.cols)
+        # Reopening sees the same completed set.
+        fresh = ChunkCheckpointer(store, "train")
+        assert fresh.completed == {0, 1, 2}
+        # Splits are independent namespaces.
+        assert ChunkCheckpointer(store, "test").completed == set()
+
+
+def test_chunk_checkpointer_disables_on_disk_full(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        ckpt = ChunkCheckpointer(store, "train")
+        ckpt.record(make_result(0, with_features=False))
+        faults.install("disk_full@1")
+        try:
+            with pytest.warns(RuntimeWarning, match="checkpointing disabled"):
+                ckpt.record(make_result(1, with_features=False))
+        finally:
+            faults.install(None)
+        assert ckpt.disabled
+        assert ckpt.completed == {0}
+        # Further records are silent no-ops.
+        ckpt.record(make_result(2, with_features=False))
+        assert ckpt.completed == {0}
+
+
+# ------------------------------------------------------- epoch checkpointer
+def test_epoch_checkpoint_round_trip(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        ckpt = EpochCheckpoint(store, "end_model")
+        assert ckpt.load() is None
+        state = {"epoch": 4, "packed": np.arange(6.0), "adam": {"step_count": 9}}
+        ckpt.save(state)
+        loaded = ckpt.load()
+        assert loaded["epoch"] == 4
+        assert np.array_equal(loaded["packed"], state["packed"])
+        # Saves supersede each other.
+        ckpt.save({"epoch": 5, "packed": np.zeros(2)})
+        assert ckpt.load()["epoch"] == 5
+
+
+def test_epoch_checkpoint_disables_on_disk_full(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        ckpt = EpochCheckpoint(store, "end_model")
+        faults.install("disk_full@0")
+        try:
+            with pytest.warns(RuntimeWarning, match="epoch checkpointing disabled"):
+                ckpt.save({"epoch": 1, "packed": np.zeros(2)})
+        finally:
+            faults.install(None)
+        assert ckpt.disabled
+        assert ckpt.load() is None
+
+
+# ------------------------------------------------------ stored feature blocks
+def test_stored_feature_blocks_require_completeness(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        ckpt = ChunkCheckpointer(store, "train")
+        ckpt.record(make_result(0))
+        with pytest.raises(LabelingError, match="missing chunks"):
+            StoredFeatureBlocks(ckpt, num_blocks=3, output_dim=16)
+
+
+def test_stored_feature_blocks_serve_overrides(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        ckpt = ChunkCheckpointer(store, "train")
+        ckpt.record(make_result(0))
+        sentinel = object()
+        blocks = StoredFeatureBlocks(
+            ckpt, num_blocks=2, output_dim=16, overrides={1: sentinel}
+        )
+        assert len(blocks) == 2
+        assert blocks[1] is sentinel
+        built = blocks[0]
+        assert built.shape == (10, 16)
+        with pytest.raises(IndexError):
+            blocks[2]

@@ -1,0 +1,169 @@
+"""Differential crash/resume tests: a killed run resumes bit-identically.
+
+Each scenario forks a child that runs the streaming pipeline against a
+block store with a deterministic kill fault installed (master SIGKILLed
+after N durable chunk blocks, or after N end-model epochs — see
+:mod:`repro.labeling.engine.faults`), asserts the child really died by
+SIGKILL with durable partial progress on disk, then resumes the run in the
+parent over the same store and compares everything against an
+uninterrupted reference run: Λ must be bitwise identical, and the
+probabilistic labels and end-model weights within 1e-12 (bitwise in
+practice).  The matrix covers all three executors and both process
+transports, because resume replays blocks produced under any of them into
+the same accumulator path.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    stream_text_candidates,
+    stream_text_gold,
+    text_vote_lfs,
+)
+from repro.labeling.blockstore import BlockStore, ChunkCheckpointer
+from repro.labeling.engine import runtime
+from repro.pipeline.snorkel import PipelineConfig, SnorkelPipeline
+
+NUM_LFS = 5
+TRAIN_POINTS = 200
+TEST_POINTS = 60
+
+
+def run_pipeline(checkpoint_dir=None, backend="sequential", transport="auto"):
+    config = PipelineConfig(
+        seed=0,
+        streaming=True,
+        chunk_size=32,
+        generative_epochs=3,
+        discriminative_epochs=4,
+        num_features=128,
+        applier_backend=backend,
+        applier_workers=2,
+        engine_transport=transport,
+        checkpoint_dir=checkpoint_dir,
+    )
+    lfs = text_vote_lfs(NUM_LFS)
+    return SnorkelPipeline(lfs=lfs, config=config).run_streams(
+        stream_text_candidates(num_points=TRAIN_POINTS, num_lfs=NUM_LFS, seed=0),
+        stream_text_candidates(num_points=TEST_POINTS, num_lfs=NUM_LFS, seed=1),
+        stream_text_gold(TEST_POINTS, seed=1),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """One uninterrupted, checkpoint-free run every scenario compares to."""
+    return run_pipeline()
+
+
+def run_and_die(checkpoint_dir, fault_spec, backend, transport):
+    """Fork a child that runs the pipeline under ``fault_spec`` until the
+    injected SIGKILL; assert it really died that way."""
+    pid = os.fork()
+    if pid == 0:  # child
+        # Drop inherited pool references WITHOUT closing them: the pipes and
+        # worker processes belong to the parent.  The child builds its own.
+        runtime._POOLS.clear()
+        os.environ["REPRO_ENGINE_FAULTS"] = fault_spec
+        try:
+            run_pipeline(checkpoint_dir, backend, transport)
+        finally:
+            os._exit(1)  # only reached if the injected kill never fired
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL, (
+        f"child under {fault_spec!r} exited with status {status}, "
+        "expected death by SIGKILL"
+    )
+
+
+def assert_matches_reference(result, reference):
+    assert np.array_equal(result.label_matrix.values, reference.label_matrix.values)
+    assert np.abs(result.training_probs - reference.training_probs).max() <= 1e-12
+    assert (
+        np.abs(
+            result.discriminative_model.weights - reference.discriminative_model.weights
+        ).max()
+        <= 1e-12
+    )
+    assert result.generative_test_report.f1 == reference.generative_test_report.f1
+    assert result.discriminative_test_report.f1 == reference.discriminative_test_report.f1
+
+
+SCENARIOS = [
+    # (backend, transport, fault, durable progress the kill must leave)
+    ("sequential", "auto", "die_block@2", "chunks"),
+    ("sequential", "auto", "die_epoch@1", "epochs"),
+    ("threads", "auto", "die_block@2", "chunks"),
+    ("processes", "pickle", "die_block@2", "chunks"),
+    ("processes", "shm", "die_block@2", "chunks"),
+    ("processes", "shm", "die_epoch@1", "epochs"),
+]
+
+
+@pytest.mark.parametrize("backend,transport,fault,progress", SCENARIOS)
+def test_sigkilled_run_resumes_bit_identically(
+    tmp_path, reference, backend, transport, fault, progress
+):
+    if transport == "shm" and not runtime.HAVE_SHM:
+        pytest.skip("no shared memory")
+    root = str(tmp_path / "ckpt")
+    run_and_die(root, fault, backend, transport)
+
+    # The kill left real durable partial progress — the resume below is a
+    # genuine mid-run restart, not a fresh run.
+    with BlockStore(root) as store:
+        completed = ChunkCheckpointer(store, "train").completed
+        if progress == "chunks":
+            assert completed  # some train chunks durable...
+            assert len(completed) < -(-TRAIN_POINTS // 32)  # ...but not all
+        else:
+            assert "epoch/end_model" in store  # died mid end-model training
+            assert store.get_pickle("epoch/end_model")["epoch"] >= 1
+
+    resumed = run_pipeline(root, backend, transport)
+    assert_matches_reference(resumed, reference)
+
+
+def test_double_kill_then_resume(tmp_path, reference):
+    """Two consecutive crashes at different points, then a clean resume."""
+    root = str(tmp_path / "ckpt")
+    run_and_die(root, "die_block@1", "sequential", "auto")
+    run_and_die(root, "die_epoch@0", "sequential", "auto")
+    resumed = run_pipeline(root, "sequential", "auto")
+    assert_matches_reference(resumed, reference)
+
+
+def test_resume_skips_completed_work(tmp_path, reference):
+    """A fully completed store resumes without recomputing: every chunk and
+    epoch replays from disk, and the result is still identical."""
+    root = str(tmp_path / "ckpt")
+    first = run_pipeline(root)
+    assert_matches_reference(first, reference)
+    with BlockStore(root) as store:
+        total_chunks = -(-TRAIN_POINTS // 32) + -(-TEST_POINTS // 32)
+        num_blocks = len(store.keys())
+    again = run_pipeline(root)
+    assert_matches_reference(again, reference)
+    with BlockStore(root) as store:
+        # Replaying durable work writes nothing new.
+        assert len(store.keys()) == num_blocks
+        assert len(ChunkCheckpointer(store, "train").completed) == -(
+            -TRAIN_POINTS // 32
+        )
+        assert total_chunks <= num_blocks
+
+
+def test_torn_block_reexecuted_on_resume(tmp_path, reference):
+    """A block corrupted after its durable rename (torn write) is detected
+    by checksum at open and its chunk re-executes — never replayed wrong."""
+    root = str(tmp_path / "ckpt")
+    run_and_die(root, "corrupt_block@2;die_block@4", "sequential", "auto")
+    with BlockStore(root) as store:
+        completed = ChunkCheckpointer(store, "train").completed
+        assert 1 not in completed  # ordinal 2 = second chunk put (after fingerprint)
+    resumed = run_pipeline(root)
+    assert_matches_reference(resumed, reference)

@@ -35,12 +35,14 @@ from repro.labeling import LabelingFunction, LFApplier
 from repro.labeling.engine import (
     CSRAccumulator,
     TaskSpec,
+    TransportCorruptionError,
     WorkerCrashError,
     WorkerPool,
+    WorkerTimeoutError,
     apply_chunk,
     iter_chunks,
 )
-from repro.labeling.engine import runtime
+from repro.labeling.engine import faults, runtime
 from repro.labeling.engine.accumulator import ChunkResult
 from repro.pipeline.snorkel import PipelineConfig, SnorkelPipeline
 
@@ -221,6 +223,163 @@ def test_fault_tolerant_gives_up_after_max_attempts():
         pool.close()
 
 
+# ------------------------------------------------------------- hung workers
+def _hang_once_task(payload, fault_tolerant, index, start_row, candidates):
+    """Sleep far past any deadline on chunk ``hang_index``, first time only."""
+    flag, hang_index = payload
+    if index == hang_index and not os.path.exists(flag):
+        open(flag, "w").close()
+        time.sleep(60)
+    return _pid_probe_task(None, fault_tolerant, index, start_row, candidates)
+
+
+def _hang_task(payload, fault_tolerant, index, start_row, candidates):
+    """Sleep far past any deadline on chunk ``payload``, every attempt."""
+    if index == payload:
+        time.sleep(60)
+    return _pid_probe_task(None, fault_tolerant, index, start_row, candidates)
+
+
+def test_hung_worker_raises_coded_timeout_error():
+    """Without fault tolerance a chunk past 2x its deadline kills the worker
+    and raises EN101 — the run ends instead of deadlocking forever."""
+    pool = WorkerPool(num_workers=2)
+    try:
+        with pytest.warns(RuntimeWarning, match="deadline"):
+            with pytest.raises(WorkerTimeoutError) as err:
+                pool.run(
+                    spec=TaskSpec(task=_hang_task, payload=1),
+                    chunks=iter_chunks(make_candidates(num_points=100), 20),
+                    accumulator=CSRAccumulator(),
+                    transport="pickle",
+                    chunk_timeout=0.3,
+                )
+        assert err.value.code == "EN101"
+        assert err.value.chunk_index == 1
+        assert "deadline" in str(err.value)
+        # The pool replaced the killed worker and keeps serving runs.
+        assert len(_probe_pids(pool, make_candidates())) == 2
+    finally:
+        pool.close()
+
+
+def test_hung_worker_resubmitted_when_fault_tolerant(tmp_path):
+    """A one-off hang under fault tolerance: the worker is killed at the
+    escalation deadline, the chunk resubmits, and the run completes whole."""
+    pool = WorkerPool(num_workers=2)
+    try:
+        flag = str(tmp_path / "hung-once")
+        accumulator = CSRAccumulator()
+        with pytest.warns(RuntimeWarning, match="deadline"):
+            pool.run(
+                spec=TaskSpec(
+                    task=_hang_once_task, payload=(flag, 2), fault_tolerant=True
+                ),
+                chunks=iter_chunks(make_candidates(num_points=160), 20),
+                accumulator=accumulator,
+                transport="pickle",
+                chunk_timeout=0.3,
+            )
+        assert os.path.exists(flag)  # the hang really happened
+        merged = accumulator.merge()
+        assert merged.num_chunks == 8  # every chunk arrived exactly once
+        assert merged.num_candidates == 160
+    finally:
+        pool.close()
+
+
+def test_hang_forever_gives_up_after_max_attempts():
+    pool = WorkerPool(num_workers=2)
+    try:
+        with pytest.warns(RuntimeWarning, match="deadline"):
+            with pytest.raises(WorkerTimeoutError) as err:
+                pool.run(
+                    spec=TaskSpec(task=_hang_task, payload=0, fault_tolerant=True),
+                    chunks=iter_chunks(make_candidates(num_points=60), 20),
+                    accumulator=CSRAccumulator(),
+                    transport="pickle",
+                    chunk_timeout=0.3,
+                )
+        assert err.value.attempts == runtime.MAX_CHUNK_ATTEMPTS
+    finally:
+        pool.close()
+
+
+# ------------------------------------------------------- transport checksums
+needs_shm = pytest.mark.skipif(not runtime.HAVE_SHM, reason="no shared memory")
+
+
+@needs_shm
+def test_corrupt_chunk_slot_raises_coded_error():
+    """A torn outbound shm slot surfaces as EN102 naming the chunk, not as a
+    pickle decode crash deep inside the worker."""
+    faults.install("corrupt_shm@1")
+    pool = WorkerPool(num_workers=2)
+    try:
+        with pytest.raises(TransportCorruptionError) as err:
+            pool.run(
+                spec=TaskSpec(task=_pid_probe_task),
+                chunks=iter_chunks(make_candidates(num_points=100), 20),
+                accumulator=CSRAccumulator(),
+                transport="shm",
+            )
+        assert err.value.code == "EN102"
+        assert err.value.chunk_index == 1
+    finally:
+        pool.close()
+        faults.install(None)
+
+
+@needs_shm
+def test_corrupt_chunk_slot_resubmitted_when_fault_tolerant(tmp_path):
+    flag = str(tmp_path / "corrupted-once")
+    faults.install(f"corrupt_shm@1:flag={flag}")
+    pool = WorkerPool(num_workers=2)
+    try:
+        accumulator = CSRAccumulator()
+        pool.run(
+            spec=TaskSpec(task=_pid_probe_task, fault_tolerant=True),
+            chunks=iter_chunks(make_candidates(num_points=160), 20),
+            accumulator=accumulator,
+            transport="shm",
+        )
+        assert os.path.exists(flag)  # the corruption really happened
+        merged = accumulator.merge()
+        assert merged.num_chunks == 8
+        assert merged.num_candidates == 160
+    finally:
+        pool.close()
+        faults.install(None)
+
+
+@needs_shm
+def test_corrupt_result_blocks_resubmitted_when_fault_tolerant(tmp_path):
+    """Result-direction corruption (worker-side ring blocks) is detected by
+    the master's per-block crc check and resubmitted the same way."""
+    flag = str(tmp_path / "result-corrupted-once")
+    faults.install(f"corrupt_result@2:flag={flag}")
+    pool = WorkerPool(num_workers=2)  # workers fork after install: plan inherited
+    try:
+        lfs = synthetic_vote_lfs(4)
+        candidates = make_candidates()
+        reference = LFApplier(lfs).apply(candidates)
+        accumulator = CSRAccumulator()
+        pool.run(
+            spec=TaskSpec(task=apply_chunk, payload=lfs, fault_tolerant=True),
+            chunks=iter_chunks(candidates, 25),
+            accumulator=accumulator,
+            transport="shm",
+        )
+        assert os.path.exists(flag)
+        merged = accumulator.merge()
+        matrix = np.zeros((len(candidates), 4), dtype=np.int64)
+        matrix[merged.rows, merged.cols] = merged.values
+        assert np.array_equal(matrix, reference.values)
+    finally:
+        pool.close()
+        faults.install(None)
+
+
 # ---------------------------------------------------------------- clean shutdown
 @pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="no /dev/shm to inspect")
 def test_close_reaps_processes_and_segments():
@@ -233,6 +392,22 @@ def test_close_reaps_processes_and_segments():
     for pid in pids:
         with pytest.raises(OSError):
             os.kill(pid, 0)
+
+
+def test_close_is_idempotent_and_pool_respawns_after_close():
+    pool = WorkerPool(num_workers=2)
+    try:
+        first = _probe_pids(pool, make_candidates())
+        assert len(first) == 2
+        pool.close()
+        pool.close()  # second close is a no-op, not an error
+        # The pool stays usable: the next run respawns fresh workers.
+        second = _probe_pids(pool, make_candidates())
+        assert len(second) == 2
+        assert first.isdisjoint(second)
+    finally:
+        pool.close()
+        pool.close()
 
 
 # ------------------------------------------------------------ pool-state leaks
