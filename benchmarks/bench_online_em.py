@@ -1,0 +1,115 @@
+"""Online EM folding cost: per-chunk update time vs accumulated rows.
+
+The online estimator's contract is that :meth:`OnlineGenerativeModel.update`
+costs O(chunk + n) — one E-pass over the arriving chunk's entries plus an
+O(n) M-step — *independent of how many rows have already been folded in*.
+A naive implementation that rescans the accumulated matrix would make chunk
+``t`` cost O(t·chunk) and the stream quadratic overall.  This bench streams
+a fixed-size corpus through ``update`` in equal chunks, times every fold,
+and compares the early chunks (almost nothing accumulated) against the late
+ones (the full corpus accumulated): the ratio should hover near 1.
+
+It also re-checks the exactness contract on the measured workload: draining
+after the stream must match the batch sparse fit bit for bit and the dense
+batch fit within 1e-8 on the served posteriors.
+
+``run_online_em_benchmark`` is importable — ``scripts/run_benchmarks.py``
+calls it to write the ``online_em`` section of the ``BENCH_sparse.json``
+snapshot, whose ``*_seconds`` metrics the ``--compare`` regression gate
+checks.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_label_matrix
+from repro.labelmodel.generative import GenerativeModel
+from repro.labelmodel.online import OnlineGenerativeModel
+
+DEFAULT_NUM_POINTS = 40_000
+DEFAULT_NUM_LFS = 40
+DEFAULT_CHUNK_SIZE = 1_000
+FIT_EPOCHS = 10
+
+#: Per-chunk timings jitter (allocator state, cache warmth), and sub-ms
+#: means amplify that noise; the flatness gate is deliberately generous —
+#: a rescanning implementation fails it by an order of magnitude.
+MAX_FLATNESS_RATIO = 5.0
+MIN_CHUNK_SECONDS = 1e-4
+
+
+def run_online_em_benchmark(
+    num_points=DEFAULT_NUM_POINTS,
+    num_lfs=DEFAULT_NUM_LFS,
+    chunk_size=DEFAULT_CHUNK_SIZE,
+    epochs=FIT_EPOCHS,
+    seed=0,
+):
+    """Stream one corpus through ``update``; time every fold and the drain."""
+    data = generate_label_matrix(
+        num_points=num_points, num_lfs=num_lfs, propensity=0.1, seed=seed
+    )
+    dense = data.label_matrix.values
+    online = OnlineGenerativeModel(epochs=epochs, seed=seed)
+    chunk_seconds = []
+    for start in range(0, num_points, chunk_size):
+        chunk = dense[start:start + chunk_size]
+        tick = time.perf_counter()
+        online.update(chunk)
+        chunk_seconds.append(time.perf_counter() - tick)
+    quartile = max(1, len(chunk_seconds) // 4)
+    early = float(np.mean(chunk_seconds[:quartile]))
+    late = float(np.mean(chunk_seconds[-quartile:]))
+
+    tick = time.perf_counter()
+    drained = online.drain()
+    drain_seconds = time.perf_counter() - tick
+
+    sparse = data.label_matrix.to_sparse()
+    tick = time.perf_counter()
+    batch = GenerativeModel(epochs=epochs, seed=seed).fit(sparse)
+    batch_fit_seconds = time.perf_counter() - tick
+    dense_batch = GenerativeModel(epochs=epochs, seed=seed).fit(dense)
+    max_weight_diff = float(np.abs(drained.weights - batch.weights).max())
+    max_prob_diff = float(
+        np.abs(drained.predict_proba(dense) - dense_batch.predict_proba(dense)).max()
+    )
+    return {
+        "num_points": num_points,
+        "num_lfs": num_lfs,
+        "chunk_size": chunk_size,
+        "num_chunks": len(chunk_seconds),
+        "nnz": int(sparse.storage.nnz),
+        "early_chunk_seconds": early,
+        "late_chunk_seconds": late,
+        "flatness_ratio": max(late, MIN_CHUNK_SECONDS)
+        / max(early, MIN_CHUNK_SECONDS),
+        "total_stream_seconds": float(np.sum(chunk_seconds)),
+        "drain_seconds": drain_seconds,
+        "batch_fit_seconds": batch_fit_seconds,
+        "max_weight_diff": max_weight_diff,
+        "max_prob_diff": max_prob_diff,
+    }
+
+
+def format_record(record) -> str:
+    return (
+        f"{record['num_chunks']} chunks of {record['chunk_size']} "
+        f"({record['num_points']} rows, {record['num_lfs']} LFs): "
+        f"{record['early_chunk_seconds'] * 1e3:.2f}ms early / "
+        f"{record['late_chunk_seconds'] * 1e3:.2f}ms late per chunk "
+        f"({record['flatness_ratio']:.2f}x), drain "
+        f"{record['drain_seconds'] * 1e3:.1f}ms vs batch "
+        f"{record['batch_fit_seconds'] * 1e3:.1f}ms, "
+        f"weight diff {record['max_weight_diff']:.1e}, "
+        f"prob diff {record['max_prob_diff']:.1e}"
+    )
+
+
+def test_online_em_benchmark(run_once):
+    record = run_once(run_online_em_benchmark)
+    print("\n[online EM folding]\n" + format_record(record))
+    assert record["max_weight_diff"] == 0.0, record
+    assert record["max_prob_diff"] <= 1e-8, record
+    assert record["flatness_ratio"] < MAX_FLATNESS_RATIO, record

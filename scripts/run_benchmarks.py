@@ -18,6 +18,10 @@ snapshot (default ``BENCH_sparse.json`` in the repository root):
   costs (``benchmarks/bench_structure_timing.py``);
 * ``em_epoch`` — per-epoch EM time, binary and cardinality-4, dense vs
   sparse (``benchmarks/bench_em_epoch.py``);
+* ``online_em`` — the online incremental label model: per-chunk ``update``
+  cost early vs late in the stream (must stay flat as rows accumulate),
+  drain vs batch fit time, with drain-equals-batch parity asserted
+  (``benchmarks/bench_online_em.py``);
 * ``featurizer_throughput`` — dense vs CSR relation-featurizer batch
   transforms (``benchmarks/bench_featurizer_throughput.py``);
 * ``discriminative_streaming`` — the out-of-core pipeline (fused
@@ -132,6 +136,7 @@ def measure(quick: bool = False) -> dict:
     gibbs_kernels = _load_bench_module("bench_gibbs_kernels")
     structure = _load_bench_module("bench_structure_timing")
     em_epoch = _load_bench_module("bench_em_epoch")
+    online_em = _load_bench_module("bench_online_em")
     featurizer = _load_bench_module("bench_featurizer_throughput")
     streaming = _load_bench_module("bench_discriminative_streaming")
     lf_analysis = _load_bench_module("bench_lf_analysis")
@@ -178,6 +183,24 @@ def measure(quick: bool = False) -> dict:
         )
     )
     print(em_epoch.format_records(em_epoch_records))
+    print("\n[online_em]")
+    online_em_record = online_em.run_online_em_benchmark(
+        **(
+            {"num_points": 2_000, "num_lfs": 20, "chunk_size": 200, "epochs": 6}
+            if quick
+            else {}
+        )
+    )
+    print(online_em.format_record(online_em_record))
+    # The online model's cardinal rules, asserted on every snapshot (quick
+    # or full): draining the stream reproduces the batch sparse fit bit for
+    # bit (and the dense fit to 1e-8), and folding a chunk does not get
+    # slower as rows accumulate.
+    assert online_em_record["max_weight_diff"] == 0, "drained weights diverged"
+    assert online_em_record["max_prob_diff"] <= 1e-8, "drained posteriors diverged"
+    assert (
+        online_em_record["flatness_ratio"] < online_em.MAX_FLATNESS_RATIO
+    ), "per-chunk update cost grew with accumulated rows"
     print("\n[featurizer_throughput]")
     featurizer_record = featurizer.run_featurizer_benchmark(
         num_candidates=150 if quick else featurizer.DEFAULT_NUM_CANDIDATES
@@ -261,6 +284,7 @@ def measure(quick: bool = False) -> dict:
             "gibbs_kernels": {"records": gibbs_kernel_records},
             "structure_learning": {"record": structure_record},
             "em_epoch": {"records": em_epoch_records},
+            "online_em": {"record": online_em_record},
             "featurizer_throughput": {"record": featurizer_record},
             "discriminative_streaming": {"record": streaming_record},
             "lf_analysis": {"record": lf_analysis_record},

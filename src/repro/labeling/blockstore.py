@@ -65,7 +65,13 @@ from repro.labeling.engine.accumulator import (
     detach_arrays,
 )
 
-__all__ = ["BlockStore", "ChunkCheckpointer", "EpochCheckpoint", "StoredFeatureBlocks"]
+__all__ = [
+    "BlockStore",
+    "ChunkCheckpointer",
+    "EpochCheckpoint",
+    "RETENTION_POLICIES",
+    "StoredFeatureBlocks",
+]
 
 #: First bytes of every block file; bumping the trailing digit invalidates
 #: all existing stores (they recover as empty, chunks re-execute).
@@ -78,6 +84,28 @@ ALIGN = 64
 #: Keys are path-like identifiers; ``/`` separates namespaces and maps to a
 #: filename-safe character on disk.
 _KEY_RE = re.compile(r"^[A-Za-z0-9._/-]+$")
+
+#: Space-reclamation policies for long-lived stores (see
+#: :class:`BlockStore`'s ``retention`` parameter).
+RETENTION_POLICIES = ("keep_all", "latest_epoch")
+
+#: Appended index records between inline compactions, relative to the live
+#: record count: once the index holds more than ``max(_COMPACT_SLACK,
+#: ratio * live)`` lines, it is rewritten in place.  Bounds the index growth
+#: of a long-lived open store (pre-PR-10 the index only compacted on open,
+#: so every superseding ``put`` leaked one line forever).
+_COMPACT_SLACK = 64
+_COMPACT_RATIO = 4
+
+
+def _key_family(key: str) -> str:
+    """The retention grouping of a key: everything before its last segment.
+
+    ``online/state/v7`` and ``online/state/v9`` share the family
+    ``online/state``, so ``retention="latest_epoch"`` treats them as
+    snapshots of one logical object.
+    """
+    return key.rsplit("/", 1)[0] if "/" in key else key
 
 
 def _key_filename(key: str) -> str:
@@ -107,11 +135,34 @@ class BlockStore:
     it is appended only after the block file is durably in place, and a
     block file is trusted only when its size and crc32 match a record.
     Re-``put`` of an existing key atomically replaces the file and appends
-    a superseding record (last record wins on replay).
+    a superseding record (last record wins on replay).  :meth:`delete`
+    reclaims a key durably: the block file is unlinked and a tombstone
+    record is appended (compacted away at the next index rewrite) — a crash
+    at any point between the two leaves either a verifiable live block or a
+    key recovery drops, never a trusted ghost.
+
+    ``retention`` controls space reclamation for long-lived stores:
+
+    * ``"keep_all"`` (default) — nothing is deleted except by explicit
+      :meth:`delete` / :meth:`clear`.
+    * ``"latest_epoch"`` — a ``put(..., epoch=E)`` eagerly deletes every
+      other epoch-stamped key of the same *family* (the key minus its last
+      ``/`` segment) with a lower epoch, and opening a store prunes stale
+      epochs left behind by a ``keep_all`` writer.  Epoch snapshots and
+      versioned model states stop accumulating dead block files.
+
+    Independently of the policy, the live index is compacted inline once
+    its appended records outnumber the surviving keys by a fixed ratio, so
+    an unboundedly long run no longer grows ``index.jsonl`` without bound.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, retention: str = "keep_all") -> None:
+        if retention not in RETENTION_POLICIES:
+            raise LabelingError(
+                f"retention must be one of {RETENTION_POLICIES}, got {retention!r}"
+            )
         self.root = os.path.abspath(root)
+        self.retention = retention
         self.blocks_dir = os.path.join(self.root, "blocks")
         self.index_path = os.path.join(self.root, "index.jsonl")
         os.makedirs(self.blocks_dir, exist_ok=True)
@@ -119,8 +170,11 @@ class BlockStore:
         #: Ordinal of the next ``put`` in this process — the trigger index
         #: for write-path fault rules (``disk_full@N`` etc.).
         self._write_ordinal = 0
+        self._appends_since_compact = 0
         self._recover()
         self._index_file = open(self.index_path, "a", encoding="utf-8")
+        if self.retention == "latest_epoch":
+            self._prune_stale_epochs()
 
     # ------------------------------------------------------------- recovery
     def _recover(self) -> None:
@@ -137,7 +191,10 @@ class BlockStore:
                         break
                     if not isinstance(record, dict) or "key" not in record:
                         break
-                    records[record["key"]] = record
+                    if record.get("deleted"):
+                        records.pop(record["key"], None)
+                    else:
+                        records[record["key"]] = record
         for key in list(records):
             record = records[key]
             path = os.path.join(self.blocks_dir, record["file"])
@@ -183,6 +240,7 @@ class BlockStore:
             os.fsync(handle.fileno())
         os.rename(tmp, self.index_path)
         _fsync_dir(self.root)
+        self._appends_since_compact = 0
         # The rename replaced the index inode.  An open append handle would
         # keep writing to the unlinked old file, silently losing every
         # commit record appended afterwards — reattach it.
@@ -191,9 +249,31 @@ class BlockStore:
             handle.close()
             self._index_file = open(self.index_path, "a", encoding="utf-8")
 
+    def _append_record(self, record: dict) -> None:
+        """Durably append one index line, compacting when the slack runs out."""
+        self._index_file.write(json.dumps(record) + "\n")
+        self._index_file.flush()
+        os.fsync(self._index_file.fileno())
+        self._appends_since_compact += 1
+        if self._appends_since_compact > max(
+            _COMPACT_SLACK, _COMPACT_RATIO * len(self._records)
+        ):
+            self._compact()
+
     # --------------------------------------------------------------- writes
-    def put(self, key: str, arrays: dict[str, np.ndarray], meta: Optional[dict] = None) -> None:
-        """Durably store named arrays (plus JSON-safe ``meta``) under ``key``."""
+    def put(
+        self,
+        key: str,
+        arrays: dict[str, np.ndarray],
+        meta: Optional[dict] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
+        """Durably store named arrays (plus JSON-safe ``meta``) under ``key``.
+
+        ``epoch`` stamps the record with a supersession ordinal: under
+        ``retention="latest_epoch"`` this put then deletes every other
+        epoch-stamped key of the same family with a lower epoch.
+        """
         if not _KEY_RE.match(key):
             raise LabelingError(f"bad block key {key!r}")
         ordinal = self._write_ordinal
@@ -224,11 +304,13 @@ class BlockStore:
             "size": len(payload),
             "crc": zlib.crc32(payload),
         }
-        self._index_file.write(json.dumps(record) + "\n")
-        self._index_file.flush()
-        os.fsync(self._index_file.fileno())
+        if epoch is not None:
+            record["epoch"] = int(epoch)
         self._records[key] = record
+        self._append_record(record)
         faults.maybe_die_at_block(ordinal)
+        if self.retention == "latest_epoch" and epoch is not None:
+            self._prune_family(key, int(epoch))
 
     @staticmethod
     def _encode(key: str, arrays: dict[str, np.ndarray], meta: dict) -> bytes:
@@ -264,6 +346,64 @@ class BlockStore:
             buffer.write(chunk)
         return buffer.getvalue()
 
+    def delete(self, key: str) -> bool:
+        """Durably remove a key: tombstone the index record, unlink the file.
+
+        Crash-safe in either half: a tombstone without the unlink leaves an
+        unreferenced file recovery sweeps; an unlink without the tombstone
+        leaves a record whose verification fails, so recovery drops it.
+        Returns whether the key existed.
+        """
+        record = self._records.pop(key, None)
+        if record is None:
+            return False
+        self._append_record({"key": key, "deleted": True})
+        path = os.path.join(self.blocks_dir, record["file"])
+        if os.path.exists(path):
+            os.unlink(path)
+        return True
+
+    def prune(self, prefix: str) -> int:
+        """Delete every key under a ``/``-separated namespace prefix."""
+        head = prefix.rstrip("/") + "/"
+        stale = [key for key in self._records if key.startswith(head) or key == prefix]
+        for key in stale:
+            self.delete(key)
+        return len(stale)
+
+    def _prune_family(self, key: str, epoch: int) -> None:
+        """Delete the other epoch-stamped keys of ``key``'s family below ``epoch``."""
+        family = _key_family(key)
+        stale = [
+            other
+            for other, record in self._records.items()
+            if other != key
+            and record.get("epoch") is not None
+            and record["epoch"] < epoch
+            and _key_family(other) == family
+        ]
+        for other in stale:
+            self.delete(other)
+
+    def _prune_stale_epochs(self) -> None:
+        """Keep only each family's newest epoch (run when opening with
+        ``retention="latest_epoch"``, so stores written under ``keep_all``
+        shrink to their live snapshots)."""
+        newest: dict[str, int] = {}
+        for key, record in self._records.items():
+            epoch = record.get("epoch")
+            if epoch is not None:
+                family = _key_family(key)
+                newest[family] = max(newest.get(family, epoch), epoch)
+        stale = [
+            key
+            for key, record in self._records.items()
+            if record.get("epoch") is not None
+            and record["epoch"] < newest[_key_family(key)]
+        ]
+        for key in stale:
+            self.delete(key)
+
     # ---------------------------------------------------------------- reads
     def get(self, key: str) -> tuple[dict[str, np.ndarray], dict]:
         """Load ``key``'s arrays as read-only ``np.memmap`` views, plus meta."""
@@ -297,10 +437,10 @@ class BlockStore:
         return sorted(self._records)
 
     # ------------------------------------------------------- pickle helpers
-    def put_pickle(self, key: str, obj: object) -> None:
+    def put_pickle(self, key: str, obj: object, epoch: Optional[int] = None) -> None:
         """Store an arbitrary picklable object (phase checkpoints)."""
         blob = np.frombuffer(pickle.dumps(obj), dtype=np.uint8)
-        self.put(key, {"pickle": blob})
+        self.put(key, {"pickle": blob}, epoch=epoch)
 
     def get_pickle(self, key: str) -> object:
         arrays, _ = self.get(key)
@@ -378,6 +518,20 @@ class ChunkCheckpointer:
         chunk_meta = pickle.loads(arrays["meta"].tobytes())
         ordered = [arrays[f"a{position}"] for position in range(meta["arrays"])]
         return attach_arrays(chunk_meta, ordered)
+
+    def prune_beyond(self, num_chunks: int) -> int:
+        """Delete stored chunks at index >= ``num_chunks``.
+
+        A shorter stream under the same fingerprint (fewer candidates this
+        run) leaves the earlier run's high-index chunk blocks dead on disk;
+        the pipeline calls this after a completed pass when the store's
+        retention policy reclaims space.  Returns the number deleted.
+        """
+        stale = sorted(index for index in self.completed if index >= num_chunks)
+        for index in stale:
+            self.store.delete(self._key(index))
+            self.completed.discard(index)
+        return len(stale)
 
 
 class EpochCheckpoint:

@@ -13,6 +13,11 @@ This package is the reproduction of the paper's core technical contribution
   a sweep's O(n)-column Python loop into O(#colors) fused numpy updates,
 * :mod:`repro.labelmodel.generative` — the generative model trained by SGD
   interleaved with Gibbs sampling (contrastive-divergence style),
+* :mod:`repro.labelmodel.online` — the online incremental estimator:
+  :class:`OnlineGenerativeModel` folds chunks into EM sufficient statistics
+  at O(chunk) cost, supports LF add/remove without a full refit, serves
+  versioned posteriors under a staleness bound, and drains to a
+  bit-identical batch fit,
 * :mod:`repro.labelmodel.dawid_skene` — a Dawid–Skene EM estimator used for
   the multi-class crowdsourcing task and as a related-work baseline,
 * :mod:`repro.labelmodel.advantage` — the modeling advantage A_w, optimal
@@ -62,6 +67,7 @@ from repro.labelmodel.majority import (
     MultiClassMajorityVoter,
     WeightedMajorityVoter,
 )
+from repro.labelmodel.online import OnlineGenerativeModel, ServedPosteriors
 from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
 from repro.labelmodel.structure import StructureLearner, learn_structure
 from repro.labelmodel.theory import high_density_upper_bound, low_density_upper_bound
@@ -77,6 +83,8 @@ __all__ = [
     "WeightedMajorityVoter",
     "FactorGraphSpec",
     "GenerativeModel",
+    "OnlineGenerativeModel",
+    "ServedPosteriors",
     "DawidSkeneModel",
     "modeling_advantage",
     "optimal_advantage",

@@ -1,0 +1,752 @@
+"""Online incremental generative label model (sufficient-statistic EM).
+
+Everything in :mod:`repro.labelmodel.generative` is batch: a new candidate
+chunk or an edited labeling function means refitting from scratch over the
+whole corpus.  This module makes the label model *online* — the shape a
+long-lived labeling service needs (freshness, bounded staleness, per-task
+model versions):
+
+:class:`OnlineGenerativeModel`
+    Maintains the EM sufficient statistics — per-LF expected-correct and
+    vote-count accumulators, the damped class-balance state, and the
+    covered-row posterior mass — over every chunk folded in so far, plus
+    the raw non-abstain triples of the accumulated label matrix Λ.
+
+    * :meth:`update` folds a new chunk in at **O(chunk + n)** cost: one
+      E-pass over the chunk's entries at the current warm parameters adds
+      its statistics to the accumulators, and one O(n) M-step re-estimates
+      the accuracies.  Accumulated rows are never rescanned.
+    * :meth:`add_lf` / :meth:`remove_lf` rewire the statistics and the
+      modeled correlation structure without a full refit; the structure
+      learner's node-wise regressions decompose per node, so
+      :meth:`relearn_structure` re-solves only the affected nodes through
+      :meth:`repro.labelmodel.structure.StructureLearner.refit_nodes`.
+    * :meth:`serve_posteriors` streams posteriors for arriving chunks
+      under a monotonically increasing ``model_version_``, optionally
+      auto-draining when the staleness bound (updates folded since the
+      last exact fit) is exceeded.
+    * :meth:`drain` is the exact tier: it rebuilds the accumulated Λ as
+      CSR storage and delegates to a fresh same-config batch
+      :class:`GenerativeModel` fit.  Because :meth:`SparseLabelMatrix.
+      from_triples` canonicalizes the entry order, a drained model is
+      **bit-identical** to ``GenerativeModel.fit`` on the equivalent
+      sparse matrix regardless of how the stream was chunked, and matches
+      the dense batch fit within float round-off (≤1e-8).  The drain is
+      memoized on ``model_version_``, so the zero-update warm case —
+      serving again without new data — returns the cached batch model
+      bitwise.
+
+Durability: :meth:`save` persists the full state (triples + accumulators)
+as one block in a :class:`repro.labeling.blockstore.BlockStore`, stamped
+with ``epoch=model_version_`` so a store opened with
+``retention="latest_epoch"`` keeps only the newest snapshot; :meth:`load`
+restores the newest one.  The pipeline wires this through
+``PipelineConfig(online=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import LabelModelError, NotFittedError
+from repro.labeling.matrix import LabelMatrix
+from repro.labeling.sparse import SparseLabelMatrix, as_sparse_storage
+from repro.labelmodel.factor_graph import FactorGraphSpec
+from repro.labelmodel.generative import GenerativeModel
+from repro.labelmodel.structure import StructureLearner
+from repro.types import ABSTAIN, NEGATIVE, POSITIVE
+from repro.utils.mathutils import sigmoid, softmax
+from repro.utils.rng import SeedLike
+
+__all__ = ["OnlineGenerativeModel", "ServedPosteriors"]
+
+
+class ServedPosteriors(NamedTuple):
+    """One served chunk: its posteriors and the model version that scored it."""
+
+    #: ``(m,)`` positive-class probabilities for binary tasks, ``(m, k)``
+    #: class distributions for categorical ones — the library-wide
+    #: ``predict_proba`` convention.
+    probs: np.ndarray
+    #: The (monotonically increasing) ``model_version_`` under which this
+    #: chunk was scored.
+    model_version: int
+
+
+def _chunk_storage(chunk) -> tuple[SparseLabelMatrix, Optional[int]]:
+    """Coerce any accepted chunk type to CSR storage (plus its cardinality)."""
+    declared = chunk.cardinality if isinstance(chunk, LabelMatrix) else None
+    sparse = as_sparse_storage(chunk)
+    if sparse is not None:
+        return sparse, declared
+    values = chunk.values if isinstance(chunk, LabelMatrix) else chunk
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 2:
+        raise LabelModelError(f"chunk must be 2-D, got shape {values.shape}")
+    return SparseLabelMatrix.from_dense(values), declared
+
+
+class OnlineGenerativeModel:
+    """EM over accumulated sufficient statistics, with an exact drain tier.
+
+    Parameters mirror the EM estimator of :class:`GenerativeModel` (the
+    online model is EM-only; the CD estimator's Gibbs chains have no
+    sufficient-statistic form).  Additional parameters:
+
+    Parameters
+    ----------
+    correlations:
+        The modeled correlation pairs, shared by the warm folds and the
+        drained batch fits.  Mutable through :meth:`set_correlations` /
+        :meth:`relearn_structure` / :meth:`remove_lf`.
+    max_staleness:
+        Staleness bound for :meth:`serve_posteriors`: the maximum number of
+        statistics-changing updates that may have been folded since the
+        last exact fit before serving triggers :meth:`drain` automatically.
+        ``0`` serves exact posteriors always; ``None`` (default) never
+        auto-drains — serving uses the warm parameters.
+    """
+
+    def __init__(
+        self,
+        cardinality: Optional[int] = None,
+        correlations: Iterable[tuple[int, int]] = (),
+        epochs: int = 30,
+        accuracy_init: float = 0.7,
+        smoothing: float = 2.0,
+        damping: float = 0.5,
+        max_accuracy: float = 0.95,
+        learn_propensity: bool = True,
+        class_balance: Optional[float | Sequence[float]] = None,
+        non_adversarial: bool = True,
+        max_staleness: Optional[int] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        if max_staleness is not None and max_staleness < 0:
+            raise LabelModelError(
+                f"max_staleness must be >= 0 or None, got {max_staleness}"
+            )
+        # The template validates the shared EM configuration and provides
+        # the estimator helpers (accuracy update, discounts, priors); it is
+        # never fitted itself.
+        self._template = GenerativeModel(
+            method="em",
+            epochs=epochs,
+            accuracy_init=accuracy_init,
+            smoothing=smoothing,
+            damping=damping,
+            max_accuracy=max_accuracy,
+            learn_propensity=learn_propensity,
+            class_balance=class_balance,
+            non_adversarial=non_adversarial,
+            cardinality=cardinality,
+            seed=seed,
+        )
+        self.cardinality = cardinality
+        self.class_balance = class_balance
+        self.max_staleness = max_staleness
+        self.correlations_: list[tuple[int, int]] = [
+            (int(j), int(k)) for j, k in correlations
+        ]
+
+        #: Pinned by the first chunk (or explicitly via ``cardinality=``).
+        self.cardinality_: Optional[int] = None
+        self.num_rows_ = 0
+        self.num_lfs_: Optional[int] = None
+
+        # Accumulated non-abstain triples of Λ (global row ids), kept as
+        # appended parts and concatenated lazily.
+        self._rows_parts: list[np.ndarray] = []
+        self._cols_parts: list[np.ndarray] = []
+        self._vals_parts: list[np.ndarray] = []
+        self._triples_cache: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+        # The EM sufficient statistics (created at the first pinning chunk).
+        self.expected_correct_: Optional[np.ndarray] = None
+        self.vote_counts_: Optional[np.ndarray] = None
+        self.accuracies_: Optional[np.ndarray] = None
+        #: Posterior mass over covered rows: a scalar for binary tasks, a
+        #: length-``k`` vector for categorical ones.
+        self.posterior_mass_: Optional[float | np.ndarray] = None
+        self.covered_rows_ = 0
+        #: Damped class-balance state (``None`` until evidence arrives or
+        #: when ``class_balance`` is supplied).
+        self.balance_: Optional[float | np.ndarray] = None
+
+        #: Monotonically increasing model version: bumped by every
+        #: statistics-changing mutation and by every fresh exact fit.
+        self.model_version_ = 0
+        #: Statistics-changing updates folded since the last exact fit.
+        self.updates_since_drain_ = 0
+
+        self._spec_cache: Optional[FactorGraphSpec] = None
+        self._drained: Optional[GenerativeModel] = None
+        self._drained_version = -1
+        self._warm_model: Optional[GenerativeModel] = None
+        self._warm_version = -1
+
+    # ------------------------------------------------------------------ state
+    def _pin(self, num_lfs: int, declared: Optional[int]) -> None:
+        """Fix the LF count and cardinality from the first chunk."""
+        if self.num_lfs_ is None:
+            self.num_lfs_ = int(num_lfs)
+            if self.cardinality is not None:
+                self.cardinality_ = int(self.cardinality)
+            elif declared is not None:
+                self.cardinality_ = int(declared)
+            else:
+                self.cardinality_ = 2
+            self.expected_correct_ = np.zeros(self.num_lfs_)
+            self.vote_counts_ = np.zeros(self.num_lfs_, dtype=np.int64)
+            self.accuracies_ = np.full(self.num_lfs_, self._template.accuracy_init)
+            if self.cardinality_ > 2:
+                self.posterior_mass_ = np.zeros(self.cardinality_)
+            else:
+                self.posterior_mass_ = 0.0
+        elif num_lfs != self.num_lfs_:
+            raise LabelModelError(
+                f"chunk has {num_lfs} LFs, model accumulates {self.num_lfs_}"
+            )
+
+    def _require_pinned(self) -> int:
+        if self.num_lfs_ is None:
+            raise NotFittedError("OnlineGenerativeModel has not seen any chunk yet")
+        return self.num_lfs_
+
+    def _validate_values(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        low, high = int(values.min()), int(values.max())
+        k = self.cardinality_
+        if k == 2:
+            if low < NEGATIVE or high > POSITIVE:
+                raise LabelModelError(
+                    f"binary chunks use values in {{-1, 0, +1}}, got range "
+                    f"[{low}, {high}]; pass cardinality= for categorical tasks"
+                )
+        elif low < 0 or high > k:
+            raise LabelModelError(
+                f"cardinality-{k} chunks use values in {{0, 1, .., {k}}}, "
+                f"got range [{low}, {high}]"
+            )
+
+    def _spec(self) -> FactorGraphSpec:
+        if self._spec_cache is None:
+            self._spec_cache = FactorGraphSpec(
+                num_lfs=self._require_pinned(),
+                correlations=self.correlations_,
+                cardinality=self.cardinality_,
+            )
+        return self._spec_cache
+
+    def _invalidate(self, structure: bool = False) -> None:
+        """A statistics-changing mutation: bump the version, drop caches."""
+        self.model_version_ += 1
+        self.updates_since_drain_ += 1
+        self._warm_model = None
+        if structure:
+            self._spec_cache = None
+
+    def _triples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._triples_cache is None:
+            self._triples_cache = (
+                np.concatenate(self._rows_parts) if self._rows_parts
+                else np.empty(0, dtype=np.int64),
+                np.concatenate(self._cols_parts) if self._cols_parts
+                else np.empty(0, dtype=np.int64),
+                np.concatenate(self._vals_parts) if self._vals_parts
+                else np.empty(0, dtype=np.int64),
+            )
+        return self._triples_cache
+
+    def _append_triples(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+    ) -> None:
+        if rows.size:
+            self._rows_parts.append(np.asarray(rows, dtype=np.int64))
+            self._cols_parts.append(np.asarray(cols, dtype=np.int64))
+            self._vals_parts.append(np.asarray(vals, dtype=np.int64))
+            self._triples_cache = None
+
+    def accumulated_matrix(self) -> SparseLabelMatrix:
+        """The accumulated Λ as canonical CSR storage.
+
+        ``from_triples`` sorts by ``(row, col)``, so the result is
+        independent of the order chunks arrived in (given the same row
+        ids) — the property the drain's bit-equivalence rests on.
+        """
+        num_lfs = self._require_pinned()
+        rows, cols, vals = self._triples()
+        return SparseLabelMatrix.from_triples(
+            rows, cols, vals, (self.num_rows_, num_lfs)
+        )
+
+    # ---------------------------------------------------------------- folding
+    def _expected_statistics(
+        self, storage: SparseLabelMatrix, accuracies: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float | np.ndarray, int]:
+        """One E-pass over a storage's entries at the given accuracies.
+
+        Returns ``(expected_correct, vote_counts, posterior_mass,
+        covered_count)`` — exactly the quantities the batch M-step consumes,
+        restricted to this storage's rows.  O(nnz of the storage + n).
+        """
+        spec = self._spec()
+        num_rows, num_lfs = storage.shape
+        k = self.cardinality_
+        covered = storage.row_nnz() > 0
+        vote_counts = storage.col_nnz()
+        template = self._template
+        if k == 2:
+            weights = 0.5 * np.log(accuracies / (1.0 - accuracies))
+            _, entry_rows, entry_vals = storage.csc()
+            entry_cols = storage.entry_cols()
+            discounts = GenerativeModel._correlation_discounts_sparse(spec, storage)
+            scores = np.bincount(
+                entry_rows,
+                weights=(entry_vals / discounts) * weights[entry_cols],
+                minlength=num_rows,
+            )
+            if self.class_balance is None:
+                # Prior-free posteriors, matching the batch E-step (see the
+                # balance-estimation note in the generative module).
+                posteriors = sigmoid(2.0 * scores)
+            else:
+                posteriors = sigmoid(2.0 * (scores + template._initial_prior_weight()))
+            mass: float | np.ndarray = float(posteriors[covered].sum())
+            agreement = np.where(
+                entry_vals == POSITIVE,
+                posteriors[entry_rows],
+                1.0 - posteriors[entry_rows],
+            )
+        else:
+            weights = 0.5 * np.log(accuracies * (k - 1.0) / (1.0 - accuracies))
+            entry_rows, entry_cols, entry_vals, inv_discounts = (
+                template._categorical_entries(spec, storage)
+            )
+            scores = np.bincount(
+                entry_rows * k + (entry_vals - 1),
+                weights=weights[entry_cols] * inv_discounts,
+                minlength=num_rows * k,
+            ).reshape(num_rows, k)
+            if self.class_balance is None:
+                posteriors = softmax(2.0 * scores, axis=1)
+            else:
+                posteriors = softmax(
+                    2.0 * scores + template._initial_log_priors(k), axis=1
+                )
+            mass = posteriors[covered].sum(axis=0)
+            agreement = posteriors[entry_rows, entry_vals - 1]
+        expected_correct = np.bincount(
+            entry_cols, weights=agreement, minlength=num_lfs
+        )
+        return expected_correct, vote_counts, mass, int(covered.sum())
+
+    def _fold_balance(self) -> None:
+        """Damped class-balance update from the accumulated posterior mass."""
+        if self.class_balance is not None or self.covered_rows_ == 0:
+            return
+        if self.cardinality_ > 2:
+            estimate = np.clip(
+                np.asarray(self.posterior_mass_) / self.covered_rows_, 1e-3, None
+            )
+            estimate /= estimate.sum()
+            if self.balance_ is None:
+                self.balance_ = estimate
+            else:
+                mixed = (
+                    self._template.damping * self.balance_
+                    + (1.0 - self._template.damping) * estimate
+                )
+                self.balance_ = mixed / mixed.sum()
+        else:
+            estimate = float(
+                np.clip(self.posterior_mass_ / self.covered_rows_, 1e-3, 1.0 - 1e-3)
+            )
+            if self.balance_ is None:
+                self.balance_ = estimate
+            else:
+                self.balance_ = (
+                    self._template.damping * self.balance_
+                    + (1.0 - self._template.damping) * estimate
+                )
+
+    def _m_step(self) -> None:
+        """O(n) accuracy re-estimate from the accumulated statistics."""
+        chance = 0.5 if self.cardinality_ == 2 else 1.0 / self.cardinality_
+        self.accuracies_ = self._template._accuracy_update(
+            self.accuracies_,
+            self.expected_correct_,
+            np.maximum(self.vote_counts_, 1),
+            chance=chance,
+        )
+
+    def update(self, chunk) -> "OnlineGenerativeModel":
+        """Fold a new candidate chunk into the accumulated statistics.
+
+        Accepts a dense array, a :class:`LabelMatrix` (either storage), or
+        raw :class:`SparseLabelMatrix` storage.  Cost is O(chunk + n):
+        one E-pass over the chunk's non-abstain entries at the current warm
+        parameters plus one O(n) M-step.  An all-abstain chunk only extends
+        the row count — the statistics, parameters, and ``model_version_``
+        are untouched.
+        """
+        storage, declared = _chunk_storage(chunk)
+        self._pin(storage.shape[1], declared)
+        self._validate_values(storage.data)
+        _, entry_rows, entry_vals = storage.csc()
+        entry_cols = storage.entry_cols()
+        self._append_triples(entry_rows + self.num_rows_, entry_cols, entry_vals)
+        self.num_rows_ += storage.shape[0]
+        if storage.nnz == 0:
+            return self
+        expected_correct, vote_counts, mass, covered = self._expected_statistics(
+            storage, self.accuracies_
+        )
+        self.expected_correct_ = self.expected_correct_ + expected_correct
+        self.vote_counts_ = self.vote_counts_ + vote_counts
+        self.posterior_mass_ = self.posterior_mass_ + mass
+        self.covered_rows_ += covered
+        self._fold_balance()
+        self._m_step()
+        self._invalidate()
+        return self
+
+    # ------------------------------------------------------------- LF editing
+    def add_lf(self, votes: np.ndarray) -> int:
+        """Append a labeling function's votes over the accumulated rows.
+
+        ``votes`` is a dense length-``num_rows_`` vector in the task's
+        vocabulary (``ABSTAIN`` where the LF abstains).  The new LF starts
+        at the prior accuracy with init-consistent pseudo-statistics (its
+        warm M-step estimate is exactly ``accuracy_init`` before evidence
+        accumulates); :meth:`drain` re-estimates it exactly.  Returns the
+        new LF's column index.
+        """
+        num_lfs = self._require_pinned()
+        votes = np.asarray(votes, dtype=np.int64)
+        if votes.shape != (self.num_rows_,):
+            raise LabelModelError(
+                f"votes must have shape ({self.num_rows_},), got {votes.shape}"
+            )
+        column = num_lfs
+        self.num_lfs_ = num_lfs + 1
+        rows = np.flatnonzero(votes != ABSTAIN)
+        vals = votes[rows]
+        self._validate_values(vals)
+        self._append_triples(rows, np.full(rows.size, column, dtype=np.int64), vals)
+        self.accuracies_ = np.append(self.accuracies_, self._template.accuracy_init)
+        self.vote_counts_ = np.append(self.vote_counts_, rows.size)
+        self.expected_correct_ = np.append(
+            self.expected_correct_, self._template.accuracy_init * rows.size
+        )
+        # Covered-row mass is unchanged only approximately (newly covered
+        # rows existed before with posterior 0.5/uniform); the drain
+        # recomputes it exactly.
+        self._invalidate(structure=True)
+        return column
+
+    def remove_lf(self, index: int) -> "OnlineGenerativeModel":
+        """Drop a labeling function; later columns shift down by one.
+
+        Its triples, accumulators, and every modeled correlation pair it
+        participates in are removed in one O(nnz) pass — no refit.
+        """
+        num_lfs = self._require_pinned()
+        if not 0 <= index < num_lfs:
+            raise LabelModelError(f"no LF at index {index} (have {num_lfs})")
+        rows, cols, vals = self._triples()
+        keep = cols != index
+        new_cols = cols[keep]
+        new_cols = np.where(new_cols > index, new_cols - 1, new_cols)
+        self._rows_parts = [rows[keep]]
+        self._cols_parts = [new_cols]
+        self._vals_parts = [vals[keep]]
+        self._triples_cache = None
+        self.num_lfs_ = num_lfs - 1
+        self.accuracies_ = np.delete(self.accuracies_, index)
+        self.vote_counts_ = np.delete(self.vote_counts_, index)
+        self.expected_correct_ = np.delete(self.expected_correct_, index)
+        self.correlations_ = [
+            (j - (j > index), k - (k > index))
+            for j, k in self.correlations_
+            if index not in (j, k)
+        ]
+        self._invalidate(structure=True)
+        return self
+
+    def set_correlations(
+        self, correlations: Iterable[tuple[int, int]]
+    ) -> "OnlineGenerativeModel":
+        """Replace the modeled correlation structure (no refit)."""
+        self.correlations_ = [(int(j), int(k)) for j, k in correlations]
+        self._invalidate(structure=True)
+        return self
+
+    def relearn_structure(
+        self,
+        learner: StructureLearner,
+        threshold: float,
+        nodes: Optional[Iterable[int]] = None,
+    ) -> list[tuple[int, int]]:
+        """Re-learn the correlation structure over the accumulated Λ.
+
+        With ``nodes`` given, only those nodes' ℓ1 regressions are
+        re-solved (:meth:`StructureLearner.refit_nodes`) — the incremental
+        path after :meth:`add_lf`; otherwise the learner fits from scratch.
+        The selected pairs become the model's correlation structure.
+        """
+        matrix = self.accumulated_matrix()
+        if nodes is None or learner.dependency_weights_ is None:
+            learner.fit(matrix)
+        else:
+            learner.refit_nodes(matrix, nodes)
+        self.set_correlations(learner.select(threshold))
+        return self.correlations_
+
+    # ----------------------------------------------------------------- drain
+    def drain(self) -> GenerativeModel:
+        """Exact fit over everything accumulated; memoized per version.
+
+        Delegates to a fresh same-config batch :class:`GenerativeModel`
+        over :meth:`accumulated_matrix`, so the result is bit-identical to
+        fitting that matrix directly.  The warm state is then re-anchored
+        at the converged solution: accuracies and balance from the fitted
+        model, sufficient statistics from one E-pass at the converged
+        accuracies — subsequent :meth:`update` folds continue from there.
+        """
+        if self._drained is not None and self._drained_version == self.model_version_:
+            return self._drained
+        matrix = self.accumulated_matrix()
+        if matrix.nnz == 0:
+            raise NotFittedError(
+                "cannot drain an OnlineGenerativeModel with no votes accumulated"
+            )
+        template = self._template
+        model = GenerativeModel(
+            method="em",
+            epochs=template.epochs,
+            accuracy_init=template.accuracy_init,
+            smoothing=template.smoothing,
+            damping=template.damping,
+            max_accuracy=template.max_accuracy,
+            learn_propensity=template.learn_propensity,
+            class_balance=self.class_balance,
+            non_adversarial=template.non_adversarial,
+            cardinality=self.cardinality_,
+            seed=template.seed,
+        )
+        model.fit(matrix, correlations=tuple(self.correlations_))
+        # Re-anchor the warm state at the converged solution.
+        self.accuracies_ = model.learned_accuracies()
+        if self.class_balance is None:
+            if self.cardinality_ > 2:
+                self.balance_ = (
+                    None if model.class_priors_ is None else model.class_priors_.copy()
+                )
+            elif model.class_prior_weight_ != 0.0:
+                self.balance_ = float(sigmoid(2.0 * model.class_prior_weight_))
+        expected_correct, vote_counts, mass, covered = self._expected_statistics(
+            matrix, self.accuracies_
+        )
+        self.expected_correct_ = expected_correct
+        self.vote_counts_ = vote_counts
+        self.posterior_mass_ = mass
+        self.covered_rows_ = covered
+        self.model_version_ += 1
+        self.updates_since_drain_ = 0
+        self._drained = model
+        self._drained_version = self.model_version_
+        self._warm_model = None
+        return model
+
+    # --------------------------------------------------------------- serving
+    def _serving_model(self) -> GenerativeModel:
+        """The model posteriors are scored with at the current version.
+
+        Freshly drained → the exact batch model (bitwise path).  Otherwise
+        a shell :class:`GenerativeModel` assembled from the warm
+        accuracies and balance, cached per version.
+        """
+        if self._drained is not None and self._drained_version == self.model_version_:
+            return self._drained
+        if self._warm_model is not None and self._warm_version == self.model_version_:
+            return self._warm_model
+        self._require_pinned()
+        if self.accuracies_ is None:
+            raise NotFittedError("OnlineGenerativeModel has no statistics to serve from")
+        spec = self._spec()
+        template = self._template
+        model = GenerativeModel(
+            method="em",
+            epochs=template.epochs,
+            accuracy_init=template.accuracy_init,
+            smoothing=template.smoothing,
+            damping=template.damping,
+            max_accuracy=template.max_accuracy,
+            learn_propensity=template.learn_propensity,
+            class_balance=self.class_balance,
+            non_adversarial=template.non_adversarial,
+            cardinality=self.cardinality_,
+            seed=template.seed,
+        )
+        weights = spec.initial_weights(accuracy_init=template.accuracy_init)
+        k = self.cardinality_
+        if k == 2:
+            weights[spec.layout.accuracy_slice] = 0.5 * np.log(
+                self.accuracies_ / (1.0 - self.accuracies_)
+            )
+        else:
+            weights[spec.layout.accuracy_slice] = 0.5 * np.log(
+                self.accuracies_ * (k - 1.0) / (1.0 - self.accuracies_)
+            )
+        if template.learn_propensity and self.num_rows_ > 0:
+            coverage = np.clip(
+                self.vote_counts_ / self.num_rows_, 1e-6, 1.0 - 1e-6
+            )
+            weights[spec.layout.propensity_slice] = 0.5 * np.log(
+                coverage / (1.0 - coverage)
+            )
+        model.spec = spec
+        model.weights = weights
+        if self.class_balance is None:
+            if k == 2:
+                model.class_prior_weight_ = (
+                    0.0
+                    if self.balance_ is None
+                    else 0.5 * float(np.log(self.balance_ / (1.0 - self.balance_)))
+                )
+            else:
+                model.class_priors_ = (
+                    None if self.balance_ is None else np.asarray(self.balance_)
+                )
+        else:
+            model.class_prior_weight_ = template._initial_prior_weight() if k == 2 else 0.0
+            if k > 2:
+                priors = np.exp(template._initial_log_priors(k))
+                model.class_priors_ = priors / priors.sum()
+        self._warm_model = model
+        self._warm_version = self.model_version_
+        return model
+
+    def posteriors(self, chunk) -> np.ndarray:
+        """Posteriors for one chunk under the current model (no staleness check).
+
+        The chunk is scored in its own storage (dense chunks through the
+        dense reduction, sparse through the sparse one), so a freshly
+        drained model's output is bit-identical to the batch model's
+        ``predict_proba`` on the same input.
+        """
+        self._require_pinned()
+        return self._serving_model().predict_proba(chunk)
+
+    def serve_posteriors(
+        self, chunks: Iterable, max_staleness: Optional[int] = None
+    ) -> Iterator[ServedPosteriors]:
+        """Stream posteriors for arriving chunks under the versioned model.
+
+        Yields one :class:`ServedPosteriors` per chunk.  Before each chunk
+        the staleness bound (``max_staleness`` here, else the constructor's)
+        is enforced: if more statistics-changing updates have been folded
+        since the last exact fit than the bound allows, the model drains
+        first.  Serving never mutates the statistics, so interleaving
+        :meth:`update` calls between served chunks is the intended usage.
+        """
+        bound = self.max_staleness if max_staleness is None else max_staleness
+        for chunk in chunks:
+            if bound is not None and self.updates_since_drain_ > bound:
+                self.drain()
+            yield ServedPosteriors(self.posteriors(chunk), self.model_version_)
+
+    # ------------------------------------------------------------- durability
+    _STATE_FORMAT = 1
+
+    def save(self, store, prefix: str = "online") -> str:
+        """Persist the full state as one durable block; returns the key.
+
+        The block is stamped with ``epoch=model_version_``, so a
+        :class:`~repro.labeling.blockstore.BlockStore` opened with
+        ``retention="latest_epoch"`` deletes superseded snapshots as new
+        ones land.
+        """
+        rows, cols, vals = self._triples()
+        self._require_pinned()
+        if self.cardinality_ > 2:
+            mass = np.asarray(self.posterior_mass_, dtype=float)
+        else:
+            mass = np.asarray([float(self.posterior_mass_)])
+        if self.balance_ is None:
+            balance = np.empty(0)
+        else:
+            balance = np.atleast_1d(np.asarray(self.balance_, dtype=float))
+        arrays = {
+            "rows": rows,
+            "cols": cols,
+            "vals": vals,
+            "expected_correct": self.expected_correct_,
+            "vote_counts": self.vote_counts_,
+            "accuracies": self.accuracies_,
+            "posterior_mass": mass,
+            "balance": balance,
+        }
+        meta = {
+            "format": self._STATE_FORMAT,
+            "num_rows": int(self.num_rows_),
+            "num_lfs": int(self.num_lfs_),
+            "cardinality": int(self.cardinality_),
+            "correlations": [[int(j), int(k)] for j, k in self.correlations_],
+            "covered_rows": int(self.covered_rows_),
+            "model_version": int(self.model_version_),
+            "updates_since_drain": int(self.updates_since_drain_),
+        }
+        key = f"{prefix}/state/v{self.model_version_}"
+        store.put(key, arrays, meta, epoch=self.model_version_)
+        return key
+
+    @classmethod
+    def load(cls, store, prefix: str = "online", **kwargs) -> "OnlineGenerativeModel":
+        """Restore the newest saved state under ``prefix``.
+
+        ``kwargs`` are constructor parameters (estimator configuration is
+        not persisted — it belongs to the caller, like every model in this
+        library).  The restored model serves and drains exactly as the
+        saved one would; the drain memo itself is not persisted, so the
+        first post-restore drain refits.
+        """
+        head = f"{prefix}/state/v"
+        versions = [
+            int(key[len(head):])
+            for key in store.keys()
+            if key.startswith(head) and key[len(head):].isdigit()
+        ]
+        if not versions:
+            raise LabelModelError(
+                f"no OnlineGenerativeModel state under {prefix!r} in {store.root}"
+            )
+        arrays, meta = store.get(f"{head}{max(versions)}")
+        model = cls(cardinality=int(meta["cardinality"]), **kwargs)
+        model.correlations_ = [tuple(pair) for pair in meta["correlations"]]
+        model.num_lfs_ = int(meta["num_lfs"])
+        model.cardinality_ = int(meta["cardinality"])
+        model.num_rows_ = int(meta["num_rows"])
+        model._append_triples(
+            np.array(arrays["rows"]), np.array(arrays["cols"]), np.array(arrays["vals"])
+        )
+        model.expected_correct_ = np.array(arrays["expected_correct"])
+        model.vote_counts_ = np.array(arrays["vote_counts"])
+        model.accuracies_ = np.array(arrays["accuracies"])
+        mass = np.array(arrays["posterior_mass"])
+        model.posterior_mass_ = mass if model.cardinality_ > 2 else float(mass[0])
+        balance = np.array(arrays["balance"])
+        if balance.size == 0:
+            model.balance_ = None
+        elif model.cardinality_ > 2:
+            model.balance_ = balance
+        else:
+            model.balance_ = float(balance[0])
+        model.covered_rows_ = int(meta["covered_rows"])
+        model.model_version_ = int(meta["model_version"])
+        model.updates_since_drain_ = int(meta["updates_since_drain"])
+        return model

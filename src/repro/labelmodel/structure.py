@@ -117,8 +117,10 @@ class StructureLearner:
         self.dependency_weights_: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ fitting
-    def fit(self, label_matrix: LabelMatrix | np.ndarray) -> "StructureLearner":
-        """Estimate the (n, n) matrix of absolute dependency weights.
+    def _resolve_storage(
+        self, label_matrix: LabelMatrix | np.ndarray
+    ) -> tuple[Optional[SparseLabelMatrix], Optional[np.ndarray], bool]:
+        """``(sparse, dense, categorical)`` for either storage backend.
 
         A :class:`LabelMatrix` selects the estimator by its declared
         ``cardinality``; raw arrays/storages fall back to sniffing the values
@@ -132,19 +134,89 @@ class StructureLearner:
         if sparse is not None:
             if categorical is None:
                 categorical = bool(sparse.data.size) and int(sparse.data.max()) > 1
-            return self._fit_sparse(sparse, categorical)
+            return sparse, None, categorical
         matrix = _as_array(label_matrix).astype(float)
-        m, n = matrix.shape
-        if n < 2:
-            self.dependency_weights_ = np.zeros((n, n))
-            return self
         if categorical is None:
             categorical = bool(matrix.size) and matrix.max() > 1
-        if categorical:
-            return self._fit_dense_categorical(matrix)
+        return None, matrix, categorical
+
+    def fit(self, label_matrix: LabelMatrix | np.ndarray) -> "StructureLearner":
+        """Estimate the (n, n) matrix of absolute dependency weights."""
+        sparse, matrix, categorical = self._resolve_storage(label_matrix)
+        n = (sparse if sparse is not None else matrix).shape[1]
+        self.dependency_weights_ = np.zeros((n, n))
+        if n >= 2:
+            self._solve_nodes(sparse, matrix, categorical, range(n))
+        return self
+
+    def refit_nodes(
+        self,
+        label_matrix: LabelMatrix | np.ndarray,
+        nodes: Sequence[int],
+    ) -> "StructureLearner":
+        """Re-solve only the given nodes' regressions, keeping the rest.
+
+        The node-wise estimator decomposes per node: node ``j``'s row of
+        ``dependency_weights_`` depends only on the label matrix (and the
+        learner's seed), never on the other rows — so re-solving a subset
+        is bit-identical to the corresponding rows of a full :meth:`fit`.
+        This is the incremental path for an online model that added or
+        edited a labeling function: re-solve the new node (and, if desired,
+        its neighbors) instead of all ``n`` regressions.
+
+        A matrix with *more* columns than the fitted state grows the weight
+        matrix with zero-padded rows/columns at the end (append semantics,
+        matching ``OnlineGenerativeModel.add_lf``).  A matrix with fewer
+        columns is rejected — removal changes the column mapping, so the
+        caller must realign ``dependency_weights_`` first (e.g. with
+        ``np.delete`` on both axes).
+        """
+        sparse, matrix, categorical = self._resolve_storage(label_matrix)
+        n = (sparse if sparse is not None else matrix).shape[1]
+        nodes = sorted({int(j) for j in nodes})
+        if nodes and (nodes[0] < 0 or nodes[-1] >= n):
+            raise LabelModelError(
+                f"nodes must lie in [0, {n}), got {nodes[0]}..{nodes[-1]}"
+            )
+        if self.dependency_weights_ is None:
+            self.dependency_weights_ = np.zeros((n, n))
+        elif self.dependency_weights_.shape[0] < n:
+            grown = np.zeros((n, n))
+            old = self.dependency_weights_.shape[0]
+            grown[:old, :old] = self.dependency_weights_
+            self.dependency_weights_ = grown
+        elif self.dependency_weights_.shape[0] > n:
+            raise LabelModelError(
+                f"label matrix has {n} LFs but the fitted state has "
+                f"{self.dependency_weights_.shape[0]}; realign "
+                "dependency_weights_ (np.delete the removed row and column) "
+                "before refitting nodes"
+            )
+        self.dependency_weights_[nodes, :] = 0.0
+        if n >= 2 and nodes:
+            self._solve_nodes(sparse, matrix, categorical, nodes)
+        return self
+
+    def _solve_nodes(
+        self,
+        sparse: Optional[SparseLabelMatrix],
+        matrix: Optional[np.ndarray],
+        categorical: bool,
+        nodes: Sequence[int],
+    ) -> None:
+        """Dispatch the per-node regressions to the storage's assembly path."""
+        if sparse is not None:
+            self._solve_sparse_nodes(sparse, categorical, nodes)
+        elif categorical:
+            self._solve_dense_categorical_nodes(matrix, nodes)
+        else:
+            self._solve_dense_nodes(matrix, nodes)
+
+    def _solve_dense_nodes(self, matrix: np.ndarray, nodes: Sequence[int]) -> None:
+        m, n = matrix.shape
         row_totals = matrix.sum(axis=1)
-        weights = np.zeros((n, n))
-        for j in range(n):
+        weights = self.dependency_weights_
+        for j in nodes:
             voted = matrix[:, j] != ABSTAIN
             if voted.sum() < self.min_votes:
                 continue
@@ -159,10 +231,10 @@ class StructureLearner:
             )
             coefficients = self._l1_logistic(features, target, num_penalized=len(others))
             weights[j, others] = np.abs(coefficients[: len(others)])
-        self.dependency_weights_ = weights
-        return self
 
-    def _fit_dense_categorical(self, matrix: np.ndarray) -> "StructureLearner":
+    def _solve_dense_categorical_nodes(
+        self, matrix: np.ndarray, nodes: Sequence[int]
+    ) -> None:
         """Node-wise regressions over the anchor-class recoding (see module doc).
 
         Each node's design matrix is the whole row block recoded against that
@@ -170,8 +242,8 @@ class StructureLearner:
         assembly.
         """
         m, n = matrix.shape
-        weights = np.zeros((n, n))
-        for j in range(n):
+        weights = self.dependency_weights_
+        for j in nodes:
             voted = matrix[:, j] != ABSTAIN
             if voted.sum() < self.min_votes:
                 continue
@@ -187,8 +259,6 @@ class StructureLearner:
             )
             coefficients = self._l1_logistic(features, target, num_penalized=len(others))
             weights[j, others] = np.abs(coefficients[: len(others)])
-        self.dependency_weights_ = weights
-        return self
 
     @staticmethod
     def _anchor_class(votes: np.ndarray) -> int:
@@ -196,7 +266,9 @@ class StructureLearner:
         values, counts = np.unique(votes, return_counts=True)
         return int(values[np.argmax(counts)])
 
-    def _fit_sparse(self, sparse: SparseLabelMatrix, categorical: bool) -> "StructureLearner":
+    def _solve_sparse_nodes(
+        self, sparse: SparseLabelMatrix, categorical: bool, nodes: Sequence[int]
+    ) -> None:
         """Node-wise regressions assembled from CSC column slices.
 
         Produces the same dependency weights as the dense path: each node's
@@ -204,9 +276,6 @@ class StructureLearner:
         entries instead of sliced out of a dense array.
         """
         m, n = sparse.shape
-        if n < 2:
-            self.dependency_weights_ = np.zeros((n, n))
-            return self
         col_indptr, entry_rows, entry_vals = sparse.csc()
         if categorical:
             # One O(nnz) pass: per-row counts of every class, so each node's
@@ -217,8 +286,8 @@ class StructureLearner:
             row_totals = None
         else:
             row_totals = sparse.row_sums()
-        weights = np.zeros((n, n))
-        for j in range(n):
+        weights = self.dependency_weights_
+        for j in nodes:
             rows_j = entry_rows[col_indptr[j] : col_indptr[j + 1]]
             vals_j = entry_vals[col_indptr[j] : col_indptr[j + 1]]
             if rows_j.size < self.min_votes:
@@ -254,8 +323,6 @@ class StructureLearner:
             features = np.column_stack([design[:, others], mv_proxy, np.ones(rows_j.size)])
             coefficients = self._l1_logistic(features, target, num_penalized=len(others))
             weights[j, others] = np.abs(coefficients[: len(others)])
-        self.dependency_weights_ = weights
-        return self
 
     def _l1_logistic(
         self, features: np.ndarray, target: np.ndarray, num_penalized: int

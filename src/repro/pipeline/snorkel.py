@@ -64,13 +64,19 @@ from repro.evaluation.scorer import (
 )
 from repro.exceptions import ConfigurationError
 from repro.labeling.applier import PUSHDOWN_MODES, VALIDATE_MODES, LFApplier
-from repro.labeling.blockstore import BlockStore, ChunkCheckpointer, EpochCheckpoint
+from repro.labeling.blockstore import (
+    RETENTION_POLICIES,
+    BlockStore,
+    ChunkCheckpointer,
+    EpochCheckpoint,
+)
 from repro.labeling.engine import BACKENDS, TRANSPORTS
 from repro.labeling.lf import LabelingFunction
 from repro.labeling.matrix import LabelMatrix
 from repro.labelmodel.generative import GenerativeModel
 from repro.labelmodel.kernels import KERNELS
 from repro.labelmodel.majority import MajorityVoter, MultiClassMajorityVoter
+from repro.labelmodel.online import OnlineGenerativeModel
 from repro.labelmodel.optimizer import ModelingStrategy, ModelingStrategyOptimizer
 
 AnyScoreReport = Union[ScoreReport, MultiClassScoreReport]
@@ -143,6 +149,23 @@ class PipelineConfig:
     #: suite, chunk size, featurizer width, seed, ...) is cleared
     #: automatically — stale blocks are never replayed.
     resume: bool = True
+    #: Space-reclamation policy of the block store (see
+    #: :class:`repro.labeling.blockstore.BlockStore`): ``"keep_all"``
+    #: (default) keeps every durable block; ``"latest_epoch"`` deletes
+    #: superseded epoch-stamped snapshots (e.g. the online model's
+    #: versioned statistics) as new ones land and prunes chunk blocks a
+    #: shorter re-run left dead, so a long-lived checkpoint dir stops
+    #: growing without bound.
+    checkpoint_retention: str = "keep_all"
+    #: Run the label-modeling stage through the online incremental
+    #: estimator (:class:`repro.labelmodel.online.OnlineGenerativeModel`):
+    #: Λ's rows are folded in chunk by chunk (``chunk_size`` rows at a
+    #: time, matching the engine's chunk tasks in streaming mode), the
+    #: model's versioned statistics are persisted durably when a
+    #: ``checkpoint_dir`` store is attached, and the served model is the
+    #: fully-drained fit — within 1e-8 of the batch run (bit-identical
+    #: with ``sparse_labels=True``).
+    online: bool = False
     #: Soft per-chunk deadline in seconds for the ``"processes"`` backend
     #: (see :class:`repro.labeling.engine.plan.ExecutionPlan`): a hung
     #: worker is killed and its chunk resubmitted instead of deadlocking
@@ -210,6 +233,11 @@ class PipelineConfig:
         if self.engine_chunk_timeout is not None and self.engine_chunk_timeout <= 0:
             raise ConfigurationError(
                 f"engine_chunk_timeout must be positive, got {self.engine_chunk_timeout}"
+            )
+        if self.checkpoint_retention not in RETENTION_POLICIES:
+            raise ConfigurationError(
+                f"checkpoint_retention must be one of {RETENTION_POLICIES}, "
+                f"got {self.checkpoint_retention!r}"
             )
 
 
@@ -389,6 +417,10 @@ class SnorkelPipeline:
                 checkpoint=test_ckpt,
             )
             timings["lf_application"] = time.perf_counter() - start
+            if store is not None and store.retention == "latest_epoch":
+                # Reclaim chunk blocks a longer earlier run left behind.
+                train_ckpt.prune_beyond(len(train_blocks))
+                test_ckpt.prune_beyond(len(test_blocks))
 
             start = time.perf_counter()
             strategy, generative_model, training_probs = self._label_modeling_checkpointed(
@@ -445,6 +477,7 @@ class SnorkelPipeline:
             "num_features": self.featurizer.num_features,
             "seed": config.seed,
             "discriminative_epochs": config.discriminative_epochs,
+            "online": config.online,
         }
 
     def _open_checkpoints(
@@ -465,7 +498,7 @@ class SnorkelPipeline:
         config = self.config
         if config.checkpoint_dir is None:
             return None, None, None, None
-        store = BlockStore(config.checkpoint_dir)
+        store = BlockStore(config.checkpoint_dir, retention=config.checkpoint_retention)
         fingerprint = self._checkpoint_fingerprint(lfs, task_name)
         key = "meta/fingerprint"
         stale = True
@@ -494,7 +527,7 @@ class SnorkelPipeline:
         key = "phase/label_modeling"
         if store is not None and key in store:
             return store.get_pickle(key)
-        outcome = self._label_modeling(label_matrix)
+        outcome = self._label_modeling(label_matrix, store=store)
         if store is not None:
             try:
                 store.put_pickle(key, outcome)
@@ -509,7 +542,7 @@ class SnorkelPipeline:
 
     # ----------------------------------------------------------------- stages
     def _label_modeling(
-        self, label_matrix: LabelMatrix
+        self, label_matrix: LabelMatrix, store: Optional[BlockStore] = None
     ) -> tuple[Optional[ModelingStrategy], Optional[GenerativeModel], np.ndarray]:
         """Choose a strategy and produce probabilistic training labels.
 
@@ -517,6 +550,9 @@ class SnorkelPipeline:
         always selects the generative model for them (the MV-vs-GM advantage
         bound is binary theory) and the model trains its k-ary estimator,
         returning ``(m, k)`` distributions.
+
+        With ``config.online`` the generative stage runs through the online
+        incremental estimator instead (see :meth:`_label_modeling_online`).
         """
         config = self.config
         cardinality = label_matrix.cardinality
@@ -545,6 +581,11 @@ class SnorkelPipeline:
                 MultiClassMajorityVoter(cardinality).predict_proba(label_matrix),
             )
 
+        if config.online:
+            return strategy, *self._label_modeling_online(
+                label_matrix, cardinality, correlations, store
+            )
+
         model = GenerativeModel(
             epochs=config.generative_epochs,
             step_size=config.generative_step_size,
@@ -554,6 +595,47 @@ class SnorkelPipeline:
         )
         model.fit(label_matrix, correlations=correlations)
         return strategy, model, model.predict_proba(label_matrix)
+
+    def _label_modeling_online(
+        self,
+        label_matrix: LabelMatrix,
+        cardinality: int,
+        correlations: Sequence[tuple[int, int]],
+        store: Optional[BlockStore],
+    ) -> tuple[GenerativeModel, np.ndarray]:
+        """The generative stage through the online incremental estimator.
+
+        Λ's rows are folded into an :class:`OnlineGenerativeModel` in
+        ``chunk_size`` slices — the same row blocks the streaming engine's
+        chunk tasks produced — then the model is drained and the exact
+        batch-equivalent fit serves the training posteriors.  With a block
+        store attached, the model's versioned statistics are persisted
+        durably (and superseded snapshots are reclaimed under the
+        ``latest_epoch`` retention policy).
+        """
+        config = self.config
+        online = OnlineGenerativeModel(
+            cardinality=cardinality,
+            correlations=correlations,
+            epochs=config.generative_epochs,
+            seed=config.seed,
+        )
+        num_rows = label_matrix.shape[0]
+        for start in range(0, num_rows, config.chunk_size):
+            stop = min(start + config.chunk_size, num_rows)
+            online.update(label_matrix.select_rows(np.arange(start, stop)))
+        if store is not None:
+            try:
+                online.save(store, prefix="online/label_model")
+            except OSError as exc:
+                warnings.warn(
+                    f"online-model statistics checkpoint skipped after write "
+                    f"failure ({exc}); the run continues without it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        model = online.drain()
+        return model, model.predict_proba(label_matrix)
 
     def _generative_report(
         self,

@@ -8,6 +8,10 @@ What this suite pins down:
   corrupted block files by size/crc and deletes them, and sweeps orphaned
   and temp files; what survives recovery is exactly what was durably
   committed.
+* **Reclamation** — ``delete`` tombstones durably, ``prune`` clears a
+  namespace, ``retention="latest_epoch"`` drops superseded epoch-stamped
+  blocks (at put time and at open), and the index compacts inline under
+  same-key churn instead of growing without bound.
 * **Checkpointers** — ``ChunkCheckpointer`` records and reloads
   :class:`ChunkResult` blocks (fused feature block included) losslessly and
   degrades with one warning on a full disk; ``EpochCheckpoint`` snapshots
@@ -178,6 +182,96 @@ def test_put_after_clear_is_durable(tmp_path):
         assert store.keys() == ["fresh"]
         arrays, _ = store.get("fresh")
         assert np.array_equal(arrays["x"], np.arange(5))
+
+
+# ------------------------------------------------------ deletion & retention
+def test_delete_removes_block_and_survives_reopen(tmp_path):
+    root = str(tmp_path / "store")
+    with BlockStore(root) as store:
+        store.put("dead", {"a": np.arange(3)})
+        store.put("alive", {"a": np.arange(4)})
+        path = os.path.join(store.blocks_dir, "dead.blk")
+        assert store.delete("dead")
+        assert not store.delete("dead")  # already gone
+        assert not os.path.exists(path)
+        assert store.keys() == ["alive"]
+    # The tombstone is durable: reopening must not resurrect the key.
+    with BlockStore(root) as store:
+        assert store.keys() == ["alive"]
+
+
+def test_prune_namespace(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        store.put("train/chunk/0", {"a": np.arange(2)})
+        store.put("train/chunk/1", {"a": np.arange(2)})
+        store.put("test/chunk/0", {"a": np.arange(2)})
+        assert store.prune("train/chunk") == 2
+        assert store.keys() == ["test/chunk/0"]
+        assert store.prune("train/chunk") == 0
+
+
+def test_retention_latest_epoch_deletes_superseded_blocks(tmp_path):
+    """The regression this PR fixes: a multi-epoch run's store directory must
+    not retain dead block files for superseded snapshot versions."""
+    root = str(tmp_path / "store")
+    with BlockStore(root, retention="latest_epoch") as store:
+        for version in range(5):
+            store.put(f"model/state/v{version}", {"w": np.arange(version + 1)},
+                      epoch=version)
+        assert store.keys() == ["model/state/v4"]
+        block_files = [f for f in os.listdir(store.blocks_dir) if f.endswith(".blk")]
+        assert len(block_files) == 1
+    with BlockStore(root, retention="latest_epoch") as store:
+        arrays, _ = store.get("model/state/v4")
+        assert np.array_equal(arrays["w"], np.arange(5))
+
+
+def test_retention_latest_epoch_prunes_stale_families_at_open(tmp_path):
+    root = str(tmp_path / "store")
+    with BlockStore(root) as store:  # keep_all writer leaves every version
+        store.put("fam/v1", {"a": np.arange(1)}, epoch=1)
+        store.put("fam/v2", {"a": np.arange(2)}, epoch=2)
+        store.put("other", {"a": np.arange(3)})  # no epoch: never pruned
+    with BlockStore(root, retention="latest_epoch") as store:
+        assert sorted(store.keys()) == ["fam/v2", "other"]
+
+
+def test_retention_keep_all_is_default(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        assert store.retention == "keep_all"
+        store.put("fam/v1", {"a": np.arange(1)}, epoch=1)
+        store.put("fam/v2", {"a": np.arange(2)}, epoch=2)
+        assert sorted(store.keys()) == ["fam/v1", "fam/v2"]
+
+
+def test_retention_validation(tmp_path):
+    with pytest.raises(LabelingError):
+        BlockStore(str(tmp_path / "store"), retention="bogus")
+
+
+def test_index_compacts_inline_under_churn(tmp_path):
+    """Repeated re-puts of the same key must not grow the index without
+    bound: the inline compaction keeps it proportional to the live keys."""
+    with BlockStore(str(tmp_path / "store")) as store:
+        for round_ in range(500):
+            store.put("hot", {"a": np.array([round_])})
+        with open(store.index_path, encoding="utf-8") as handle:
+            lines = sum(1 for _ in handle)
+        assert lines < 300  # far below the 500 appends issued
+        block_files = [f for f in os.listdir(store.blocks_dir) if f.endswith(".blk")]
+        assert len(block_files) == 1
+        arrays, _ = store.get("hot")
+        assert arrays["a"][0] == 499
+
+
+def test_chunk_checkpointer_prune_beyond(tmp_path):
+    with BlockStore(str(tmp_path / "store")) as store:
+        ckpt = ChunkCheckpointer(store, "train")
+        for index in range(6):
+            ckpt.record(make_result(index, with_features=False))
+        assert ckpt.prune_beyond(4) == 2
+        assert ckpt.completed == {0, 1, 2, 3}
+        assert ckpt.prune_beyond(4) == 0
 
 
 # ------------------------------------------------------- chunk checkpointer

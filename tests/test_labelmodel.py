@@ -104,6 +104,52 @@ def test_class_balance_shifts_predictions():
     assert high.predict_proba(matrix).mean() > low.predict_proba(matrix).mean()
 
 
+@pytest.mark.parametrize("method", ["em", "cd"])
+@pytest.mark.parametrize("cardinality", [2, 3])
+@pytest.mark.parametrize("sparse", [False, True])
+def test_fit_twice_equals_fresh_instance(method, cardinality, sparse):
+    """Refit hygiene: fit() must not leak state between calls.
+
+    Fitting the same instance twice — including an interleaved fit on a
+    *different* matrix — must reproduce a fresh instance's fit bitwise, for
+    both estimators, both vocabularies, and both storages."""
+    rng = np.random.default_rng(cardinality * 10 + (method == "cd"))
+    if cardinality == 2:
+        matrix = rng.choice([-1, 0, 1], size=(120, 5), p=[0.3, 0.4, 0.3])
+        other = rng.choice([-1, 0, 1], size=(80, 5), p=[0.2, 0.5, 0.3])
+    else:
+        matrix = rng.integers(0, cardinality + 1, size=(120, 5))
+        other = rng.integers(0, cardinality + 1, size=(80, 5))
+    if sparse:
+        from repro.labeling.sparse import SparseLabelMatrix
+
+        matrix = SparseLabelMatrix.from_dense(matrix)
+        other = SparseLabelMatrix.from_dense(other)
+
+    def make():
+        return GenerativeModel(
+            method=method, epochs=4, cardinality=cardinality, seed=7
+        )
+
+    fresh = make().fit(matrix, correlations=((0, 1),))
+    reused = make()
+    reused.fit(other)  # pollute with an unrelated fit first
+    reused.fit(matrix, correlations=((0, 1),))
+    assert np.array_equal(reused.weights, fresh.weights)
+    assert reused.class_prior_weight_ == fresh.class_prior_weight_
+    if cardinality > 2:
+        assert np.array_equal(reused.class_priors_, fresh.class_priors_)
+    else:
+        assert reused.class_priors_ is fresh.class_priors_ is None or np.array_equal(
+            reused.class_priors_, fresh.class_priors_
+        )
+    assert reused.history == fresh.history
+    assert np.array_equal(reused.predict_proba(matrix), fresh.predict_proba(matrix))
+    # A third fit is a fixed point: refitting the same matrix changes nothing.
+    reused.fit(matrix, correlations=((0, 1),))
+    assert np.array_equal(reused.weights, fresh.weights)
+
+
 def test_dawid_skene_recovers_worker_quality():
     rng = np.random.default_rng(0)
     truth = rng.integers(1, 4, size=400)
